@@ -1,0 +1,235 @@
+package trinit
+
+// Benchmarks regenerating the paper's evaluation artefacts, one per
+// experiment of DESIGN.md §4 (E1–E6), plus micro-benchmarks for the main
+// substrates. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The E-benchmarks report the same quantities as cmd/trinit-bench, but
+// under the testing.B harness so regressions show up in CI.
+
+import (
+	"sync"
+	"testing"
+
+	"trinit/internal/dataset"
+	"trinit/internal/experiments"
+	"trinit/internal/openie"
+	"trinit/internal/query"
+	"trinit/internal/rdf"
+	"trinit/internal/relax"
+	"trinit/internal/topk"
+)
+
+var (
+	benchWorldOnce sync.Once
+	benchWorld     *dataset.World
+	benchInstOnce  sync.Once
+	benchInst      *experiments.Instance
+)
+
+func world() *dataset.World {
+	benchWorldOnce.Do(func() {
+		cfg := dataset.DefaultConfig()
+		cfg.People = 300
+		benchWorld = dataset.Generate(cfg)
+	})
+	return benchWorld
+}
+
+func fullInstance() *experiments.Instance {
+	benchInstOnce.Do(func() {
+		benchInst = experiments.Build(world(), experiments.System{Name: "full", UseXKG: true, UseRelax: true})
+	})
+	return benchInst
+}
+
+// BenchmarkE1QueryProcessing reproduces the §4 effectiveness comparison:
+// the full 70-query workload on the full system (NDCG is validated in
+// internal/experiments tests; here the cost of producing it is measured).
+func BenchmarkE1QueryProcessing(b *testing.B) {
+	inst := fullInstance()
+	workload := world().Workload(70)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wq := workload[i%len(workload)]
+		if _, _, err := inst.RunQuery(wq.Text, wq.Var, 10, topk.Incremental); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2RuleMining measures mining the relaxation rules with the §3
+// weight formula over the full XKG.
+func BenchmarkE2RuleMining(b *testing.B) {
+	inst := fullInstance()
+	opts := relax.MiningOptions{MinSupport: 2, MinWeight: 0.1, IncludeInverse: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rules := relax.Mine(inst.Store, opts)
+		if len(rules) == 0 {
+			b.Fatal("no rules mined")
+		}
+	}
+}
+
+// BenchmarkE3DemoScenario replays the users A-D scenario (Figures 1-4).
+func BenchmarkE3DemoScenario(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunE3()
+		if len(rows) != 4 {
+			b.Fatal("demo scenario broken")
+		}
+	}
+}
+
+// BenchmarkE4XKGConstruction measures the full §5 pipeline: Open IE over
+// the corpus, entity linking, and store construction.
+func BenchmarkE4XKGConstruction(b *testing.B) {
+	w := world()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE4(w)
+		if r.Stats.XKGTriples == 0 {
+			b.Fatal("no XKG triples")
+		}
+	}
+}
+
+// BenchmarkE5TopKIncremental and ...Exhaustive measure the §4 efficiency
+// claim: the incremental algorithm touches fewer posting-list entries and
+// evaluates fewer rewrites than exhaustively materialising the rewrite
+// space. Compare ns/op between the two.
+func BenchmarkE5TopKIncremental(b *testing.B) { benchE5(b, topk.Incremental) }
+
+// BenchmarkE5TopKExhaustive is the baseline counterpart.
+func BenchmarkE5TopKExhaustive(b *testing.B) { benchE5(b, topk.Exhaustive) }
+
+func benchE5(b *testing.B, mode topk.Mode) {
+	inst := fullInstance()
+	workload := world().Workload(20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wq := workload[i%len(workload)]
+		if _, _, err := inst.RunQuery(wq.Text, wq.Var, 10, mode); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6Suggest measures the §5 suggestion features over the world.
+func BenchmarkE6Suggest(b *testing.B) {
+	w := world()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE6(w)
+		if r.TokenQueries == 0 {
+			b.Fatal("no suggestions computed")
+		}
+	}
+}
+
+// --- micro-benchmarks -------------------------------------------------
+
+// BenchmarkStoreMatch measures a bound-predicate index scan.
+func BenchmarkStoreMatch(b *testing.B) {
+	inst := fullInstance()
+	p, ok := inst.Store.Dict().Lookup(rdf.Resource("affiliation"))
+	if !ok {
+		b.Fatal("predicate missing")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(inst.Store.Match(rdf.NoTerm, p, rdf.NoTerm)) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+// BenchmarkTokenMatch measures resolving a textual token to candidates.
+func BenchmarkTokenMatch(b *testing.B) {
+	inst := fullInstance()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst.Store.MatchToken("worked at", 1<<rdf.KindToken, 0.3, 10)
+	}
+}
+
+// BenchmarkQueryParse measures the extended triple-pattern parser.
+func BenchmarkQueryParse(b *testing.B) {
+	const q = "SELECT ?x WHERE { AlbertEinstein affiliation ?x . ?x 'housed in' ?y . ?y member IvyLeague } LIMIT 5"
+	for i := 0; i < b.N; i++ {
+		if _, err := query.Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOpenIEExtraction measures the ReVerb-style extractor.
+func BenchmarkOpenIEExtraction(b *testing.B) {
+	const doc = "Einstein won a Nobel for his discovery of the photoelectric effect. " +
+		"The IAS was housed in Princeton. Einstein lectured at Princeton University. " +
+		"Alden Ackermann worked at Northford University and studied under Berta Brenner."
+	for i := 0; i < b.N; i++ {
+		if len(openie.ExtractDocument(doc)) == 0 {
+			b.Fatal("no extractions")
+		}
+	}
+}
+
+// BenchmarkRewriteExpansion measures rewrite-space expansion.
+func BenchmarkRewriteExpansion(b *testing.B) {
+	inst := fullInstance()
+	q := query.MustParse("?x affiliation ?u . ?u locatedIn Northford")
+	q.Projection = q.ProjectedVars()
+	exp := relax.NewExpander(inst.Rules)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(exp.Expand(q)) == 0 {
+			b.Fatal("no rewrites")
+		}
+	}
+}
+
+// BenchmarkEngineQuery measures a full public-API query round trip on the
+// demo engine, including explanation construction.
+func BenchmarkEngineQuery(b *testing.B) {
+	e := NewDemoEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Query("SELECT ?x WHERE { AlbertEinstein affiliation ?x . ?x member IvyLeague }")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Answers) == 0 {
+			b.Fatal("no answers")
+		}
+	}
+}
+
+// BenchmarkE7RuleSourceAblation measures the cumulative rule-source
+// ablation (DESIGN.md E7).
+func BenchmarkE7RuleSourceAblation(b *testing.B) {
+	w := world()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunE7(w, 10)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkE8ScoringAblation measures the scoring-model ablation
+// (DESIGN.md E8).
+func BenchmarkE8ScoringAblation(b *testing.B) {
+	w := world()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunE8(w, 10)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}

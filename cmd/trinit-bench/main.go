@@ -1,0 +1,92 @@
+// Command trinit-bench regenerates the paper's evaluation artefacts
+// (experiments E1–E6) plus the ablation studies E7–E8; see DESIGN.md §4
+// and EXPERIMENTS.md.
+//
+// Usage:
+//
+//	trinit-bench [-exp all|e1|...|e8] [-scale small|bench] [-queries 70] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"trinit/internal/dataset"
+	"trinit/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, e1..e8")
+	scale := flag.String("scale", "small", "world scale: small or bench")
+	queries := flag.Int("queries", 70, "workload size (paper: 70)")
+	seed := flag.Int64("seed", 1, "world seed")
+	flag.Parse()
+
+	cfg := dataset.DefaultConfig()
+	if *scale == "bench" {
+		cfg = dataset.BenchConfig()
+	}
+	cfg.Seed = *seed
+
+	want := func(name string) bool { return *exp == "all" || strings.EqualFold(*exp, name) }
+
+	var w *dataset.World
+	world := func() *dataset.World {
+		if w == nil {
+			start := time.Now()
+			w = dataset.Generate(cfg)
+			fmt.Printf("generated synthetic world (%d people, %d KG facts, %d docs) in %v\n\n",
+				cfg.People, w.KGSize(), len(w.Docs()), time.Since(start).Round(time.Millisecond))
+		}
+		return w
+	}
+
+	ran := false
+	if want("e1") {
+		ran = true
+		fmt.Println(experiments.FormatE1(experiments.RunE1(world(), *queries, 10)))
+	}
+	if want("e2") {
+		ran = true
+		fmt.Println(experiments.FormatE2(experiments.RunE2(world()), 8))
+	}
+	if want("e3") {
+		ran = true
+		fmt.Println(experiments.FormatE3(experiments.RunE3()))
+	}
+	if want("e4") {
+		ran = true
+		fmt.Println(experiments.FormatE4(experiments.RunE4(world())))
+	}
+	if want("e5") {
+		ran = true
+		fmt.Println(experiments.FormatE5(experiments.RunE5(world(), min(*queries, 20), nil)))
+		fmt.Println(experiments.FormatE5Depth(experiments.RunE5Depth(world(), min(*queries, 20), nil)))
+	}
+	if want("e6") {
+		ran = true
+		fmt.Println(experiments.FormatE6(experiments.RunE6(world())))
+	}
+	if want("e7") {
+		ran = true
+		fmt.Println(experiments.FormatE7(experiments.RunE7(world(), min(*queries, 30))))
+	}
+	if want("e8") {
+		ran = true
+		fmt.Println(experiments.FormatE8(experiments.RunE8(world(), min(*queries, 30))))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "trinit-bench: unknown experiment %q (use all, e1..e8)\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

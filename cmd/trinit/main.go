@@ -1,0 +1,187 @@
+// Command trinit is an interactive REPL for exploratory querying of an
+// extended knowledge graph.
+//
+// Usage:
+//
+//	trinit [-synthetic] [-people N] [-seed S]
+//
+// Enter triple-pattern queries directly; dot-commands control the session:
+//
+//	.help                      show commands
+//	.stats                     XKG statistics
+//	.rules                     list relaxation rules
+//	.rule <id> <w> <rule...>   add a manual rule, e.g.
+//	                           .rule r9 0.7 ?x affiliation ?y => ?x 'lectured at' ?y
+//	.complete <prefix>         auto-complete a resource or phrase
+//	.explain <n>               explain answer n of the last result
+//	.save <path>               persist the XKG and rules to a .tnt file
+//	.quit                      exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"trinit"
+)
+
+func main() {
+	synthetic := flag.Bool("synthetic", false, "load the synthetic world instead of the paper demo")
+	people := flag.Int("people", 120, "synthetic world size (people)")
+	seed := flag.Int64("seed", 1, "synthetic world seed")
+	load := flag.String("load", "", "load a saved XKG (.tnt file) instead of demo/synthetic data")
+	flag.Parse()
+
+	var engine *trinit.Engine
+	if *load != "" {
+		e, err := trinit.LoadFile(*load, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trinit: %v\n", err)
+			os.Exit(1)
+		}
+		e.Freeze()
+		engine = e
+	} else if *synthetic {
+		cfg := trinit.DefaultSyntheticConfig()
+		cfg.People = *people
+		cfg.Seed = *seed
+		e, _, err := trinit.NewSyntheticEngine(cfg, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trinit: %v\n", err)
+			os.Exit(1)
+		}
+		engine = e
+	} else {
+		engine = trinit.NewDemoEngine()
+	}
+
+	runREPL(engine, os.Stdin, os.Stdout)
+}
+
+// runREPL drives the interactive session; separated from main so the
+// command logic is testable with scripted input.
+func runREPL(engine *trinit.Engine, in io.Reader, out io.Writer) {
+	st := engine.Stats()
+	fmt.Fprintf(out, "TriniT REPL — %d triples (%d KG, %d XKG), %d rules. Type .help for commands.\n",
+		st.Triples, st.KGTriples, st.XKGTriples, st.Rules)
+
+	var last *trinit.Result
+	scanner := bufio.NewScanner(in)
+	fmt.Fprint(out, "trinit> ")
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "":
+		case line == ".quit" || line == ".exit":
+			return
+		case line == ".help":
+			fmt.Fprintln(out, "queries: triple patterns, e.g.  AlbertEinstein affiliation ?x ; ?x member IvyLeague")
+			fmt.Fprintln(out, "commands: .ask <question> .stats .rules .rule <id> <w> <rule> .complete <prefix> .explain <n> .trace .save <path> .quit")
+		case line == ".stats":
+			s := engine.Stats()
+			fmt.Fprintf(out, "triples=%d (KG %d, XKG %d) terms=%d predicates=%d (%d token) rules=%d\n",
+				s.Triples, s.KGTriples, s.XKGTriples, s.Terms, s.Predicates, s.TokenPreds, s.Rules)
+		case line == ".rules":
+			for _, r := range engine.Rules() {
+				fmt.Fprintf(out, "  %-24s %s\n", r.ID, r.Rule)
+			}
+		case strings.HasPrefix(line, ".rule "):
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 {
+				fmt.Fprintln(out, "usage: .rule <id> <weight> <rule>")
+				break
+			}
+			w, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil {
+				fmt.Fprintf(out, "bad weight: %v\n", err)
+				break
+			}
+			if err := engine.AddRule(parts[1], parts[3], w); err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+			} else {
+				fmt.Fprintln(out, "rule added")
+			}
+		case line == ".trace":
+			if last == nil {
+				fmt.Fprintln(out, "no previous result")
+				break
+			}
+			for _, tr := range last.Trace {
+				fmt.Fprintf(out, "  w=%.2f %-24s answers=%d matches=%v rules=%v\n     %s\n",
+					tr.Weight, tr.Status, tr.Answers, tr.PatternMatches, tr.Rules, tr.Query)
+			}
+		case strings.HasPrefix(line, ".ask "):
+			question := strings.TrimSpace(strings.TrimPrefix(line, ".ask"))
+			res, translated, err := engine.Ask(question)
+			if err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+				break
+			}
+			fmt.Fprintf(out, "translated: %s\n", translated)
+			last = res
+			printResult(out, res)
+		case strings.HasPrefix(line, ".save "):
+			path := strings.TrimSpace(strings.TrimPrefix(line, ".save"))
+			if err := engine.SaveFile(path); err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+			} else {
+				fmt.Fprintf(out, "saved XKG and rules to %s\n", path)
+			}
+		case strings.HasPrefix(line, ".complete "):
+			prefix := strings.TrimSpace(strings.TrimPrefix(line, ".complete"))
+			for _, c := range engine.Complete(prefix, 10) {
+				fmt.Fprintf(out, "  %s\n", c.Text)
+			}
+		case strings.HasPrefix(line, ".explain "):
+			if last == nil {
+				fmt.Fprintln(out, "no previous result")
+				break
+			}
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, ".explain")))
+			if err != nil || n < 1 || n > len(last.Answers) {
+				fmt.Fprintf(out, "usage: .explain <1..%d>\n", len(last.Answers))
+				break
+			}
+			fmt.Fprint(out, last.Answers[n-1].Explanation.Text)
+		case strings.HasPrefix(line, "."):
+			fmt.Fprintln(out, "unknown command; try .help")
+		default:
+			res, err := engine.Query(line)
+			if err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+				break
+			}
+			last = res
+			printResult(out, res)
+		}
+		fmt.Fprint(out, "trinit> ")
+	}
+}
+
+func printResult(out io.Writer, res *trinit.Result) {
+	for _, n := range res.Notices {
+		fmt.Fprintf(out, "note: %s\n", n.Message)
+	}
+	for _, s := range res.Suggestions {
+		fmt.Fprintf(out, "suggestion: replace '%s' (%s) with %s (overlap %.2f)\n",
+			s.Token, s.Position, s.Resource, s.Overlap)
+	}
+	if len(res.Answers) == 0 {
+		fmt.Fprintln(out, "no answers")
+		return
+	}
+	for i, a := range res.Answers {
+		var parts []string
+		for v, t := range a.Bindings {
+			parts = append(parts, fmt.Sprintf("?%s = %s", v, t))
+		}
+		fmt.Fprintf(out, "%2d. %-50s score %.4f\n", i+1, strings.Join(parts, ", "), a.Score)
+	}
+	fmt.Fprintf(out, "(%d rewrites considered, %d evaluated, %d accesses; .explain <n> for provenance)\n",
+		res.Metrics.RewritesTotal, res.Metrics.RewritesEvaluated, res.Metrics.SortedAccesses)
+}

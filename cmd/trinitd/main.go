@@ -1,0 +1,63 @@
+// Command trinitd serves the TriniT demo over HTTP (§5 demonstration): a
+// query interface with auto-completion, ranked answers with explanations,
+// and a user-defined relaxation-rule editor.
+//
+// Usage:
+//
+//	trinitd [-addr :8080] [-synthetic] [-people N] [-seed S]
+//
+// By default the server hosts the paper's worked example (Figures 1-4);
+// with -synthetic it generates the synthetic world, builds the XKG from
+// its corpus, and mines relaxation rules.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"trinit"
+	"trinit/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	synthetic := flag.Bool("synthetic", false, "serve the synthetic world instead of the paper demo")
+	people := flag.Int("people", 120, "synthetic world size (people)")
+	seed := flag.Int64("seed", 1, "synthetic world seed")
+	load := flag.String("load", "", "serve a saved XKG (.tnt file) instead of demo/synthetic data")
+	flag.Parse()
+
+	var engine *trinit.Engine
+	if *load != "" {
+		e, err := trinit.LoadFile(*load, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trinitd: %v\n", err)
+			os.Exit(1)
+		}
+		e.Freeze()
+		engine = e
+	} else if *synthetic {
+		cfg := trinit.DefaultSyntheticConfig()
+		cfg.People = *people
+		cfg.Seed = *seed
+		e, _, err := trinit.NewSyntheticEngine(cfg, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trinitd: %v\n", err)
+			os.Exit(1)
+		}
+		engine = e
+	} else {
+		engine = trinit.NewDemoEngine()
+	}
+
+	s := engine.Stats()
+	log.Printf("trinitd: serving XKG with %d triples (%d KG + %d XKG), %d rules on %s",
+		s.Triples, s.KGTriples, s.XKGTriples, s.Rules, *addr)
+	if err := http.ListenAndServe(*addr, server.New(engine)); err != nil {
+		fmt.Fprintf(os.Stderr, "trinitd: %v\n", err)
+		os.Exit(1)
+	}
+}

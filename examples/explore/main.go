@@ -1,0 +1,82 @@
+// Explore: the exploratory-session features of the §5 demo — auto-
+// completion while typing, token → resource query suggestions, structural
+// relaxation notices, and user-defined relaxation rules.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trinit"
+)
+
+func main() {
+	cfg := trinit.DefaultSyntheticConfig()
+	cfg.People = 150
+	engine, _, err := trinit.NewSyntheticEngine(cfg, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Auto-completion guides the user towards meaningful
+	// formulations (§5: "User input is eased by auto-completion").
+	fmt.Println("== auto-completion for the prefix 'North'")
+	for _, c := range engine.Complete("North", 5) {
+		fmt.Printf("   %-30s (weight %.0f)\n", c.Text, c.Weight)
+	}
+
+	// 2. A user types a textual token where a canonical predicate
+	// exists. TriniT answers AND suggests the canonical formulation.
+	q := "?x 'worked at' ?y LIMIT 3"
+	fmt.Printf("\n== token query: %s\n", q)
+	res, err := engine.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, a := range res.Answers {
+		fmt.Printf("   %d. ?x=%s ?y=%s (score %.3f)\n", i+1, a.Bindings["x"], a.Bindings["y"], a.Score)
+	}
+	for _, s := range res.Suggestions {
+		fmt.Printf("   suggestion: replace '%s' (%s) with the KG predicate %s (match overlap %.2f)\n",
+			s.Token, s.Position, s.Resource, s.Overlap)
+	}
+
+	// 3. Structural relaxation notices teach the user the KG's shape
+	// (§5: "the user gradually gains a better understanding of the KG").
+	people := engine.Complete("Alden", 1)
+	if len(people) > 0 {
+		q = people[0].Text + " hasAdvisor ?x"
+		fmt.Printf("\n== mismatched-direction query: %s\n", q)
+		res, err = engine.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(res.Answers) == 0 {
+			fmt.Println("   no answers (this person has no recorded advisor)")
+		}
+		for i, a := range res.Answers {
+			fmt.Printf("   %d. ?x=%s (score %.3f)\n", i+1, a.Bindings["x"], a.Score)
+		}
+		for _, n := range res.Notices {
+			fmt.Printf("   notice: %s\n", n.Message)
+		}
+	}
+
+	// 4. User-defined relaxation rules (§5: "Users can define their own
+	// relaxation rules"): bridge a made-up predicate to corpus phrasing.
+	fmt.Println("\n== user-defined rule: visitedCity => 'visited'")
+	if err := engine.AddRule("user-visited", "?x visitedCity ?y => ?x 'visited' ?y", 0.6); err != nil {
+		log.Fatal(err)
+	}
+	res, err = engine.Query("?x visitedCity ?y LIMIT 3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(res.Answers) == 0 {
+		fmt.Println("   no answers (corpus had no visit sentences)")
+	}
+	for i, a := range res.Answers {
+		fmt.Printf("   %d. ?x=%s ?y=%s (score %.3f)\n", i+1, a.Bindings["x"], a.Bindings["y"], a.Score)
+	}
+	fmt.Println("\nTip: run cmd/trinitd for the browser version of this session.")
+}

@@ -1,0 +1,55 @@
+// QA: natural-language question answering over the extended knowledge
+// graph. The paper plans TriniT as the back-end "for the queries into
+// which user questions are mapped" (§6); this example asks the Figure 2
+// information needs as plain questions, shows the structured query each
+// was translated into, and prints the ranked, explained answers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trinit"
+)
+
+func main() {
+	e := trinit.NewDemoEngine()
+
+	questions := []string{
+		"Who was born in Ulm?",
+		"Who was the advisor of Albert Einstein?",
+		"Who is affiliated with Princeton University?",
+		"What did Einstein win a Nobel prize for?",
+		"Where was Einstein born?",
+		"Where is Ulm located?",
+	}
+	for _, q := range questions {
+		fmt.Printf("Q: %s\n", q)
+		res, translated, err := e.Ask(q)
+		if err != nil {
+			fmt.Printf("   (cannot translate: %v)\n\n", err)
+			continue
+		}
+		fmt.Printf("   query: %s\n", translated)
+		if len(res.Answers) == 0 {
+			fmt.Println("   no answers")
+		}
+		for i, a := range res.Answers {
+			fmt.Printf("   %d. %s  (score %.3f)\n", i+1, a.Bindings["a"], a.Score)
+			if i == 0 && len(a.Explanation.Rules) > 0 {
+				fmt.Printf("      via relaxation %s\n", a.Explanation.Rules[0].ID)
+			}
+		}
+		fmt.Println()
+	}
+
+	// A question that needs a quoted-token fallback: the entity is not
+	// in the KG, so the translator emits a textual token and TriniT's
+	// approximate matching takes over.
+	q := "Who was born in Ruritania?"
+	_, translated, err := e.Ask(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Q: %s\n   query: %s (unknown entity stays a token)\n", q, translated)
+}

@@ -1,0 +1,78 @@
+// Quickstart: build a small extended knowledge graph from scratch with the
+// public API, extend it with text, mine relaxation rules, and query it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trinit"
+)
+
+func main() {
+	e := trinit.New(nil)
+
+	// 1. Load curated KG facts (the Figure 1 style of data).
+	kg := [][3]string{
+		{"AlbertEinstein", "bornIn", "Ulm"},
+		{"Ulm", "locatedIn", "Germany"},
+		{"AlfredKleiner", "hasStudent", "AlbertEinstein"},
+		{"AlbertEinstein", "affiliation", "IAS"},
+		{"PrincetonUniversity", "member", "IvyLeague"},
+	}
+	for _, f := range kg {
+		if err := e.AddKGFact(f[0], f[1], f[2]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := e.AddKGLiteral("AlbertEinstein", "bornOn", "1879-03-14"); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Extend with text: Open IE extracts token triples, the entity
+	// linker grounds the mentions it can (§2).
+	stats, err := e.ExtendFromDocuments([]trinit.Document{
+		{ID: "web-1", Text: "Einstein won a Nobel for his discovery of the photoelectric effect."},
+		{ID: "web-2", Text: "The IAS was housed in Princeton University. Einstein lectured at Princeton University."},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("XKG construction: %d sentences, %d extractions, %d triples added, %d subjects linked\n",
+		stats.Sentences, stats.Extractions, stats.TriplesAdded, stats.LinkedSubjects)
+
+	// 3. Freeze and register relaxation rules (§3): one manual
+	// inversion rule plus whatever can be mined from the XKG.
+	e.Freeze()
+	if err := e.AddRule("advisor-inv", "?x hasAdvisor ?y => ?y hasStudent ?x", 1.0); err != nil {
+		log.Fatal(err)
+	}
+	if err := e.AddRule("affil-housed", "?x affiliation ?y => ?x affiliation ?z ; ?z 'housed in' ?y", 0.8); err != nil {
+		log.Fatal(err)
+	}
+	mined, err := e.MineRules(trinit.DefaultMiningConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registered %d manual + %d mined relaxation rules\n\n", 2, len(mined))
+
+	// 4. Query. All three §1 pain points in one session.
+	for _, q := range []string{
+		"AlbertEinstein hasAdvisor ?x",                                            // wrong direction: relaxation inverts it
+		"AlbertEinstein 'won nobel for' ?x",                                       // no KG predicate: the XKG answers
+		"SELECT ?x WHERE { AlbertEinstein affiliation ?x . ?x member IvyLeague }", // incomplete KG: join via XKG
+	} {
+		res, err := e.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query: %s\n", q)
+		for i, a := range res.Answers {
+			fmt.Printf("  %d. %v  (score %.3f)\n", i+1, a.Bindings, a.Score)
+		}
+		for _, n := range res.Notices {
+			fmt.Printf("  note: %s\n", n.Message)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,119 @@
+package dataset
+
+import (
+	"trinit/internal/rdf"
+	"trinit/internal/relax"
+	"trinit/internal/store"
+)
+
+// DemoQuery is one of the four information needs of Figure 2, with the
+// query formulation attempted by the user and the answer the paper argues
+// the system should produce.
+type DemoQuery struct {
+	// User is "A", "B", "C" or "D".
+	User string
+	// Need is the natural-language information need.
+	Need string
+	// Query is the user's attempted formulation in TriniT syntax. User
+	// D could not formulate a KG query at all; her query uses the
+	// extended token syntax of §2.
+	Query string
+	// Want is the text of the expected top answer binding.
+	Want string
+	// EmptyWithoutRelaxation records whether the raw KG query returns
+	// nothing before relaxation / the XKG extension.
+	EmptyWithoutRelaxation bool
+}
+
+// Demo bundles the paper's running example: the Figure 1 KG, the Figure 3
+// XKG extension, the Figure 4 relaxation rules, and the Figure 2 queries.
+type Demo struct {
+	Store   *store.Store // frozen, KG + XKG
+	Rules   []*relax.Rule
+	Queries []DemoQuery
+}
+
+// NewDemo builds the complete worked example of the paper.
+func NewDemo() *Demo {
+	st := store.New(nil, nil)
+
+	// Figure 1: sample knowledge graph.
+	st.AddKG(rdf.Resource("AlbertEinstein"), rdf.Resource("bornIn"), rdf.Resource("Ulm"))
+	st.AddKG(rdf.Resource("Ulm"), rdf.Resource("locatedIn"), rdf.Resource("Germany"))
+	st.AddFact(rdf.Resource("AlbertEinstein"), rdf.Resource("bornOn"), rdf.Literal("1879-03-14"), rdf.SourceKG, 1, rdf.NoProv)
+	st.AddKG(rdf.Resource("AlfredKleiner"), rdf.Resource("hasStudent"), rdf.Resource("AlbertEinstein"))
+	st.AddKG(rdf.Resource("AlbertEinstein"), rdf.Resource("affiliation"), rdf.Resource("IAS"))
+	st.AddKG(rdf.Resource("PrincetonUniversity"), rdf.Resource("member"), rdf.Resource("IvyLeague"))
+
+	// Type facts backing Figure 4 rule 1's type constraints.
+	st.AddKG(rdf.Resource("Ulm"), rdf.Resource("type"), rdf.Resource("city"))
+	st.AddKG(rdf.Resource("Germany"), rdf.Resource("type"), rdf.Resource("country"))
+
+	// Figure 3: sample knowledge graph extension (XKG), with the §2
+	// provenance sentence for the Nobel triple.
+	prov := st.Prov().Add(rdf.Prov{
+		Doc:      "clueweb09-en0001-02-00017",
+		Sentence: "Einstein won a Nobel for his discovery of the photoelectric effect.",
+	})
+	st.AddFact(rdf.Resource("AlbertEinstein"), rdf.Token("won Nobel for"), rdf.Token("discovery of the photoelectric effect"), rdf.SourceXKG, 0.9, prov)
+	st.AddFact(rdf.Resource("IAS"), rdf.Token("housed in"), rdf.Resource("PrincetonUniversity"), rdf.SourceXKG, 0.8,
+		st.Prov().Add(rdf.Prov{Doc: "clueweb09-en0003-11-00542", Sentence: "The IAS was housed in Princeton."}))
+	st.AddFact(rdf.Resource("AlbertEinstein"), rdf.Token("lectured at"), rdf.Resource("PrincetonUniversity"), rdf.SourceXKG, 0.7,
+		st.Prov().Add(rdf.Prov{Doc: "clueweb09-en0004-07-00231", Sentence: "Einstein lectured at Princeton."}))
+	st.AddFact(rdf.Resource("AlbertEinstein"), rdf.Token("met his teacher"), rdf.Token("Prof. Kleiner"), rdf.SourceXKG, 0.6,
+		st.Prov().Add(rdf.Prov{Doc: "clueweb09-en0005-01-00099", Sentence: "In Zurich, Einstein met his teacher Prof. Kleiner."}))
+	st.Freeze()
+
+	// Figure 4: example relaxation rules, verbatim.
+	rules := []*relax.Rule{
+		relax.MustParseRule("fig4-1",
+			"?x bornIn ?y ; ?y type country => ?x bornIn ?z ; ?z type city ; ?z locatedIn ?y",
+			1.0, "manual"),
+		relax.MustParseRule("fig4-2",
+			"?x hasAdvisor ?y => ?y hasStudent ?x",
+			1.0, "manual"),
+		relax.MustParseRule("fig4-3",
+			"?x affiliation ?y => ?x affiliation ?z ; ?z 'housed in' ?y",
+			0.8, "manual"),
+		relax.MustParseRule("fig4-4",
+			"?x affiliation ?y => ?x 'lectured at' ?y",
+			0.7, "manual"),
+	}
+
+	// Figure 2: questions and queries. User A's query is extended with
+	// the type pattern so that Figure 4 rule 1 (which carries the type
+	// constraint) applies; the paper's discussion makes the same
+	// assumption.
+	queries := []DemoQuery{
+		{
+			User:                   "A",
+			Need:                   "Who was born in Germany?",
+			Query:                  "SELECT ?x WHERE { ?x bornIn Germany . Germany type country }",
+			Want:                   "AlbertEinstein",
+			EmptyWithoutRelaxation: true,
+		},
+		{
+			User:                   "B",
+			Need:                   "Who was the advisor of Albert Einstein?",
+			Query:                  "AlbertEinstein hasAdvisor ?x",
+			Want:                   "AlfredKleiner",
+			EmptyWithoutRelaxation: true,
+		},
+		{
+			User:                   "C",
+			Need:                   "Ivy League university Einstein was affiliated with.",
+			Query:                  "SELECT ?x WHERE { AlbertEinstein affiliation ?x . ?x member IvyLeague }",
+			Want:                   "PrincetonUniversity",
+			EmptyWithoutRelaxation: true,
+		},
+		{
+			User:                   "D",
+			Need:                   "What did Albert Einstein win a Nobel prize for?",
+			Query:                  "AlbertEinstein 'won nobel for' ?x",
+			Want:                   "discovery of the photoelectric effect",
+			EmptyWithoutRelaxation: false, // answered by the XKG directly
+		},
+	}
+
+	return &Demo{Store: st, Rules: rules, Queries: queries}
+}

@@ -1,0 +1,391 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"trinit/internal/rdf"
+	"trinit/internal/store"
+	"trinit/internal/xkg"
+)
+
+// Config parameterises the synthetic world generator. All randomness is
+// derived from Seed; equal configs generate identical worlds.
+type Config struct {
+	Seed         int64
+	People       int
+	Cities       int
+	Countries    int
+	Universities int
+	Fields       int
+	Prizes       int
+	Leagues      int
+
+	// AffiliationKGFraction is the fraction of affiliation facts that
+	// make it into the curated KG; the rest exist only in the corpus —
+	// the paper's incompleteness scenario (user C).
+	AffiliationKGFraction float64
+	// AdvisorFraction is the fraction of people with an advisor. The KG
+	// stores these facts only in hasStudent direction (user B's
+	// vocabulary mismatch).
+	AdvisorFraction float64
+	// PrizeFraction is the fraction of people who won a prize. The
+	// prize itself may be in the KG, but what it was won *for* exists
+	// only in text (user D's missing predicate).
+	PrizeFraction float64
+	// PrizeKGFraction is the fraction of prize wins recorded in the KG.
+	PrizeKGFraction float64
+	// BornSentenceFraction is the fraction of birth facts also
+	// verbalised in the corpus (these drive alignment mining for
+	// bornIn).
+	BornSentenceFraction float64
+	// NoiseFraction adds this many noise sentences per fact sentence.
+	// Web crawls are mostly text unrelated to any KG fact, so large
+	// values are the realistic regime.
+	NoiseFraction float64
+	// ParaphraseBoost emits additional distinct phrasings per fact
+	// (0 or 1 = minimal). Higher values mimic the redundancy of a web
+	// crawl, where the same fact is expressed many different ways, and
+	// drive the XKG/KG triple ratio towards the paper's ~7.8.
+	ParaphraseBoost int
+	// SentencesPerDoc groups corpus sentences into documents.
+	SentencesPerDoc int
+}
+
+// DefaultConfig is the small world used by tests and examples.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                  1,
+		People:                120,
+		Cities:                20,
+		Countries:             5,
+		Universities:          12,
+		Fields:                8,
+		Prizes:                3,
+		Leagues:               2,
+		AffiliationKGFraction: 0.5,
+		AdvisorFraction:       0.4,
+		PrizeFraction:         0.25,
+		PrizeKGFraction:       0.5,
+		BornSentenceFraction:  0.6,
+		NoiseFraction:         0.3,
+		SentencesPerDoc:       8,
+	}
+}
+
+// BenchConfig is the larger world used by the experiment harness; it keeps
+// the paper's roughly 1:7.8 KG-to-extraction triple ratio at laptop scale
+// by boosting paraphrase redundancy and unaligned noise, the regime of a
+// real web crawl.
+func BenchConfig() Config {
+	c := DefaultConfig()
+	c.People = 1200
+	c.Cities = 60
+	c.Countries = 8
+	c.Universities = 40
+	c.Fields = 12
+	c.Prizes = 4
+	c.Leagues = 3
+	c.ParaphraseBoost = 3
+	c.NoiseFraction = 4.0
+	return c
+}
+
+// fact is a string-level triple destined for the KG; literal marks the
+// object as a literal value rather than a resource.
+type fact struct {
+	s, p, o string
+	literal bool
+}
+
+// Truth is the generator's hidden ground truth, from which workload
+// judgments are derived.
+type Truth struct {
+	// BornIn maps person resource → city resource.
+	BornIn map[string]string
+	// CityCountry maps city resource → country resource.
+	CityCountry map[string]string
+	// UniCity maps university resource → host city resource.
+	UniCity map[string]string
+	// UniLeague maps university resource → league resource (if any).
+	UniLeague map[string]string
+	// Advisor maps student resource → advisor resource.
+	Advisor map[string]string
+	// Affiliation maps person resource → university resource (every
+	// person has exactly one).
+	Affiliation map[string]string
+	// AffiliationInKG marks which affiliation facts entered the KG.
+	AffiliationInKG map[string]bool
+	// PrizeOf maps person resource → prize resource for winners.
+	PrizeOf map[string]string
+	// PrizeField maps person resource → the field phrase the prize was
+	// won for (corpus-only knowledge).
+	PrizeField map[string]string
+	// PrizeInKG marks prize wins recorded in the KG.
+	PrizeInKG map[string]bool
+}
+
+// World is a generated synthetic dataset: KG facts, a text corpus, and the
+// ground truth behind both.
+type World struct {
+	Config Config
+	Truth  Truth
+
+	facts []fact
+	docs  []xkg.Document
+
+	people       []string
+	cities       []string
+	countries    []string
+	universities []string
+}
+
+// Docs returns the generated corpus.
+func (w *World) Docs() []xkg.Document { return w.docs }
+
+// KGSize returns the number of KG facts.
+func (w *World) KGSize() int { return len(w.facts) }
+
+// People, Cities, Countries and Universities expose entity resource names.
+func (w *World) People() []string       { return w.people }
+func (w *World) Cities() []string       { return w.cities }
+func (w *World) Countries() []string    { return w.countries }
+func (w *World) Universities() []string { return w.universities }
+
+// PopulateKG adds the world's curated KG facts to a store. Predicates and
+// entities are resources; the store must not be frozen.
+func (w *World) PopulateKG(st *store.Store) {
+	for _, f := range w.facts {
+		if f.literal {
+			st.AddFact(rdf.Resource(f.s), rdf.Resource(f.p), rdf.Literal(f.o), rdf.SourceKG, 1, rdf.NoProv)
+		} else {
+			st.AddKG(rdf.Resource(f.s), rdf.Resource(f.p), rdf.Resource(f.o))
+		}
+	}
+}
+
+// Generate builds a world from the config.
+func Generate(cfg Config) *World {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &World{
+		Config: cfg,
+		Truth: Truth{
+			BornIn:          make(map[string]string),
+			CityCountry:     make(map[string]string),
+			UniCity:         make(map[string]string),
+			UniLeague:       make(map[string]string),
+			Advisor:         make(map[string]string),
+			Affiliation:     make(map[string]string),
+			AffiliationInKG: make(map[string]bool),
+			PrizeOf:         make(map[string]string),
+			PrizeField:      make(map[string]string),
+			PrizeInKG:       make(map[string]bool),
+		},
+	}
+	t := &w.Truth
+
+	addFact := func(s, p, o string) { w.facts = append(w.facts, fact{s: s, p: p, o: o}) }
+	addLiteral := func(s, p, o string) { w.facts = append(w.facts, fact{s: s, p: p, o: o, literal: true}) }
+
+	// Geography.
+	for i := 0; i < cfg.Countries; i++ {
+		c := countryName(i)
+		w.countries = append(w.countries, c)
+		addFact(c, "type", "country")
+	}
+	for i := 0; i < cfg.Cities; i++ {
+		city := cityName(i)
+		country := w.countries[rng.Intn(cfg.Countries)]
+		w.cities = append(w.cities, city)
+		t.CityCountry[city] = country
+		addFact(city, "type", "city")
+		addFact(city, "locatedIn", country)
+	}
+
+	// Universities, hosted in cities, some in leagues.
+	var leagues []string
+	for i := 0; i < cfg.Leagues; i++ {
+		l := leagueName(i)
+		leagues = append(leagues, l)
+		addFact(l, "type", "league")
+	}
+	for i := 0; i < cfg.Universities; i++ {
+		city := w.cities[i%cfg.Cities]
+		uni := universityName(city)
+		if i >= cfg.Cities { // more universities than cities: suffix
+			uni = fmt.Sprintf("%s%d", uni, i/cfg.Cities)
+		}
+		w.universities = append(w.universities, uni)
+		t.UniCity[uni] = city
+		addFact(uni, "type", "university")
+		addFact(uni, "locatedIn", city)
+		if len(leagues) > 0 && rng.Float64() < 0.5 {
+			l := leagues[rng.Intn(len(leagues))]
+			t.UniLeague[uni] = l
+			addFact(uni, "member", l)
+		}
+	}
+
+	// People and their relationships.
+	type sentence struct{ text string }
+	var sents []sentence
+	say := func(format string, args ...any) {
+		sents = append(sents, sentence{fmt.Sprintf(format, args...)})
+	}
+
+	mention := func(i int) string {
+		_, first, last := personNameSpread(i)
+		if rng.Float64() < 0.1 {
+			return last // surname-only mention: realistic ambiguity
+		}
+		return first + " " + last
+	}
+
+	for i := 0; i < cfg.People; i++ {
+		res, _, _ := personNameSpread(i)
+		w.people = append(w.people, res)
+		addFact(res, "type", "scientist")
+
+		// sample emits up to n distinct templates from the list.
+		sample := func(templates []string, n int, args ...any) {
+			if n > len(templates) {
+				n = len(templates)
+			}
+			for _, ti := range rng.Perm(len(templates))[:n] {
+				say(templates[ti], args...)
+			}
+		}
+
+		// Birthplace: always in the KG, as a city (user A's mismatch:
+		// queries by country need the composition relaxation), with a
+		// birth-date literal for FILTER queries.
+		city := w.cities[rng.Intn(cfg.Cities)]
+		t.BornIn[res] = city
+		addFact(res, "bornIn", city)
+		addLiteral(res, "bornOn", fmt.Sprintf("%04d-%02d-%02d",
+			1850+rng.Intn(100), 1+rng.Intn(12), 1+rng.Intn(28)))
+		if rng.Float64() < cfg.BornSentenceFraction {
+			bornTemplates := []string{"%s was born in %s.", "%s grew up in %s.", "%s was raised in %s."}
+			sample(bornTemplates, 1+cfg.ParaphraseBoost/2, mention(i), city)
+		}
+
+		// Affiliation: exactly one university; only a fraction makes
+		// it into the KG, the rest is corpus-only (incompleteness).
+		uni := w.universities[rng.Intn(cfg.Universities)]
+		t.Affiliation[res] = uni
+		inKG := rng.Float64() < cfg.AffiliationKGFraction
+		t.AffiliationInKG[res] = inKG
+		if inKG {
+			addFact(res, "affiliation", uni)
+		}
+		uniMention := universityMention(strings.TrimSuffix(uni, "University"))
+		affilTemplates := []string{"%s worked at %s.", "%s lectured at %s.", "%s taught at %s.", "%s joined %s."}
+		nAffil := 1
+		if rng.Float64() < 0.5 {
+			nAffil = 2
+		}
+		sample(affilTemplates, nAffil+cfg.ParaphraseBoost, mention(i), uniMention)
+
+		// Advisor: stored in the KG only as hasStudent (user B's
+		// direction mismatch), verbalised both ways in the corpus.
+		if i > 0 && rng.Float64() < cfg.AdvisorFraction {
+			advIdx := rng.Intn(i)
+			adv := w.people[advIdx]
+			t.Advisor[res] = adv
+			addFact(adv, "hasStudent", res)
+			if rng.Float64() < 0.5 {
+				say("%s advised %s.", mention(advIdx), mention(i))
+			} else {
+				say("%s studied under %s.", mention(i), mention(advIdx))
+			}
+			if cfg.ParaphraseBoost > 0 {
+				say("%s supervised %s.", mention(advIdx), mention(i))
+				if cfg.ParaphraseBoost > 1 {
+					say("%s was the advisor of %s.", mention(advIdx), mention(i))
+				}
+			}
+		}
+
+		// Prizes: what the prize was won for exists only in text
+		// (user D's missing predicate).
+		if rng.Float64() < cfg.PrizeFraction {
+			pi := rng.Intn(cfg.Prizes)
+			prize := prizeName(pi)
+			field := fieldPhrase(rng.Intn(cfg.Fields))
+			t.PrizeOf[res] = prize
+			t.PrizeField[res] = field
+			if rng.Float64() < cfg.PrizeKGFraction {
+				t.PrizeInKG[res] = true
+				addFact(res, "hasWonPrize", prize)
+			}
+			say("%s won the %s for %s.", mention(i), prizeMention(pi), field)
+			if rng.Float64() < 0.3 {
+				say("%s received the %s.", mention(i), prizeMention(pi))
+			}
+			if cfg.ParaphraseBoost > 0 {
+				say("%s was awarded the %s.", mention(i), prizeMention(pi))
+			}
+		}
+	}
+
+	// Noise sentences: plausible but irrelevant statements that the
+	// extractor will happily turn into token triples. In a web crawl,
+	// these dominate — the paper's XKG has ~7.8x more extracted triples
+	// than KG facts.
+	nNoise := int(cfg.NoiseFraction * float64(len(sents)))
+	for i := 0; i < nNoise; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			say("%s visited %s.", mention(rng.Intn(cfg.People)), w.cities[rng.Intn(cfg.Cities)])
+		case 1:
+			say("%s published a paper on %s.", mention(rng.Intn(cfg.People)), fieldPhrase(rng.Intn(cfg.Fields)))
+		case 2:
+			say("%s traveled to %s.", mention(rng.Intn(cfg.People)), w.cities[rng.Intn(cfg.Cities)])
+		case 3:
+			say("%s wrote about %s.", mention(rng.Intn(cfg.People)), fieldPhrase(rng.Intn(cfg.Fields)))
+		case 4:
+			say("%s collaborated with %s.", mention(rng.Intn(cfg.People)), mention(rng.Intn(cfg.People)))
+		default:
+			a, b := rng.Intn(cfg.People), rng.Intn(cfg.People)
+			say("%s met %s.", mention(a), mention(b))
+		}
+	}
+
+	// Shuffle sentences and group them into documents.
+	rng.Shuffle(len(sents), func(i, j int) { sents[i], sents[j] = sents[j], sents[i] })
+	per := cfg.SentencesPerDoc
+	if per <= 0 {
+		per = 8
+	}
+	for start := 0; start < len(sents); start += per {
+		end := start + per
+		if end > len(sents) {
+			end = len(sents)
+		}
+		var b strings.Builder
+		for _, s := range sents[start:end] {
+			b.WriteString(s.text)
+			b.WriteByte(' ')
+		}
+		w.docs = append(w.docs, xkg.Document{
+			ID:   fmt.Sprintf("web-%04d", len(w.docs)),
+			Text: strings.TrimSpace(b.String()),
+		})
+	}
+	return w
+}
+
+// personNameSpread is personName with surnames spread diagonally so that
+// surname ambiguity is distributed rather than clustered on the first
+// cohort of people.
+func personNameSpread(i int) (resource, first, last string) {
+	first = firstNames[i%len(firstNames)]
+	last = lastNames[(i+i/len(firstNames))%len(lastNames)]
+	resource = first + last
+	if n := i / (len(firstNames) * len(lastNames)); n > 0 {
+		resource = fmt.Sprintf("%s%s%d", first, last, n)
+		last = fmt.Sprintf("%s%d", last, n)
+	}
+	return resource, first, last
+}

@@ -1,0 +1,230 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"trinit/internal/eval"
+)
+
+// WorkloadQuery is one evaluation query with graded relevance judgments,
+// mirroring the 70 entity-relationship queries of the paper's evaluation
+// (§4). Judgments are keyed by the surface text of the projected
+// variable's binding.
+type WorkloadQuery struct {
+	ID       string
+	Category string
+	// Text is the query in TriniT syntax.
+	Text string
+	// Var is the projected variable whose binding is judged.
+	Var string
+	// Judgments grade the relevant answers (3 = curated fact, 2 =
+	// corpus-only fact).
+	Judgments eval.Judgments
+}
+
+// Workload derives n queries (default and paper value: 70) from the
+// world's ground truth. The mix mirrors the paper's pain points: queries
+// needing structural relaxation (born-in-country), predicate inversion
+// (advisor), XKG facts (hidden affiliations, prize fields), and
+// join-intensive queries (§5: "TriniT is specifically geared for these
+// join-intensive queries").
+func (w *World) Workload(n int) []WorkloadQuery {
+	if n <= 0 {
+		n = 70
+	}
+	rng := rand.New(rand.NewSource(w.Config.Seed + 1000))
+	t := &w.Truth
+
+	// Quotas proportional to the default 70-query mix.
+	quota := map[string]int{
+		"born":        n * 12 / 70,
+		"advisor":     n * 12 / 70,
+		"affiliation": n * 16 / 70,
+		"prize":       n * 10 / 70,
+		"cityjoin":    n * 10 / 70,
+		"leaguejoin":  n * 10 / 70,
+	}
+	used := 0
+	for _, q := range quota {
+		used += q
+	}
+	quota["affiliation"] += n - used // remainder
+
+	// Candidate targets per category, deterministically shuffled.
+	bornCountries := w.countriesWithBirths()
+	students := sortedKeys(t.Advisor)
+	unis := w.universitiesWithAffiliates()
+	winners := sortedKeys(t.PrizeField)
+	cities := w.citiesWithAffiliatedUnis()
+	leagues := w.leaguesWithAffiliatedUnis()
+	for _, s := range [][]string{bornCountries, students, unis, winners, cities, leagues} {
+		rng.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	}
+
+	var out []WorkloadQuery
+	emit := func(cat string, i int, text, v string, j eval.Judgments) {
+		out = append(out, WorkloadQuery{
+			ID:        fmt.Sprintf("%s-%02d", cat, i+1),
+			Category:  cat,
+			Text:      text,
+			Var:       v,
+			Judgments: j,
+		})
+	}
+
+	pick := func(list []string, i int) (string, bool) {
+		if len(list) == 0 {
+			return "", false
+		}
+		return list[i%len(list)], true
+	}
+
+	for i := 0; i < quota["born"]; i++ {
+		country, ok := pick(bornCountries, i)
+		if !ok {
+			break
+		}
+		j := eval.Judgments{}
+		for p, city := range t.BornIn {
+			if t.CityCountry[city] == country {
+				j[p] = 3
+			}
+		}
+		emit("born", i, fmt.Sprintf("?x bornIn %s", country), "x", j)
+	}
+
+	for i := 0; i < quota["advisor"]; i++ {
+		student, ok := pick(students, i)
+		if !ok {
+			break
+		}
+		emit("advisor", i, fmt.Sprintf("%s hasAdvisor ?x", student), "x",
+			eval.Judgments{t.Advisor[student]: 3})
+	}
+
+	for i := 0; i < quota["affiliation"]; i++ {
+		uni, ok := pick(unis, i)
+		if !ok {
+			break
+		}
+		j := eval.Judgments{}
+		for p, u := range t.Affiliation {
+			if u != uni {
+				continue
+			}
+			if t.AffiliationInKG[p] {
+				j[p] = 3
+			} else {
+				j[p] = 2
+			}
+		}
+		emit("affiliation", i, fmt.Sprintf("?x affiliation %s", uni), "x", j)
+	}
+
+	for i := 0; i < quota["prize"]; i++ {
+		person, ok := pick(winners, i)
+		if !ok {
+			break
+		}
+		emit("prize", i, fmt.Sprintf("%s 'won prize for' ?x", person), "x",
+			eval.Judgments{t.PrizeField[person]: 3})
+	}
+
+	for i := 0; i < quota["cityjoin"]; i++ {
+		city, ok := pick(cities, i)
+		if !ok {
+			break
+		}
+		j := eval.Judgments{}
+		for p, u := range t.Affiliation {
+			if t.UniCity[u] != city {
+				continue
+			}
+			if t.AffiliationInKG[p] {
+				j[p] = 3
+			} else {
+				j[p] = 2
+			}
+		}
+		emit("cityjoin", i,
+			fmt.Sprintf("SELECT ?x WHERE { ?x affiliation ?u . ?u locatedIn %s }", city), "x", j)
+	}
+
+	for i := 0; i < quota["leaguejoin"]; i++ {
+		league, ok := pick(leagues, i)
+		if !ok {
+			break
+		}
+		j := eval.Judgments{}
+		for p, u := range t.Affiliation {
+			if t.UniLeague[u] != league {
+				continue
+			}
+			if t.AffiliationInKG[p] {
+				j[p] = 3
+			} else {
+				j[p] = 2
+			}
+		}
+		emit("leaguejoin", i,
+			fmt.Sprintf("SELECT ?x WHERE { ?x affiliation ?u . ?u member %s }", league), "x", j)
+	}
+
+	return out
+}
+
+func (w *World) countriesWithBirths() []string {
+	has := make(map[string]bool)
+	for _, city := range w.Truth.BornIn {
+		has[w.Truth.CityCountry[city]] = true
+	}
+	return sortedSet(has)
+}
+
+func (w *World) universitiesWithAffiliates() []string {
+	has := make(map[string]bool)
+	for _, u := range w.Truth.Affiliation {
+		has[u] = true
+	}
+	return sortedSet(has)
+}
+
+func (w *World) citiesWithAffiliatedUnis() []string {
+	has := make(map[string]bool)
+	for _, u := range w.Truth.Affiliation {
+		if c, ok := w.Truth.UniCity[u]; ok {
+			has[c] = true
+		}
+	}
+	return sortedSet(has)
+}
+
+func (w *World) leaguesWithAffiliatedUnis() []string {
+	has := make(map[string]bool)
+	for _, u := range w.Truth.Affiliation {
+		if l, ok := w.Truth.UniLeague[u]; ok {
+			has[l] = true
+		}
+	}
+	return sortedSet(has)
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedSet(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

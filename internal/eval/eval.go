@@ -1,0 +1,161 @@
+// Package eval provides the retrieval-effectiveness metrics used in the
+// paper's evaluation (§4 reports NDCG at rank 5 over 70 entity-relationship
+// queries), plus companions (precision, MAP, MRR) for the experiment
+// harness.
+package eval
+
+import (
+	"math"
+	"sort"
+)
+
+// Judgments holds graded relevance assessments for one query, keyed by the
+// answer's canonical text (e.g. the bound entity's label). Grades are
+// non-negative; 0 means irrelevant.
+type Judgments map[string]float64
+
+// Grade returns the grade of an answer (0 when unjudged; the standard
+// assumption that unjudged answers are irrelevant).
+func (j Judgments) Grade(answer string) float64 { return j[answer] }
+
+// NumRelevant counts answers with a positive grade.
+func (j Judgments) NumRelevant() int {
+	n := 0
+	for _, g := range j {
+		if g > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// DCG computes the discounted cumulative gain of a ranked grade list at
+// cutoff k, using the standard exponential gain (2^g − 1) / log2(i + 2).
+func DCG(grades []float64, k int) float64 {
+	if k > len(grades) {
+		k = len(grades)
+	}
+	sum := 0.0
+	for i := 0; i < k; i++ {
+		sum += (math.Exp2(grades[i]) - 1) / math.Log2(float64(i)+2)
+	}
+	return sum
+}
+
+// IdealDCG computes the maximum achievable DCG@k for a judgment set.
+func IdealDCG(j Judgments, k int) float64 {
+	grades := make([]float64, 0, len(j))
+	for _, g := range j {
+		if g > 0 {
+			grades = append(grades, g)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(grades)))
+	return DCG(grades, k)
+}
+
+// NDCG computes the normalised DCG@k of a ranked answer list against the
+// judgments. Queries with no relevant answers score 0.
+func NDCG(ranked []string, j Judgments, k int) float64 {
+	ideal := IdealDCG(j, k)
+	if ideal == 0 {
+		return 0
+	}
+	grades := make([]float64, len(ranked))
+	for i, a := range ranked {
+		grades[i] = j.Grade(a)
+	}
+	return DCG(grades, k) / ideal
+}
+
+// PrecisionAt computes P@k with binary relevance (grade > 0).
+func PrecisionAt(ranked []string, j Judgments, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	// Per IR convention the denominator stays k even when fewer than k
+	// answers were returned: missing answers count as misses.
+	hits := 0
+	for i := 0; i < len(ranked) && i < k; i++ {
+		if j.Grade(ranked[i]) > 0 {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// AveragePrecision computes AP over the full ranking with binary relevance.
+func AveragePrecision(ranked []string, j Judgments) float64 {
+	rel := j.NumRelevant()
+	if rel == 0 {
+		return 0
+	}
+	hits := 0
+	sum := 0.0
+	for i, a := range ranked {
+		if j.Grade(a) > 0 {
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	return sum / float64(rel)
+}
+
+// MRR computes the reciprocal rank of the first relevant answer.
+func MRR(ranked []string, j Judgments) float64 {
+	for i, a := range ranked {
+		if j.Grade(a) > 0 {
+			return 1 / float64(i+1)
+		}
+	}
+	return 0
+}
+
+// Mean averages a slice of per-query metric values; empty input gives 0.
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+// QueryResult pairs one query's ranked answers with its judgments.
+type QueryResult struct {
+	ID     string
+	Ranked []string
+	Judged Judgments
+}
+
+// Report aggregates the standard metric set over a batch of queries.
+type Report struct {
+	Queries int
+	NDCG5   float64
+	NDCG10  float64
+	P5      float64
+	MAP     float64
+	MRR     float64
+}
+
+// Evaluate computes the aggregate report for a batch of query results.
+func Evaluate(results []QueryResult) Report {
+	var ndcg5, ndcg10, p5, ap, mrr []float64
+	for _, r := range results {
+		ndcg5 = append(ndcg5, NDCG(r.Ranked, r.Judged, 5))
+		ndcg10 = append(ndcg10, NDCG(r.Ranked, r.Judged, 10))
+		p5 = append(p5, PrecisionAt(r.Ranked, r.Judged, 5))
+		ap = append(ap, AveragePrecision(r.Ranked, r.Judged))
+		mrr = append(mrr, MRR(r.Ranked, r.Judged))
+	}
+	return Report{
+		Queries: len(results),
+		NDCG5:   Mean(ndcg5),
+		NDCG10:  Mean(ndcg10),
+		P5:      Mean(p5),
+		MAP:     Mean(ap),
+		MRR:     Mean(mrr),
+	}
+}

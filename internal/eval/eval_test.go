@@ -1,0 +1,176 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestDCG(t *testing.T) {
+	// DCG@2 of grades [3, 1] = (2^3-1)/log2(2) + (2^1-1)/log2(3).
+	want := 7.0/1.0 + 1.0/math.Log2(3)
+	if got := DCG([]float64{3, 1}, 2); !almostEqual(got, want) {
+		t.Errorf("DCG = %v, want %v", got, want)
+	}
+	if got := DCG([]float64{3, 1}, 5); !almostEqual(got, want) {
+		t.Errorf("DCG with k beyond list = %v, want %v", got, want)
+	}
+	if got := DCG(nil, 5); got != 0 {
+		t.Errorf("DCG(empty) = %v", got)
+	}
+}
+
+func TestNDCGPerfectRanking(t *testing.T) {
+	j := Judgments{"a": 3, "b": 2, "c": 1}
+	if got := NDCG([]string{"a", "b", "c"}, j, 5); !almostEqual(got, 1) {
+		t.Errorf("perfect NDCG = %v, want 1", got)
+	}
+}
+
+func TestNDCGWorseRankingScoresLower(t *testing.T) {
+	j := Judgments{"a": 3, "b": 1}
+	good := NDCG([]string{"a", "b"}, j, 5)
+	bad := NDCG([]string{"b", "a"}, j, 5)
+	if bad >= good {
+		t.Errorf("swapped ranking NDCG %v >= correct %v", bad, good)
+	}
+	if bad <= 0 || good != 1 {
+		t.Errorf("NDCG values: good %v bad %v", good, bad)
+	}
+}
+
+func TestNDCGIrrelevantAnswers(t *testing.T) {
+	j := Judgments{"a": 2}
+	if got := NDCG([]string{"x", "y"}, j, 5); got != 0 {
+		t.Errorf("all-irrelevant NDCG = %v", got)
+	}
+	if got := NDCG(nil, j, 5); got != 0 {
+		t.Errorf("empty ranking NDCG = %v", got)
+	}
+	// No relevant answers at all: define as 0.
+	if got := NDCG([]string{"a"}, Judgments{}, 5); got != 0 {
+		t.Errorf("no-judgment NDCG = %v", got)
+	}
+}
+
+func TestNDCGCutoff(t *testing.T) {
+	j := Judgments{"a": 3}
+	// The relevant answer at rank 6 does not count for NDCG@5.
+	ranked := []string{"x1", "x2", "x3", "x4", "x5", "a"}
+	if got := NDCG(ranked, j, 5); got != 0 {
+		t.Errorf("NDCG@5 with hit at rank 6 = %v", got)
+	}
+	if got := NDCG(ranked, j, 6); got <= 0 {
+		t.Errorf("NDCG@6 with hit at rank 6 = %v", got)
+	}
+}
+
+// Property: NDCG is always in [0, 1] and invariant to adding irrelevant
+// trailing answers beyond the cutoff.
+func TestNDCGBoundsProperty(t *testing.T) {
+	gen := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		j := Judgments{}
+		n := 1 + gen.Intn(8)
+		pool := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+		for k := 0; k < n; k++ {
+			j[pool[k]] = float64(gen.Intn(4))
+		}
+		perm := gen.Perm(len(pool))
+		ranked := make([]string, len(pool))
+		for k, p := range perm {
+			ranked[k] = pool[p]
+		}
+		got := NDCG(ranked, j, 5)
+		if got < 0 || got > 1+1e-12 {
+			t.Fatalf("NDCG out of bounds: %v (judgments %v, ranked %v)", got, j, ranked)
+		}
+		extended := append(append([]string{}, ranked...), "zzz")
+		if !almostEqual(got, NDCG(extended, j, 5)) {
+			t.Fatal("NDCG changed by trailing answer beyond cutoff")
+		}
+	}
+}
+
+func TestPrecisionAt(t *testing.T) {
+	j := Judgments{"a": 1, "b": 2}
+	if got := PrecisionAt([]string{"a", "x", "b"}, j, 3); !almostEqual(got, 2.0/3.0) {
+		t.Errorf("P@3 = %v", got)
+	}
+	// Fewer answers than k: denominator stays k.
+	if got := PrecisionAt([]string{"a"}, j, 5); !almostEqual(got, 0.2) {
+		t.Errorf("P@5 with 1 answer = %v", got)
+	}
+	if got := PrecisionAt(nil, j, 0); got != 0 {
+		t.Errorf("P@0 = %v", got)
+	}
+}
+
+func TestAveragePrecision(t *testing.T) {
+	j := Judgments{"a": 1, "b": 1}
+	// Hits at ranks 1 and 3: AP = (1/1 + 2/3) / 2.
+	want := (1.0 + 2.0/3.0) / 2
+	if got := AveragePrecision([]string{"a", "x", "b"}, j); !almostEqual(got, want) {
+		t.Errorf("AP = %v, want %v", got, want)
+	}
+	if got := AveragePrecision([]string{"x"}, Judgments{}); got != 0 {
+		t.Errorf("AP with no relevant = %v", got)
+	}
+}
+
+func TestMRR(t *testing.T) {
+	j := Judgments{"a": 1}
+	if got := MRR([]string{"x", "a"}, j); !almostEqual(got, 0.5) {
+		t.Errorf("MRR = %v", got)
+	}
+	if got := MRR([]string{"x", "y"}, j); got != 0 {
+		t.Errorf("MRR no hit = %v", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); !almostEqual(got, 2) {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+}
+
+func TestJudgments(t *testing.T) {
+	j := Judgments{"a": 2, "b": 0, "c": 1}
+	if j.NumRelevant() != 2 {
+		t.Errorf("NumRelevant = %d", j.NumRelevant())
+	}
+	if j.Grade("missing") != 0 {
+		t.Error("unjudged answer must grade 0")
+	}
+}
+
+func TestEvaluateAggregates(t *testing.T) {
+	results := []QueryResult{
+		{ID: "q1", Ranked: []string{"a"}, Judged: Judgments{"a": 3}},
+		{ID: "q2", Ranked: []string{"x"}, Judged: Judgments{"a": 3}},
+	}
+	r := Evaluate(results)
+	if r.Queries != 2 {
+		t.Fatalf("Queries = %d", r.Queries)
+	}
+	// q1 is perfect (1.0), q2 is zero: mean 0.5 for NDCG5 and MRR.
+	if !almostEqual(r.NDCG5, 0.5) || !almostEqual(r.MRR, 0.5) {
+		t.Errorf("report = %+v", r)
+	}
+	if !almostEqual(r.P5, 0.1) { // (1/5 + 0)/2
+		t.Errorf("P5 = %v", r.P5)
+	}
+}
+
+func TestIdealDCGIgnoresZeroGrades(t *testing.T) {
+	j := Judgments{"a": 0, "b": 2}
+	want := DCG([]float64{2}, 5)
+	if got := IdealDCG(j, 5); !almostEqual(got, want) {
+		t.Errorf("IdealDCG = %v, want %v", got, want)
+	}
+}

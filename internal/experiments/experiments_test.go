@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"trinit/internal/dataset"
+)
+
+func smallWorld() *dataset.World {
+	cfg := dataset.DefaultConfig()
+	cfg.People = 60
+	return dataset.Generate(cfg)
+}
+
+func TestE1SystemOrdering(t *testing.T) {
+	w := smallWorld()
+	rows := RunE1(w, 30, 10)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := make(map[string]E1Row)
+	for _, r := range rows {
+		byName[r.System] = r
+		if r.NDCG5 < 0 || r.NDCG5 > 1 {
+			t.Fatalf("%s: NDCG5 = %v", r.System, r.NDCG5)
+		}
+	}
+	full := byName["TriniT (XKG + relaxation)"]
+	base := byName["KG-only exact match (baseline)"]
+	noXKG := byName["TriniT w/o XKG (KG + relaxation)"]
+	noRelax := byName["TriniT w/o relaxation (XKG only)"]
+
+	// The paper's headline shape: the full system clearly beats the
+	// baseline (0.775 vs 0.419 — a ~1.85x gap), and each ablation falls
+	// between them.
+	if full.NDCG5 <= base.NDCG5 {
+		t.Fatalf("full (%v) does not beat baseline (%v)", full.NDCG5, base.NDCG5)
+	}
+	if full.NDCG5 < 1.5*base.NDCG5 {
+		t.Errorf("gap too small: full %v vs baseline %v (want >= 1.5x)", full.NDCG5, base.NDCG5)
+	}
+	if noXKG.NDCG5 > full.NDCG5+1e-9 || noRelax.NDCG5 > full.NDCG5+1e-9 {
+		t.Errorf("an ablation beats the full system: full=%v noXKG=%v noRelax=%v",
+			full.NDCG5, noXKG.NDCG5, noRelax.NDCG5)
+	}
+	if noXKG.NDCG5 < base.NDCG5-1e-9 || noRelax.NDCG5 < base.NDCG5-1e-9 {
+		t.Errorf("an ablation is worse than the baseline: base=%v noXKG=%v noRelax=%v",
+			base.NDCG5, noXKG.NDCG5, noRelax.NDCG5)
+	}
+	if !strings.Contains(FormatE1(rows), "NDCG@5") {
+		t.Error("FormatE1 missing header")
+	}
+}
+
+func TestE1CategoryDiagnostics(t *testing.T) {
+	w := smallWorld()
+	rows := RunE1(w, 30, 10)
+	full := rows[0]
+	base := rows[3]
+	// Born-in-country and advisor queries need relaxation: the baseline
+	// must score 0 on them; the full system must not.
+	for _, cat := range []string{"born", "advisor"} {
+		if base.PerCategory[cat] != 0 {
+			t.Errorf("baseline NDCG on %s = %v, want 0", cat, base.PerCategory[cat])
+		}
+		if full.PerCategory[cat] == 0 {
+			t.Errorf("full system NDCG on %s = 0", cat)
+		}
+	}
+	// Prize queries need the XKG.
+	if base.PerCategory["prize"] != 0 {
+		t.Errorf("baseline NDCG on prize = %v, want 0", base.PerCategory["prize"])
+	}
+	if full.PerCategory["prize"] == 0 {
+		t.Error("full system NDCG on prize = 0")
+	}
+}
+
+func TestE2MinedRuleInventory(t *testing.T) {
+	w := smallWorld()
+	res := RunE2(w)
+	if res.TotalMined == 0 {
+		t.Fatal("no rules mined")
+	}
+	if len(res.Alignment) == 0 {
+		t.Error("no alignment rules")
+	}
+	if res.KGToXKG == 0 {
+		t.Error("no KG<->XKG bridge rules (Figure 4 rules 3/4 analogues)")
+	}
+	if len(res.Composition) == 0 {
+		t.Error("no composition rules (Figure 4 rule 1 analogue)")
+	}
+	// Sweep must be monotone: higher support, fewer rules.
+	for i := 1; i < len(res.SupportSweep); i++ {
+		if res.SupportSweep[i].Rules > res.SupportSweep[i-1].Rules {
+			t.Errorf("support sweep not monotone: %+v", res.SupportSweep)
+		}
+	}
+	out := FormatE2(res, 5)
+	if !strings.Contains(out, "alignment") || !strings.Contains(out, "composition") {
+		t.Errorf("FormatE2 = %q", out)
+	}
+}
+
+func TestE3AllUsersCorrect(t *testing.T) {
+	rows := RunE3()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Correct {
+			t.Errorf("user %s: top answer %q, want %q", r.User, r.TopAnswer, r.ExpectedAnswer)
+		}
+		if r.User != "D" && r.AnswersBefore != 0 {
+			t.Errorf("user %s: %d answers before relaxation, want 0", r.User, r.AnswersBefore)
+		}
+		if r.AnswersAfter == 0 {
+			t.Errorf("user %s: no answers after relaxation", r.User)
+		}
+	}
+	// User D's query is answered directly by the XKG without rules.
+	if rows[3].User != "D" || rows[3].AnswersBefore == 0 {
+		t.Errorf("user D row = %+v", rows[3])
+	}
+	if !strings.Contains(FormatE3(rows), "OK") {
+		t.Error("FormatE3 lacks status")
+	}
+}
+
+func TestE4Statistics(t *testing.T) {
+	w := smallWorld()
+	r := RunE4(w)
+	if r.Stats.KGTriples == 0 || r.Stats.XKGTriples == 0 {
+		t.Fatalf("stats = %+v", r.Stats)
+	}
+	if r.Ratio <= 0 {
+		t.Fatalf("ratio = %v", r.Ratio)
+	}
+	if r.Pipeline.Extractions < r.Pipeline.Kept {
+		t.Fatalf("pipeline stats inconsistent: %+v", r.Pipeline)
+	}
+	if !strings.Contains(FormatE4(r), "XKG/KG ratio") {
+		t.Error("FormatE4 missing ratio")
+	}
+}
+
+func TestE5IncrementalCheaper(t *testing.T) {
+	w := smallWorld()
+	rows := RunE5(w, 12, []int{1, 5})
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Pair up incremental and exhaustive per k.
+	byKey := make(map[string]E5Row)
+	for _, r := range rows {
+		byKey[r.Mode+string(rune('0'+r.K))] = r
+	}
+	for _, k := range []int{1, 5} {
+		inc := byKey["incremental"+string(rune('0'+k))]
+		exh := byKey["exhaustive"+string(rune('0'+k))]
+		if inc.MeanAccesses > exh.MeanAccesses {
+			t.Errorf("k=%d: incremental accesses %v > exhaustive %v", k, inc.MeanAccesses, exh.MeanAccesses)
+		}
+		if inc.MeanRewritesEval > exh.MeanRewritesEval {
+			t.Errorf("k=%d: incremental evaluated more rewrites", k)
+		}
+	}
+	if !strings.Contains(FormatE5(rows), "sorted.acc") {
+		t.Error("FormatE5 missing header")
+	}
+}
+
+func TestE6SuggestionQuality(t *testing.T) {
+	w := smallWorld()
+	r := RunE6(w)
+	if r.TokenQueries == 0 {
+		t.Fatal("no token queries checked")
+	}
+	if r.CorrectSuggestions == 0 {
+		t.Error("no correct canonical suggestions")
+	}
+	if r.CompletionChecks == 0 || r.CompletionHits < r.CompletionChecks {
+		t.Errorf("completion: %d/%d", r.CompletionHits, r.CompletionChecks)
+	}
+	if !strings.Contains(FormatE6(r), "auto-completion") {
+		t.Error("FormatE6 missing header")
+	}
+}
+
+func TestE7RuleSourceAblation(t *testing.T) {
+	w := smallWorld()
+	rows := RunE7(w, 20)
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Config != "none (exact match)" || rows[0].Rules != 0 {
+		t.Fatalf("first row = %+v", rows[0])
+	}
+	// Rule counts are cumulative and NDCG must never be hurt badly by
+	// adding the core sources (manual, alignment, composition).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Rules < rows[i-1].Rules {
+			t.Errorf("rule counts not cumulative: %+v", rows)
+		}
+	}
+	if rows[3].NDCG5 <= rows[0].NDCG5 {
+		t.Errorf("core rule sources did not improve NDCG: %v vs %v", rows[3].NDCG5, rows[0].NDCG5)
+	}
+	if !strings.Contains(FormatE7(rows), "rule sources") {
+		t.Error("FormatE7 missing header")
+	}
+}
+
+func TestE8ScoringAblation(t *testing.T) {
+	w := smallWorld()
+	rows := RunE8(w, 20)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.NDCG5 < 0 || r.NDCG5 > 1 {
+			t.Errorf("%s: NDCG = %v", r.Config, r.NDCG5)
+		}
+	}
+	// The ablation is a report, not a contest with a fixed winner; but
+	// full scoring must stay competitive (within 10% of the best
+	// config) — a collapse would indicate a scoring bug rather than a
+	// modelling trade-off.
+	best := 0.0
+	for _, r := range rows {
+		if r.NDCG5 > best {
+			best = r.NDCG5
+		}
+	}
+	if rows[0].NDCG5 < 0.9*best {
+		t.Errorf("full scoring (%v) collapsed vs best config (%v)", rows[0].NDCG5, best)
+	}
+	if !strings.Contains(FormatE8(rows), "scoring") {
+		t.Error("FormatE8 missing header")
+	}
+}
+
+func TestE5DepthSweep(t *testing.T) {
+	w := smallWorld()
+	rows := RunE5Depth(w, 10, []int{0, 1, 2})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Depth 0 = original query only.
+	if rows[0].MeanRewrites != 1 {
+		t.Fatalf("depth-0 rewrites = %v, want 1", rows[0].MeanRewrites)
+	}
+	// Rewrite space must grow with depth; NDCG must not decrease from
+	// depth 0 to the engine default depth.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MeanRewrites < rows[i-1].MeanRewrites {
+			t.Errorf("rewrite space shrank with depth: %+v", rows)
+		}
+	}
+	if rows[2].NDCG5 < rows[0].NDCG5 {
+		t.Errorf("relaxation hurt NDCG: %+v", rows)
+	}
+	if !strings.Contains(FormatE5Depth(rows), "maxDepth") {
+		t.Error("FormatE5Depth missing header")
+	}
+}

@@ -1,0 +1,140 @@
+// Package explain produces answer explanations (§5): for each answer, the
+// KG triples that contributed, the XKG triples that contributed together
+// with their provenance, and the relaxation rules that were invoked. This
+// is the information behind the demo's answer-explanation interface
+// (Figure 6), and it doubles as a way for users to learn the KG's schema
+// and its shortcomings.
+package explain
+
+import (
+	"fmt"
+	"strings"
+
+	"trinit/internal/query"
+	"trinit/internal/rdf"
+	"trinit/internal/store"
+	"trinit/internal/topk"
+)
+
+// TripleInfo describes one contributing triple.
+type TripleInfo struct {
+	// Text is the rendered triple.
+	Text string
+	// Pattern is the rewritten-query pattern the triple matched.
+	Pattern string
+	// Source is KG or XKG.
+	Source rdf.Source
+	// Conf is the triple's confidence.
+	Conf float64
+	// Prob is the pattern's emission probability for this triple.
+	Prob float64
+	// Doc and Sentence carry provenance for XKG triples.
+	Doc, Sentence string
+}
+
+// RuleInfo describes one invoked relaxation rule.
+type RuleInfo struct {
+	ID     string
+	Rule   string
+	Weight float64
+	Origin string
+}
+
+// Explanation is the provenance of a single answer.
+type Explanation struct {
+	// OriginalQuery and RewrittenQuery show what relaxation changed.
+	OriginalQuery  string
+	RewrittenQuery string
+	// Score is the answer's final score; Weight the derivation weight.
+	Score  float64
+	Weight float64
+	// Bindings renders the projected variable bindings.
+	Bindings map[string]string
+	// KGTriples and XKGTriples are the contributing facts, split by
+	// source as in the demo interface.
+	KGTriples  []TripleInfo
+	XKGTriples []TripleInfo
+	// Rules are the relaxation rules invoked, in application order.
+	Rules []RuleInfo
+}
+
+// Explain builds the explanation of an answer produced by the evaluator.
+func Explain(st *store.Store, original *query.Query, a topk.Answer) Explanation {
+	d := a.Derivation
+	ex := Explanation{
+		OriginalQuery:  original.String(),
+		RewrittenQuery: d.Rewrite.Query.String(),
+		Score:          a.Score,
+		Weight:         d.Rewrite.Weight,
+		Bindings:       make(map[string]string, len(a.Bindings)),
+	}
+	for v, id := range a.Bindings {
+		ex.Bindings[v] = st.Dict().Term(id).String()
+	}
+	for i, id := range d.Triples {
+		tr := st.Triple(id)
+		info := TripleInfo{
+			Text:   tr.Format(st.Dict()),
+			Source: tr.Source,
+			Conf:   tr.Conf,
+		}
+		if i < len(d.Rewrite.Query.Patterns) {
+			info.Pattern = d.Rewrite.Query.Patterns[i].String()
+		}
+		if i < len(d.PatternProbs) {
+			info.Prob = d.PatternProbs[i]
+		}
+		if tr.Source == rdf.SourceKG {
+			ex.KGTriples = append(ex.KGTriples, info)
+		} else {
+			prov := st.Prov().Get(tr.Prov)
+			info.Doc = prov.Doc
+			info.Sentence = prov.Sentence
+			ex.XKGTriples = append(ex.XKGTriples, info)
+		}
+	}
+	for _, r := range d.Rewrite.Applied {
+		ex.Rules = append(ex.Rules, RuleInfo{
+			ID:     r.ID,
+			Rule:   r.String(),
+			Weight: r.Weight,
+			Origin: r.Origin,
+		})
+	}
+	return ex
+}
+
+// String renders the explanation as indented text, in the spirit of the
+// demo's answer-explanation pane.
+func (ex Explanation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "answer (score %.4f):\n", ex.Score)
+	for v, t := range ex.Bindings {
+		fmt.Fprintf(&b, "  ?%s = %s\n", v, t)
+	}
+	if len(ex.Rules) > 0 {
+		fmt.Fprintf(&b, "relaxations invoked (derivation weight %.2f):\n", ex.Weight)
+		for _, r := range ex.Rules {
+			fmt.Fprintf(&b, "  [%s] %s: %s\n", r.Origin, r.ID, r.Rule)
+		}
+		fmt.Fprintf(&b, "rewritten query: %s\n", ex.RewrittenQuery)
+	} else {
+		b.WriteString("no relaxation needed\n")
+	}
+	if len(ex.KGTriples) > 0 {
+		b.WriteString("KG triples:\n")
+		for _, t := range ex.KGTriples {
+			fmt.Fprintf(&b, "  %s  (matched %s, P=%.3f)\n", t.Text, t.Pattern, t.Prob)
+		}
+	}
+	if len(ex.XKGTriples) > 0 {
+		b.WriteString("XKG triples:\n")
+		for _, t := range ex.XKGTriples {
+			fmt.Fprintf(&b, "  %s  (conf %.2f, matched %s, P=%.3f)\n", t.Text, t.Conf, t.Pattern, t.Prob)
+			if t.Doc != "" {
+				fmt.Fprintf(&b, "    source: %s: %q\n", t.Doc, t.Sentence)
+			}
+		}
+	}
+	return b.String()
+}

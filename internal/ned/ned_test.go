@@ -1,0 +1,161 @@
+package ned
+
+import (
+	"testing"
+
+	"trinit/internal/rdf"
+	"trinit/internal/store"
+)
+
+func kgStore() *store.Store {
+	st := store.New(nil, nil)
+	st.AddKG(rdf.Resource("AlbertEinstein"), rdf.Resource("bornIn"), rdf.Resource("Ulm"))
+	st.AddKG(rdf.Resource("Ulm"), rdf.Resource("locatedIn"), rdf.Resource("Germany"))
+	st.AddKG(rdf.Resource("AlfredKleiner"), rdf.Resource("hasStudent"), rdf.Resource("AlbertEinstein"))
+	st.AddKG(rdf.Resource("AlbertEinstein"), rdf.Resource("affiliation"), rdf.Resource("IAS"))
+	st.AddKG(rdf.Resource("PrincetonUniversity"), rdf.Resource("member"), rdf.Resource("IvyLeague"))
+	st.AddKG(rdf.Resource("PrincetonNewJersey"), rdf.Resource("locatedIn"), rdf.Resource("NewJersey"))
+	return st
+}
+
+func mustTerm(t *testing.T, st *store.Store, name string) rdf.TermID {
+	t.Helper()
+	id, ok := st.Dict().Lookup(rdf.Resource(name))
+	if !ok {
+		t.Fatalf("resource %s not in dictionary", name)
+	}
+	return id
+}
+
+func TestLinkFullLabel(t *testing.T) {
+	st := kgStore()
+	l := NewLinker(st)
+	got, score, ok := l.Link("Albert Einstein", "")
+	if !ok {
+		t.Fatal("full-label mention not linked")
+	}
+	if got != mustTerm(t, st, "AlbertEinstein") {
+		t.Fatalf("linked to %v", st.Dict().Term(got))
+	}
+	if score <= 0 || score > 1 {
+		t.Fatalf("score = %v", score)
+	}
+}
+
+func TestLinkSurname(t *testing.T) {
+	st := kgStore()
+	l := NewLinker(st)
+	got, _, ok := l.Link("Einstein", "")
+	if !ok {
+		t.Fatal("surname mention not linked")
+	}
+	if got != mustTerm(t, st, "AlbertEinstein") {
+		t.Fatalf("Einstein linked to %v", st.Dict().Term(got))
+	}
+}
+
+func TestLinkUnknownMention(t *testing.T) {
+	l := NewLinker(kgStore())
+	if _, _, ok := l.Link("Marie Curie", ""); ok {
+		t.Fatal("unknown mention was linked")
+	}
+	if _, _, ok := l.Link("", ""); ok {
+		t.Fatal("empty mention was linked")
+	}
+}
+
+func TestAmbiguousMentionPrefersPopular(t *testing.T) {
+	st := kgStore()
+	l := NewLinker(st)
+	// "Princeton" is an alias of both PrincetonUniversity (degree 1) and
+	// PrincetonNewJersey (degree 1); add KG facts to raise the
+	// university's degree.
+	// Rebuild with extra facts.
+	st2 := kgStore()
+	st2.AddKG(rdf.Resource("PrincetonUniversity"), rdf.Resource("locatedIn"), rdf.Resource("PrincetonNewJersey"))
+	st2.AddKG(rdf.Resource("JohnVonNeumann"), rdf.Resource("affiliation"), rdf.Resource("PrincetonUniversity"))
+	st2.AddKG(rdf.Resource("KurtGoedel"), rdf.Resource("affiliation"), rdf.Resource("PrincetonUniversity"))
+	l2 := NewLinker(st2)
+
+	cands := l.Candidates("Princeton", "")
+	if len(cands) != 2 {
+		t.Fatalf("expected 2 candidates, got %v", cands)
+	}
+	got, _, ok := l2.Link("Princeton", "")
+	if !ok {
+		t.Fatal("Princeton not linked")
+	}
+	if got != mustTerm(t, st2, "PrincetonUniversity") {
+		t.Fatalf("Princeton linked to %v, want the higher-degree university", st2.Dict().Term(got))
+	}
+}
+
+func TestContextDisambiguation(t *testing.T) {
+	st := kgStore()
+	st.AddKG(rdf.Resource("PrincetonUniversity"), rdf.Resource("type"), rdf.Resource("university"))
+	st.AddKG(rdf.Resource("PrincetonNewJersey"), rdf.Resource("type"), rdf.Resource("city"))
+	l := NewLinker(st)
+	// A sentence about a university should pull the mention towards the
+	// university entity even when priors tie.
+	uni, _, ok := l.Link("Princeton", "he joined the university faculty")
+	if !ok {
+		t.Fatal("not linked with university context")
+	}
+	if uni != mustTerm(t, st, "PrincetonUniversity") {
+		t.Fatalf("university context linked to %v", st.Dict().Term(uni))
+	}
+	city, _, ok := l.Link("Princeton", "the city in New Jersey")
+	if !ok {
+		t.Fatal("not linked with city context")
+	}
+	if city != mustTerm(t, st, "PrincetonNewJersey") {
+		t.Fatalf("city context linked to %v", st.Dict().Term(city))
+	}
+}
+
+func TestCandidatesSortedDescending(t *testing.T) {
+	l := NewLinker(kgStore())
+	cands := l.Candidates("Princeton", "")
+	for i := 1; i < len(cands); i++ {
+		if cands[i-1].Score < cands[i].Score {
+			t.Fatalf("candidates not sorted: %v", cands)
+		}
+	}
+}
+
+func TestMinScoreThreshold(t *testing.T) {
+	l := NewLinker(kgStore())
+	l.MinScore = 2.0 // impossible
+	if _, _, ok := l.Link("Albert Einstein", ""); ok {
+		t.Fatal("link above impossible threshold")
+	}
+}
+
+func TestLinkCaseAndStopwordInsensitive(t *testing.T) {
+	st := kgStore()
+	l := NewLinker(st)
+	a, _, ok1 := l.Link("albert einstein", "")
+	b, _, ok2 := l.Link("the Albert Einstein", "")
+	if !ok1 || !ok2 || a != b {
+		t.Fatalf("normalisation failed: %v/%v %v/%v", a, ok1, b, ok2)
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	// Two entities with identical aliases, weights, priors: the lower
+	// TermID must win consistently.
+	st := store.New(nil, nil)
+	st.AddKG(rdf.Resource("SpringfieldIllinois"), rdf.Resource("locatedIn"), rdf.Resource("Illinois"))
+	st.AddKG(rdf.Resource("SpringfieldMassachusetts"), rdf.Resource("locatedIn"), rdf.Resource("Massachusetts"))
+	l := NewLinker(st)
+	first, _, ok := l.Link("Springfield", "")
+	if !ok {
+		t.Fatal("Springfield not linked")
+	}
+	for i := 0; i < 10; i++ {
+		got, _, _ := l.Link("Springfield", "")
+		if got != first {
+			t.Fatal("tie-break not deterministic")
+		}
+	}
+}

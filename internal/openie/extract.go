@@ -1,0 +1,314 @@
+package openie
+
+import (
+	"sort"
+	"strings"
+)
+
+// span is a half-open token range [start, end).
+type span struct{ start, end int }
+
+func (s span) len() int { return s.end - s.start }
+
+// chunkNPs finds maximal noun-phrase spans: (DET)? (ADJ|ADV)* (N|NP|NUM|PRON)+.
+// Pronouns form degenerate NPs that are later rejected as arguments, since
+// the pipeline does not attempt coreference resolution.
+func chunkNPs(toks []TaggedToken) []span {
+	var out []span
+	i := 0
+	for i < len(toks) {
+		start := i
+		if toks[i].Tag == TagDet {
+			i++
+		}
+		for i < len(toks) && (toks[i].Tag == TagAdj || toks[i].Tag == TagAdv) {
+			i++
+		}
+		head := i
+		for i < len(toks) && isNominal(toks[i].Tag) {
+			i++
+		}
+		if i > head {
+			out = append(out, span{start, i})
+		} else {
+			i = start + 1
+		}
+	}
+	return out
+}
+
+func isNominal(t Tag) bool {
+	return t == TagNoun || t == TagPropNoun || t == TagNum || t == TagPron
+}
+
+// relationSpans finds relation phrases under ReVerb's syntactic constraint:
+// each phrase starts at a verb (or auxiliary) and matches V | V P | V W* P,
+// where W is a noun, adjective, adverb, determiner, number, or further
+// verb. Following ReVerb, the longest match is taken; the span ends at the
+// last verb or at the first preposition reached after intermediate words.
+func relationSpans(toks []TaggedToken) []span {
+	var out []span
+	i := 0
+	for i < len(toks) {
+		if toks[i].Tag != TagVerb && toks[i].Tag != TagAux {
+			i++
+			continue
+		}
+		start := i
+		lastEnd := i + 1 // a bare V is a legal relation phrase
+		j := i + 1
+	scan:
+		for j < len(toks) {
+			switch toks[j].Tag {
+			case TagVerb, TagAux:
+				lastEnd = j + 1
+				j++
+			case TagPrep:
+				lastEnd = j + 1
+				j++
+				break scan // V W* P ends at the first preposition
+			case TagNoun, TagPropNoun, TagAdj, TagAdv, TagDet, TagNum:
+				j++
+			default:
+				break scan
+			}
+		}
+		out = append(out, span{start, lastEnd})
+		i = lastEnd
+	}
+	return out
+}
+
+// Extraction is one Open-IE token triple: two argument phrases and the
+// relation phrase connecting them, with the extractor's confidence.
+type Extraction struct {
+	Arg1, Rel, Arg2 string
+	Conf            float64
+	Sentence        string
+}
+
+// ExtractSentence runs the ReVerb-style extractor over one sentence and
+// returns all extractions found, in left-to-right order of their relation
+// phrases.
+func ExtractSentence(sentence string) []Extraction {
+	toks := TagSentence(sentence)
+	if len(toks) < 3 {
+		return nil
+	}
+	nps := chunkNPs(toks)
+	if len(nps) < 2 {
+		return nil
+	}
+	var out []Extraction
+	for _, rel := range relationSpans(toks) {
+		arg1, ok1 := argBefore(nps, rel.start)
+		arg2, ok2 := argAfter(nps, rel.end)
+		if !ok1 || !ok2 {
+			continue
+		}
+		arg2 = attachOfPP(toks, nps, arg2)
+		e := buildExtraction(toks, arg1, rel, arg2, sentence)
+		if e != nil {
+			out = append(out, *e)
+		}
+	}
+	return out
+}
+
+// argBefore returns the nearest NP ending at or before position pos.
+func argBefore(nps []span, pos int) (span, bool) {
+	for i := len(nps) - 1; i >= 0; i-- {
+		if nps[i].end <= pos {
+			return nps[i], true
+		}
+	}
+	return span{}, false
+}
+
+// argAfter returns the nearest NP starting at or after position pos.
+func argAfter(nps []span, pos int) (span, bool) {
+	for _, np := range nps {
+		if np.start >= pos {
+			return np, true
+		}
+	}
+	return span{}, false
+}
+
+// attachOfPP extends an argument NP with a following "of"-complement, so
+// that phrases such as 'discovery of the photoelectric effect' form one
+// argument. Only "of" attaches; other prepositions start new clauses too
+// often.
+func attachOfPP(toks []TaggedToken, nps []span, arg span) span {
+	for {
+		next := arg.end
+		if next >= len(toks) || toks[next].Lower != "of" {
+			return arg
+		}
+		ext, ok := argAfter(nps, next+1)
+		if !ok || ext.start != next+1 {
+			return arg
+		}
+		arg = span{arg.start, ext.end}
+	}
+}
+
+func buildExtraction(toks []TaggedToken, arg1, rel, arg2 span, sentence string) *Extraction {
+	a1 := phraseText(toks, arg1)
+	a2 := phraseText(toks, arg2)
+	r := relText(toks, rel)
+	if a1 == "" || a2 == "" || r == "" {
+		return nil
+	}
+	// Reject pronoun-only arguments: without coreference resolution they
+	// carry no information.
+	if pronounOnly(toks, arg1) || pronounOnly(toks, arg2) {
+		return nil
+	}
+	return &Extraction{
+		Arg1:     a1,
+		Rel:      r,
+		Arg2:     a2,
+		Conf:     confidence(toks, arg1, rel, arg2),
+		Sentence: sentence,
+	}
+}
+
+func pronounOnly(toks []TaggedToken, sp span) bool {
+	for i := sp.start; i < sp.end; i++ {
+		if toks[i].Tag != TagPron {
+			return false
+		}
+	}
+	return true
+}
+
+// phraseText renders an argument span, dropping a leading determiner.
+func phraseText(toks []TaggedToken, sp span) string {
+	start := sp.start
+	if start < sp.end && toks[start].Tag == TagDet {
+		start++
+	}
+	var parts []string
+	for i := start; i < sp.end; i++ {
+		parts = append(parts, toks[i].Text)
+	}
+	return strings.Join(parts, " ")
+}
+
+// relText renders the relation span in lower case, which normalises
+// sentence-initial capitalisation of verbs.
+func relText(toks []TaggedToken, sp span) string {
+	var parts []string
+	for i := sp.start; i < sp.end; i++ {
+		parts = append(parts, toks[i].Lower)
+	}
+	return strings.Join(parts, " ")
+}
+
+// confidence scores an extraction in (0, 1] from surface features, in the
+// spirit of ReVerb's logistic-regression confidence function. The features
+// reward short, verb-anchored relations between proper-noun arguments and
+// penalise long relation phrases and distant arguments.
+func confidence(toks []TaggedToken, arg1, rel, arg2 span) float64 {
+	c := 0.5
+	if rel.len() <= 3 {
+		c += 0.15
+	} else if rel.len() >= 6 {
+		c -= 0.15
+	}
+	if toks[rel.start].Tag == TagVerb || toks[rel.start].Tag == TagAux {
+		c += 0.1
+	}
+	if toks[rel.end-1].Tag == TagPrep {
+		c += 0.05 // "V W* P" patterns are high precision in ReVerb
+	}
+	if hasProper(toks, arg1) {
+		c += 0.1
+	}
+	if hasProper(toks, arg2) {
+		c += 0.05
+	}
+	if rel.start-arg1.end > 1 || arg2.start-rel.end > 1 {
+		c -= 0.1 // argument separated from the relation phrase
+	}
+	if arg1.start == 0 {
+		c += 0.05 // sentence-initial subject
+	}
+	if c < 0.05 {
+		c = 0.05
+	}
+	if c > 1 {
+		c = 1
+	}
+	return c
+}
+
+func hasProper(toks []TaggedToken, sp span) bool {
+	for i := sp.start; i < sp.end; i++ {
+		if toks[i].Tag == TagPropNoun {
+			return true
+		}
+	}
+	return false
+}
+
+// ExtractDocument segments a document into sentences and extracts from each.
+func ExtractDocument(doc string) []Extraction {
+	var out []Extraction
+	for _, s := range SplitSentences(doc) {
+		out = append(out, ExtractSentence(s)...)
+	}
+	return out
+}
+
+// LexicalFilter implements ReVerb's lexical constraint at corpus level:
+// relation phrases that occur with fewer than minPairs distinct argument
+// pairs are dropped, removing over-specific or garbled relations. The input
+// order is preserved for surviving extractions.
+func LexicalFilter(exts []Extraction, minPairs int) []Extraction {
+	if minPairs <= 1 {
+		return exts
+	}
+	pairs := make(map[string]map[[2]string]bool)
+	for _, e := range exts {
+		key := strings.ToLower(e.Rel)
+		if pairs[key] == nil {
+			pairs[key] = make(map[[2]string]bool)
+		}
+		pairs[key][[2]string{e.Arg1, e.Arg2}] = true
+	}
+	var out []Extraction
+	for _, e := range exts {
+		if len(pairs[strings.ToLower(e.Rel)]) >= minPairs {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// RelationHistogram counts extractions per relation phrase, most frequent
+// first — used by the XKG statistics experiment (E4).
+func RelationHistogram(exts []Extraction) []RelationCount {
+	counts := make(map[string]int)
+	for _, e := range exts {
+		counts[strings.ToLower(e.Rel)]++
+	}
+	out := make([]RelationCount, 0, len(counts))
+	for r, n := range counts {
+		out = append(out, RelationCount{Rel: r, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Rel < out[j].Rel
+	})
+	return out
+}
+
+// RelationCount pairs a relation phrase with its extraction count.
+type RelationCount struct {
+	Rel   string
+	Count int
+}

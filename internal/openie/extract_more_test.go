@@ -1,0 +1,134 @@
+package openie
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExtractionShapes covers the extractor on a battery of sentence
+// shapes, checking the (arg1, rel, arg2) skeleton for each.
+func TestExtractionShapes(t *testing.T) {
+	tests := []struct {
+		sentence string
+		arg1     string
+		rel      string
+		arg2     string
+	}{
+		{"Alden Ackermann worked at Northford University.", "Alden Ackermann", "worked at", "Northford University"},
+		{"Greta Lindt won the Nobel Prize for quantum mechanics.", "Greta Lindt", "won the nobel prize for", "quantum mechanics"},
+		{"Hugo Moser studied under Karla Planck.", "Hugo Moser", "studied under", "Karla Planck"},
+		{"Berta Brenner was born in Southburg.", "Berta Brenner", "was born in", "Southburg"},
+		{"Karla Planck advised Hugo Moser.", "Karla Planck", "advised", "Hugo Moser"},
+		{"Irma Jaeger was awarded the Fields Medal.", "Irma Jaeger", "was awarded", "Fields Medal"},
+		{"Jonas Kessler published a paper on number theory.", "Jonas Kessler", "published a paper on", "number theory"},
+		{"Nils Oswald collaborated with Olga Planck.", "Nils Oswald", "collaborated with", "Olga Planck"},
+		{"Thea Sommer traveled to Fairmouth.", "Thea Sommer", "traveled to", "Fairmouth"},
+		{"Ulrich Quandt was the advisor of Runa Dittmar.", "Ulrich Quandt", "was the advisor of", "Runa Dittmar"},
+	}
+	for _, tc := range tests {
+		exts := ExtractSentence(tc.sentence)
+		if len(exts) == 0 {
+			t.Errorf("%q: no extraction", tc.sentence)
+			continue
+		}
+		e := exts[0]
+		if e.Arg1 != tc.arg1 || e.Rel != tc.rel || e.Arg2 != tc.arg2 {
+			t.Errorf("%q:\n  got  (%q, %q, %q)\n  want (%q, %q, %q)",
+				tc.sentence, e.Arg1, e.Rel, e.Arg2, tc.arg1, tc.rel, tc.arg2)
+		}
+	}
+}
+
+func TestExtractMultipleClauses(t *testing.T) {
+	// Two relations in one sentence: both should surface.
+	exts := ExtractSentence("Alden Ackermann worked at Northford University and studied under Berta Brenner.")
+	if len(exts) < 2 {
+		t.Fatalf("got %d extractions: %+v", len(exts), exts)
+	}
+	rels := make(map[string]bool)
+	for _, e := range exts {
+		rels[e.Rel] = true
+	}
+	if !rels["worked at"] || !rels["studied under"] {
+		t.Errorf("relations = %v", rels)
+	}
+}
+
+func TestAttachOfPPChains(t *testing.T) {
+	exts := ExtractSentence("Einstein wrote about the theory of the structure of spacetime.")
+	if len(exts) == 0 {
+		t.Fatal("no extraction")
+	}
+	// The of-chain must be absorbed into one argument.
+	if !strings.Contains(exts[0].Arg2, "of") {
+		t.Errorf("Arg2 = %q, want of-chain", exts[0].Arg2)
+	}
+}
+
+func TestSplitSentencesAbbreviationsDense(t *testing.T) {
+	tests := []struct {
+		in   string
+		want int
+	}{
+		{"Prof. Dr. Kleiner met Mr. Moser at St. Andrews.", 1},
+		{"It rained. Einstein et al. published. Nobody read it.", 3},
+		{"A. B. Cerf wrote this. D. E. Knuth read it.", 2},
+	}
+	for _, tc := range tests {
+		got := SplitSentences(tc.in)
+		if len(got) != tc.want {
+			t.Errorf("SplitSentences(%q) = %d (%v), want %d", tc.in, len(got), got, tc.want)
+		}
+	}
+}
+
+func TestConfidenceBounds(t *testing.T) {
+	sentences := []string{
+		"Einstein won a Nobel for his discovery of the photoelectric effect.",
+		"A b c d e f g winning h.",
+		"somebody somewhere visited someone sometime.",
+		"The very old strangely quiet extremely large committee was probably eventually maybe possibly led by someone.",
+	}
+	for _, s := range sentences {
+		for _, e := range ExtractSentence(s) {
+			if e.Conf < 0.05 || e.Conf > 1 {
+				t.Errorf("%q: confidence %v out of bounds", s, e.Conf)
+			}
+		}
+	}
+}
+
+func TestTokenizeWordsKeepsHyphensApostrophes(t *testing.T) {
+	toks := TagSentence("Jean-Pierre's co-author didn't-")
+	var texts []string
+	for _, tok := range toks {
+		texts = append(texts, tok.Text)
+	}
+	joined := strings.Join(texts, " ")
+	if !strings.Contains(joined, "Jean-Pierre") {
+		t.Errorf("hyphenated name broken: %v", texts)
+	}
+	for _, tok := range toks {
+		if strings.HasSuffix(tok.Text, "-") || strings.HasSuffix(tok.Text, "'") {
+			t.Errorf("trailing punctuation kept: %q", tok.Text)
+		}
+	}
+}
+
+func TestExtractEmptyAndWhitespace(t *testing.T) {
+	for _, in := range []string{"", "   ", "\n\t", "..."} {
+		if got := ExtractDocument(in); len(got) != 0 {
+			t.Errorf("ExtractDocument(%q) = %v", in, got)
+		}
+	}
+}
+
+func TestRelationStopsAtConjunction(t *testing.T) {
+	// "and" must terminate the relation phrase, not be swallowed.
+	exts := ExtractSentence("Moser taught algebra and Planck taught geometry.")
+	for _, e := range exts {
+		if strings.Contains(e.Rel, "and") {
+			t.Errorf("conjunction swallowed into relation: %+v", e)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package openie
+
+import "testing"
+
+// FuzzExtractDocument checks the whole pipeline never panics on arbitrary
+// input and that extractions always have non-empty fields and confidences
+// in (0, 1].
+func FuzzExtractDocument(f *testing.F) {
+	seeds := []string{
+		"Einstein won a Nobel for his discovery of the photoelectric effect.",
+		"Prof. Kleiner taught Einstein. He lectured at Princeton!",
+		"a. b. c. d? e! f",
+		"The IAS was housed in Princeton.",
+		"...!!!???",
+		"word",
+		"Jean-Pierre's co-author didn't write it.",
+		"ALL CAPS SENTENCES ARE PEOPLE?",
+		"1879 1880 1881 1882.",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		for _, e := range ExtractDocument(doc) {
+			if e.Arg1 == "" || e.Rel == "" || e.Arg2 == "" {
+				t.Fatalf("empty extraction field: %+v", e)
+			}
+			if e.Conf <= 0 || e.Conf > 1 {
+				t.Fatalf("confidence out of range: %+v", e)
+			}
+			if e.Sentence == "" {
+				t.Fatalf("extraction without provenance sentence: %+v", e)
+			}
+		}
+	})
+}

@@ -1,0 +1,252 @@
+package openie
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSplitSentences(t *testing.T) {
+	tests := []struct {
+		in   string
+		want int
+	}{
+		{"Einstein was born in Ulm. He lectured at Princeton.", 2},
+		{"Prof. Kleiner taught Einstein.", 1},
+		{"Dr. Smith met Mr. Jones. They talked!", 2},
+		{"What did he win? A Nobel prize.", 2},
+		{"M. Yahya wrote the paper.", 1},
+		{"", 0},
+		{"No terminal punctuation at all", 1},
+	}
+	for _, tc := range tests {
+		got := SplitSentences(tc.in)
+		if len(got) != tc.want {
+			t.Errorf("SplitSentences(%q) = %d sentences %v, want %d", tc.in, len(got), got, tc.want)
+		}
+	}
+}
+
+func TestSplitSentencesKeepsText(t *testing.T) {
+	got := SplitSentences("Einstein was born in Ulm. He lectured at Princeton.")
+	if got[0] != "Einstein was born in Ulm." {
+		t.Errorf("first sentence = %q", got[0])
+	}
+	if got[1] != "He lectured at Princeton." {
+		t.Errorf("second sentence = %q", got[1])
+	}
+}
+
+func TestTagWord(t *testing.T) {
+	tests := []struct {
+		word  string
+		first bool
+		want  Tag
+	}{
+		{"the", false, TagDet},
+		{"of", false, TagPrep},
+		{"won", false, TagVerb},
+		{"was", false, TagAux},
+		{"Einstein", false, TagPropNoun},
+		{"Einstein", true, TagPropNoun}, // unknown capitalised first word
+		{"he", false, TagPron},
+		{"and", false, TagConj},
+		{"quickly", false, TagAdv},
+		{"discovering", false, TagVerb},
+		{"graduated", false, TagVerb},
+		{"famous", false, TagAdj},
+		{"1879", false, TagNum},
+		{"physicist", false, TagNoun},
+	}
+	for _, tc := range tests {
+		if got := TagWord(tc.word, tc.first); got != tc.want {
+			t.Errorf("TagWord(%q, first=%v) = %v, want %v", tc.word, tc.first, got, tc.want)
+		}
+	}
+}
+
+func TestTagSentence(t *testing.T) {
+	toks := TagSentence("Einstein won a Nobel prize.")
+	if len(toks) != 5 {
+		t.Fatalf("token count = %d: %v", len(toks), toks)
+	}
+	wantTags := []Tag{TagPropNoun, TagVerb, TagDet, TagPropNoun, TagNoun}
+	for i, w := range wantTags {
+		if toks[i].Tag != w {
+			t.Errorf("tok[%d] (%q) tag = %v, want %v", i, toks[i].Text, toks[i].Tag, w)
+		}
+	}
+}
+
+func TestExtractSimpleSVO(t *testing.T) {
+	exts := ExtractSentence("Einstein won a Nobel prize.")
+	if len(exts) != 1 {
+		t.Fatalf("got %d extractions: %v", len(exts), exts)
+	}
+	e := exts[0]
+	if e.Arg1 != "Einstein" || e.Rel != "won" || e.Arg2 != "Nobel prize" {
+		t.Errorf("extraction = %+v", e)
+	}
+	if e.Conf <= 0 || e.Conf > 1 {
+		t.Errorf("confidence out of range: %v", e.Conf)
+	}
+}
+
+func TestExtractVWP(t *testing.T) {
+	// The motivating §2 sentence: relation 'won a Nobel for'.
+	exts := ExtractSentence("Einstein won a Nobel for his discovery of the photoelectric effect.")
+	if len(exts) == 0 {
+		t.Fatal("no extraction from the paper's example sentence")
+	}
+	e := exts[0]
+	if e.Arg1 != "Einstein" {
+		t.Errorf("Arg1 = %q", e.Arg1)
+	}
+	if e.Rel != "won a nobel for" {
+		t.Errorf("Rel = %q, want 'won a nobel for'", e.Rel)
+	}
+	if !strings.Contains(e.Arg2, "discovery") {
+		t.Errorf("Arg2 = %q, want discovery phrase", e.Arg2)
+	}
+}
+
+func TestExtractVP(t *testing.T) {
+	exts := ExtractSentence("Einstein lectured at Princeton.")
+	if len(exts) != 1 {
+		t.Fatalf("got %v", exts)
+	}
+	if exts[0].Rel != "lectured at" || exts[0].Arg2 != "Princeton" {
+		t.Errorf("extraction = %+v", exts[0])
+	}
+}
+
+func TestExtractCopula(t *testing.T) {
+	exts := ExtractSentence("The IAS was housed in Princeton.")
+	if len(exts) != 1 {
+		t.Fatalf("got %v", exts)
+	}
+	e := exts[0]
+	if e.Arg1 != "IAS" { // leading determiner dropped
+		t.Errorf("Arg1 = %q, want IAS", e.Arg1)
+	}
+	if e.Rel != "was housed in" {
+		t.Errorf("Rel = %q", e.Rel)
+	}
+}
+
+func TestExtractRejectsPronounArgs(t *testing.T) {
+	exts := ExtractSentence("He won a Nobel prize.")
+	for _, e := range exts {
+		if e.Arg1 == "He" || e.Arg1 == "he" {
+			t.Fatalf("pronoun argument not rejected: %+v", e)
+		}
+	}
+}
+
+func TestExtractNoVerbNoExtraction(t *testing.T) {
+	if exts := ExtractSentence("The famous physicist Albert Einstein."); len(exts) != 0 {
+		t.Fatalf("extraction from verbless sentence: %v", exts)
+	}
+	if exts := ExtractSentence("Ulm."); len(exts) != 0 {
+		t.Fatalf("extraction from single-word sentence: %v", exts)
+	}
+}
+
+func TestExtractDocumentMultipleSentences(t *testing.T) {
+	doc := "Einstein was born in Ulm. Einstein lectured at Princeton. Kleiner taught Einstein."
+	exts := ExtractDocument(doc)
+	if len(exts) != 3 {
+		t.Fatalf("got %d extractions, want 3: %v", len(exts), exts)
+	}
+	for _, e := range exts {
+		if e.Sentence == "" {
+			t.Error("extraction missing its provenance sentence")
+		}
+	}
+}
+
+func TestConfidenceOrdering(t *testing.T) {
+	// A short, proper-noun-anchored extraction should outrank a long,
+	// vague one.
+	short := ExtractSentence("Einstein won a Nobel prize.")
+	long := ExtractSentence("somebody probably quietly maybe nearly eventually worked towards results near a lab somewhere.")
+	if len(short) == 0 {
+		t.Fatal("short extraction missing")
+	}
+	if len(long) > 0 && long[0].Conf >= short[0].Conf {
+		t.Errorf("vague extraction conf %v >= crisp extraction conf %v", long[0].Conf, short[0].Conf)
+	}
+}
+
+func TestLexicalFilter(t *testing.T) {
+	exts := []Extraction{
+		{Arg1: "A", Rel: "works at", Arg2: "X"},
+		{Arg1: "B", Rel: "works at", Arg2: "Y"},
+		{Arg1: "C", Rel: "works at", Arg2: "Z"},
+		{Arg1: "A", Rel: "garbled rel phrase", Arg2: "X"},
+	}
+	got := LexicalFilter(exts, 2)
+	if len(got) != 3 {
+		t.Fatalf("LexicalFilter kept %d, want 3", len(got))
+	}
+	for _, e := range got {
+		if e.Rel != "works at" {
+			t.Errorf("low-support relation survived: %+v", e)
+		}
+	}
+	// minPairs <= 1 is the identity.
+	if got := LexicalFilter(exts, 1); len(got) != 4 {
+		t.Fatalf("LexicalFilter(1) dropped extractions")
+	}
+	// Duplicate pairs do not count twice.
+	dup := []Extraction{
+		{Arg1: "A", Rel: "met", Arg2: "B"},
+		{Arg1: "A", Rel: "met", Arg2: "B"},
+	}
+	if got := LexicalFilter(dup, 2); len(got) != 0 {
+		t.Fatalf("duplicate arg pair counted twice: %v", got)
+	}
+}
+
+func TestRelationHistogram(t *testing.T) {
+	exts := []Extraction{
+		{Rel: "works at"}, {Rel: "works at"}, {Rel: "born in"},
+	}
+	got := RelationHistogram(exts)
+	if len(got) != 2 {
+		t.Fatalf("histogram size = %d", len(got))
+	}
+	if got[0].Rel != "works at" || got[0].Count != 2 {
+		t.Errorf("top relation = %+v", got[0])
+	}
+	if got[1].Rel != "born in" || got[1].Count != 1 {
+		t.Errorf("second relation = %+v", got[1])
+	}
+}
+
+func TestExtractionsAreDeterministic(t *testing.T) {
+	doc := "Einstein was born in Ulm. Einstein won a Nobel for his discovery of the photoelectric effect. The IAS was housed in Princeton."
+	a := ExtractDocument(doc)
+	b := ExtractDocument(doc)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic extraction count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic extraction at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTagString(t *testing.T) {
+	names := map[Tag]string{
+		TagNoun: "N", TagPropNoun: "NP", TagVerb: "V", TagAux: "AUX",
+		TagDet: "DET", TagAdj: "ADJ", TagAdv: "ADV", TagPrep: "P",
+		TagPron: "PRON", TagConj: "CONJ", TagNum: "NUM", TagPunct: "PUNCT",
+		TagOther: "O",
+	}
+	for tag, want := range names {
+		if got := tag.String(); got != want {
+			t.Errorf("Tag(%d).String() = %q, want %q", tag, got, want)
+		}
+	}
+}

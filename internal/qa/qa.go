@@ -1,0 +1,174 @@
+// Package qa translates natural-language questions into TriniT's extended
+// triple-pattern queries. The paper positions TriniT as the execution
+// platform for such translations (§6: "TriniT would be a suitable platform
+// for the queries into which user questions are mapped. In fact, we plan
+// to use it as back-end for our own work on QA").
+//
+// The translator is template-based: a question is tokenised and matched
+// against utterance patterns with capture slots; captured entity phrases
+// are resolved against the KG vocabulary (falling back to textual tokens),
+// and the matched template instantiates a query. Relaxation downstream
+// then absorbs residual vocabulary mismatch, exactly as for hand-written
+// queries.
+package qa
+
+import (
+	"fmt"
+	"strings"
+
+	"trinit/internal/store"
+	"trinit/internal/text"
+)
+
+// Translation is the result of translating a question.
+type Translation struct {
+	// Query is the generated query in TriniT syntax.
+	Query string
+	// Template names the utterance pattern that matched.
+	Template string
+	// Slots records the captured phrases and what they resolved to.
+	Slots map[string]string
+}
+
+// Translator maps questions to queries over one store's vocabulary.
+type Translator struct {
+	st *store.Store
+	// MinResolveSim is the similarity threshold for resolving a
+	// captured phrase to a KG resource; below it the phrase stays a
+	// quoted token.
+	MinResolveSim float64
+}
+
+// NewTranslator builds a translator; the store must be frozen.
+func NewTranslator(st *store.Store) *Translator {
+	return &Translator{st: st, MinResolveSim: 0.55}
+}
+
+// template is one utterance pattern. Pattern tokens are literal words;
+// <name> tokens capture one or more question words (greedy, bounded by the
+// next literal). The query template references captures as {name}; the
+// answer variable is ?a.
+type template struct {
+	name    string
+	pattern string
+	query   string
+}
+
+// templates are ordered: the first match wins, so more specific utterances
+// come first.
+var templates = []template{
+	{"prize-for", "what did <x> win a nobel prize for", "{x} 'won prize for' ?a"},
+	{"prize-for", "what did <x> win a prize for", "{x} 'won prize for' ?a"},
+	{"prize-for", "what did <x> win the <p> for", "{x} 'won prize for' ?a"},
+	{"advisor", "who was the advisor of <x>", "{x} hasAdvisor ?a"},
+	{"advisor", "who advised <x>", "{x} hasAdvisor ?a"},
+	{"students", "who were the students of <x>", "{x} hasStudent ?a"},
+	{"students", "who studied under <x>", "?a 'studied under' {x}"},
+	{"born-in", "who was born in <x>", "?a bornIn {x}"},
+	{"born-where", "where was <x> born", "{x} bornIn ?a"},
+	{"affiliated-with", "who is affiliated with <x>", "?a affiliation {x}"},
+	{"affiliated-with", "who was affiliated with <x>", "?a affiliation {x}"},
+	{"works-at", "who works at <x>", "?a affiliation {x}"},
+	{"works-at", "who worked at <x>", "?a affiliation {x}"},
+	{"located-in", "where is <x> located", "{x} locatedIn ?a"},
+	{"located-in", "where is <x>", "{x} locatedIn ?a"},
+	{"member-of", "which members does <x> have", "?a member {x}"},
+	{"affiliation-of", "where did <x> work", "{x} affiliation ?a"},
+	{"won-what", "what did <x> win", "{x} hasWonPrize ?a"},
+}
+
+// Translate maps a question to a query. It returns an error when no
+// utterance pattern matches.
+func (t *Translator) Translate(question string) (Translation, error) {
+	words := questionWords(question)
+	if len(words) == 0 {
+		return Translation{}, fmt.Errorf("qa: empty question")
+	}
+	for _, tpl := range templates {
+		captures, ok := matchPattern(strings.Fields(tpl.pattern), words)
+		if !ok {
+			continue
+		}
+		out := Translation{
+			Template: tpl.name,
+			Slots:    make(map[string]string, len(captures)),
+		}
+		q := tpl.query
+		for name, phrase := range captures {
+			resolved := t.resolve(phrase)
+			out.Slots[name] = resolved
+			q = strings.ReplaceAll(q, "{"+name+"}", resolved)
+		}
+		out.Query = q
+		return out, nil
+	}
+	return Translation{}, fmt.Errorf("qa: no utterance pattern matches %q", question)
+}
+
+// questionWords lower-cases and tokenises the question, dropping the
+// trailing question mark.
+func questionWords(q string) []string {
+	q = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(q), "?"))
+	var words []string
+	for _, w := range strings.Fields(q) {
+		w = strings.Trim(w, ".,!;:")
+		if w != "" {
+			words = append(words, w)
+		}
+	}
+	return words
+}
+
+// matchPattern unifies a pattern against question words. Literal tokens
+// compare case-insensitively; <name> slots capture one or more words up to
+// the next literal token (or the end).
+func matchPattern(pattern, words []string) (map[string]string, bool) {
+	captures := make(map[string]string)
+	wi := 0
+	for pi := 0; pi < len(pattern); pi++ {
+		tok := pattern[pi]
+		if strings.HasPrefix(tok, "<") && strings.HasSuffix(tok, ">") {
+			name := tok[1 : len(tok)-1]
+			// Find where the next literal resumes.
+			var stop func(int) bool
+			if pi+1 < len(pattern) {
+				next := pattern[pi+1]
+				stop = func(i int) bool { return strings.EqualFold(words[i], next) }
+			} else {
+				stop = func(int) bool { return false }
+			}
+			start := wi
+			for wi < len(words) && !stop(wi) {
+				wi++
+			}
+			if wi == start {
+				return nil, false // slot must capture at least one word
+			}
+			captures[name] = strings.Join(words[start:wi], " ")
+			continue
+		}
+		if wi >= len(words) || !strings.EqualFold(words[wi], tok) {
+			return nil, false
+		}
+		wi++
+	}
+	if wi != len(words) {
+		return nil, false
+	}
+	return captures, true
+}
+
+// resolve maps a captured phrase to a KG resource name when one matches
+// well, otherwise to a quoted token.
+func (t *Translator) resolve(phrase string) string {
+	cands := t.st.MatchToken(phrase, store.MaskResource, t.MinResolveSim, 1)
+	if len(cands) > 0 {
+		best := t.st.Dict().Term(cands[0].Term)
+		// Require decent coverage: "Einstein" → AlbertEinstein is
+		// fine, but a one-word overlap with a long label is not.
+		if text.Similarity(phrase, best.Text) >= t.MinResolveSim {
+			return best.Text
+		}
+	}
+	return "'" + phrase + "'"
+}

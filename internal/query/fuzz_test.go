@@ -1,0 +1,38 @@
+package query
+
+import "testing"
+
+// FuzzParse checks that the parser never panics and that any successfully
+// parsed query round-trips through its canonical rendering.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"?x bornIn Germany",
+		"AlbertEinstein 'won nobel for' ?x",
+		"SELECT ?x WHERE { AlbertEinstein affiliation ?y . ?y 'housed in' ?x } LIMIT 5",
+		"a b c . d e f ; g h i",
+		"?x ?p ?y LIMIT 3",
+		`?x "double quoted" ?y`,
+		"SELECT ?x WHERE { }",
+		"'' '' ''",
+		"? ?? ???",
+		"{}{}{}",
+		"select ?x where { ?x p 42 }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		canon := q.String()
+		q2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, input, err)
+		}
+		if q2.String() != canon {
+			t.Fatalf("canonical form not a fixpoint: %q -> %q", canon, q2.String())
+		}
+	})
+}

@@ -1,0 +1,350 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"trinit/internal/rdf"
+)
+
+// ParseError reports a syntax error with its byte offset in the input.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("query parse error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// Parse parses a query in the extended triple-pattern syntax.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse parses a query and panics on error; for tests and fixtures.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type tokKind uint8
+
+const (
+	tokIdent  tokKind = iota // bare word: resource name or keyword
+	tokVar                   // ?name
+	tokString                // 'quoted token phrase'
+	tokNumber                // integer (for LIMIT)
+	tokPunct                 // one of . ; { } ( )
+	tokOp                    // comparison operator in FILTER
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		r := rune(input[i])
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '.' || r == ';' || r == '{' || r == '}' || r == '(' || r == ')':
+			toks = append(toks, token{tokPunct, string(r), i})
+			i++
+		case r == '<' || r == '>':
+			op := string(r)
+			if i+1 < n && input[i+1] == '=' {
+				op += "="
+			}
+			toks = append(toks, token{tokOp, op, i})
+			i += len(op)
+		case r == '=':
+			toks = append(toks, token{tokOp, "=", i})
+			i++
+		case r == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokOp, "!=", i})
+				i += 2
+			} else {
+				return nil, &ParseError{i, "'!' must be followed by '='"}
+			}
+		case r == '?':
+			start := i
+			i++
+			j := i
+			for j < n && isIdentByte(input[j]) {
+				j++
+			}
+			if j == i {
+				return nil, &ParseError{start, "'?' must be followed by a variable name"}
+			}
+			toks = append(toks, token{tokVar, input[i:j], start})
+			i = j
+		case r == '\'' || r == '"':
+			quote := input[i]
+			start := i
+			var text []byte
+			j := i + 1
+			for j < n && input[j] != quote {
+				// Backslash escapes the next character, so token
+				// phrases may embed quotes.
+				if input[j] == '\\' && j+1 < n {
+					j++
+				}
+				text = append(text, input[j])
+				j++
+			}
+			if j >= n {
+				return nil, &ParseError{start, "unterminated quoted token"}
+			}
+			toks = append(toks, token{tokString, string(text), start})
+			i = j + 1
+		case r >= '0' && r <= '9':
+			j := i
+			for j < n && input[j] >= '0' && input[j] <= '9' {
+				j++
+			}
+			// A digit run followed by identifier characters is part
+			// of an identifier (e.g. a resource like 4thOfJuly).
+			if j < n && isIdentByte(input[j]) {
+				k := j
+				for k < n && isIdentByte(input[k]) {
+					k++
+				}
+				toks = append(toks, token{tokIdent, input[i:k], i})
+				i = k
+			} else {
+				toks = append(toks, token{tokNumber, input[i:j], i})
+				i = j
+			}
+		case isIdentByte(input[i]):
+			j := i
+			for j < n && isIdentByte(input[j]) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, input[i:j], i})
+			i = j
+		default:
+			return nil, &ParseError{i, fmt.Sprintf("unexpected character %q", r)}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentByte(b byte) bool {
+	return b == '_' || b == '-' || b == ':' ||
+		(b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) isKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	if p.isKeyword("select") {
+		p.next()
+		for p.cur().kind == tokVar {
+			q.Projection = append(q.Projection, p.next().text)
+		}
+		if len(q.Projection) == 0 {
+			return nil, &ParseError{p.cur().pos, "SELECT requires at least one ?variable"}
+		}
+		if !p.isKeyword("where") {
+			return nil, &ParseError{p.cur().pos, "expected WHERE after SELECT clause"}
+		}
+		p.next()
+		if t := p.cur(); t.kind != tokPunct || t.text != "{" {
+			return nil, &ParseError{t.pos, "expected '{' after WHERE"}
+		}
+		p.next()
+		if err := p.parsePatterns(q, true); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := p.parsePatterns(q, false); err != nil {
+			return nil, err
+		}
+	}
+	if p.isKeyword("limit") {
+		kw := p.next()
+		t := p.cur()
+		if t.kind != tokNumber {
+			return nil, &ParseError{kw.pos, "LIMIT requires an integer"}
+		}
+		p.next()
+		k, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, &ParseError{t.pos, "invalid LIMIT value"}
+		}
+		q.Limit = k
+	}
+	if t := p.cur(); t.kind != tokEOF {
+		return nil, &ParseError{t.pos, fmt.Sprintf("unexpected trailing input %q", t.text)}
+	}
+	return q, nil
+}
+
+// parsePatterns parses '.'- or ';'-separated triple patterns, consuming the
+// closing '}' when braced is true.
+func (p *parser) parsePatterns(q *Query, braced bool) error {
+	for {
+		if braced {
+			if t := p.cur(); t.kind == tokPunct && t.text == "}" {
+				p.next()
+				return nil
+			}
+		}
+		if p.isKeyword("filter") {
+			f, err := p.parseFilter()
+			if err != nil {
+				return err
+			}
+			q.Filters = append(q.Filters, f)
+			t := p.cur()
+			if t.kind == tokPunct && (t.text == "." || t.text == ";") {
+				p.next()
+				continue
+			}
+			if braced {
+				if t.kind == tokPunct && t.text == "}" {
+					p.next()
+					return nil
+				}
+				return &ParseError{t.pos, "expected '.', ';' or '}' after FILTER"}
+			}
+			return nil
+		}
+		pat, err := p.parsePattern()
+		if err != nil {
+			return err
+		}
+		q.Patterns = append(q.Patterns, pat)
+		t := p.cur()
+		if t.kind == tokPunct && (t.text == "." || t.text == ";") {
+			p.next()
+			continue
+		}
+		if braced {
+			if t.kind == tokPunct && t.text == "}" {
+				p.next()
+				return nil
+			}
+			return &ParseError{t.pos, "expected '.', ';' or '}' after triple pattern"}
+		}
+		return nil
+	}
+}
+
+func (p *parser) parsePattern() (Pattern, error) {
+	s, err := p.parseSlot("subject")
+	if err != nil {
+		return Pattern{}, err
+	}
+	pr, err := p.parseSlot("predicate")
+	if err != nil {
+		return Pattern{}, err
+	}
+	o, err := p.parseSlot("object")
+	if err != nil {
+		return Pattern{}, err
+	}
+	return Pattern{S: s, P: pr, O: o}, nil
+}
+
+func (p *parser) parseSlot(role string) (Slot, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokVar:
+		p.next()
+		return Variable(t.text), nil
+	case tokIdent:
+		p.next()
+		return Bound(rdf.Resource(t.text)), nil
+	case tokString:
+		p.next()
+		if strings.TrimSpace(t.text) == "" {
+			return Slot{}, &ParseError{t.pos, "empty quoted token"}
+		}
+		return Bound(rdf.Token(t.text)), nil
+	case tokNumber:
+		p.next()
+		return Bound(rdf.Literal(t.text)), nil
+	default:
+		return Slot{}, &ParseError{t.pos, fmt.Sprintf("expected %s term, found %q", role, t.text)}
+	}
+}
+
+// parseFilter parses FILTER ( ?var OP value ), where value is a variable,
+// a quoted string, a number, or a bare identifier.
+func (p *parser) parseFilter() (Filter, error) {
+	kw := p.next() // consume FILTER
+	if t := p.cur(); t.kind != tokPunct || t.text != "(" {
+		return Filter{}, &ParseError{kw.pos, "expected '(' after FILTER"}
+	}
+	p.next()
+	lhs := p.cur()
+	if lhs.kind != tokVar {
+		return Filter{}, &ParseError{lhs.pos, "FILTER requires a ?variable on the left"}
+	}
+	p.next()
+	op := p.cur()
+	if op.kind != tokOp {
+		return Filter{}, &ParseError{op.pos, "expected comparison operator in FILTER"}
+	}
+	p.next()
+	f := Filter{Var: lhs.text, Op: op.text}
+	rhs := p.cur()
+	switch rhs.kind {
+	case tokVar:
+		f.RHSVar = rhs.text
+	case tokString:
+		f.Value = rdf.Literal(rhs.text)
+	case tokNumber:
+		f.Value = rdf.Literal(rhs.text)
+	case tokIdent:
+		f.Value = rdf.Resource(rhs.text)
+	default:
+		return Filter{}, &ParseError{rhs.pos, "expected value or ?variable in FILTER"}
+	}
+	p.next()
+	if t := p.cur(); t.kind != tokPunct || t.text != ")" {
+		return Filter{}, &ParseError{t.pos, "expected ')' to close FILTER"}
+	}
+	p.next()
+	return f, nil
+}

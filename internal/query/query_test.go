@@ -1,0 +1,354 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"trinit/internal/rdf"
+)
+
+func TestParseShorthandSinglePattern(t *testing.T) {
+	// User A's query from Figure 2.
+	q, err := Parse("?x bornIn Germany")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns) != 1 {
+		t.Fatalf("got %d patterns", len(q.Patterns))
+	}
+	p := q.Patterns[0]
+	if !p.S.IsVar() || p.S.Var != "x" {
+		t.Errorf("S = %+v, want ?x", p.S)
+	}
+	if p.P.IsVar() || p.P.Term != rdf.Resource("bornIn") {
+		t.Errorf("P = %+v", p.P)
+	}
+	if p.O.Term != rdf.Resource("Germany") {
+		t.Errorf("O = %+v", p.O)
+	}
+	if got := q.ProjectedVars(); len(got) != 1 || got[0] != "x" {
+		t.Errorf("ProjectedVars = %v", got)
+	}
+}
+
+func TestParseJoinQueryWithSemicolon(t *testing.T) {
+	// User C's query from Figure 2.
+	q, err := Parse("AlbertEinstein affiliation ?x ; ?x member IvyLeague")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns) != 2 {
+		t.Fatalf("got %d patterns, want 2", len(q.Patterns))
+	}
+	if q.Patterns[1].S.Var != "x" {
+		t.Errorf("join variable lost: %+v", q.Patterns[1])
+	}
+}
+
+func TestParseTokenPattern(t *testing.T) {
+	// The §2 example: AlbertEinstein 'won nobel for' ?x.
+	q, err := Parse("AlbertEinstein 'won nobel for' ?x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := q.Patterns[0]
+	if p.P.Term.Kind != rdf.KindToken || p.P.Term.Text != "won nobel for" {
+		t.Fatalf("P = %+v, want token 'won nobel for'", p.P)
+	}
+}
+
+func TestParseDoubleQuotes(t *testing.T) {
+	q, err := Parse(`?x "lectured at" PrincetonUniversity`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Patterns[0].P.Term.Kind != rdf.KindToken {
+		t.Fatal("double-quoted phrase not parsed as token")
+	}
+}
+
+func TestParseSelectWhereLimit(t *testing.T) {
+	q, err := Parse("SELECT ?x WHERE { AlbertEinstein affiliation ?y . ?y 'housed in' ?x } LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Projection) != 1 || q.Projection[0] != "x" {
+		t.Fatalf("Projection = %v", q.Projection)
+	}
+	if q.Limit != 5 {
+		t.Fatalf("Limit = %d", q.Limit)
+	}
+	if len(q.Patterns) != 2 {
+		t.Fatalf("Patterns = %d", len(q.Patterns))
+	}
+	if got := q.Vars(); len(got) != 2 || got[0] != "y" || got[1] != "x" {
+		t.Fatalf("Vars = %v", got)
+	}
+}
+
+func TestParseKeywordsCaseInsensitive(t *testing.T) {
+	q, err := Parse("select ?x where { ?x bornIn Ulm } limit 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Limit != 3 || len(q.Projection) != 1 {
+		t.Fatalf("parsed: %+v", q)
+	}
+}
+
+func TestParseNumberLiteralObject(t *testing.T) {
+	q, err := Parse("?x population 120000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Patterns[0].O.Term != rdf.Literal("120000") {
+		t.Fatalf("O = %+v, want literal 120000", q.Patterns[0].O)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		in     string
+		substr string
+	}{
+		{"", "expected subject term"},
+		{"?x bornIn", "expected object term"},
+		{"?x bornIn 'unclosed", "unterminated"},
+		{"? bornIn Ulm", "variable name"},
+		{"SELECT WHERE { ?x p ?y }", "at least one ?variable"},
+		{"SELECT ?x { ?x p ?y }", "expected WHERE"},
+		{"SELECT ?x WHERE ?x p ?y", "expected '{'"},
+		{"SELECT ?x WHERE { ?x p ?y", "expected '.', ';' or '}'"},
+		{"SELECT ?z WHERE { ?x p ?y }", "does not occur in any pattern"},
+		{"?x p ?y LIMIT", "requires an integer"},
+		{"?x p ?y trailing garbage here", "unexpected trailing"},
+		{"?x p ''", "empty quoted token"},
+		{"?x p ?y @", "unexpected character"},
+	}
+	for _, tc := range tests {
+		_, err := Parse(tc.in)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", tc.in, tc.substr)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.substr) {
+			t.Errorf("Parse(%q) error = %q, want substring %q", tc.in, err, tc.substr)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse("?x bornIn 'unclosed")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type = %T", err)
+	}
+	if pe.Pos != 10 {
+		t.Errorf("Pos = %d, want 10", pe.Pos)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	inputs := []string{
+		"?x bornIn Germany",
+		"AlbertEinstein 'won nobel for' ?x",
+		"SELECT ?x WHERE { AlbertEinstein affiliation ?y . ?y 'housed in' ?x } LIMIT 5",
+		"AlbertEinstein affiliation ?x ; ?x member IvyLeague",
+	}
+	for _, in := range inputs {
+		q1 := MustParse(in)
+		q2, err := Parse(q1.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (%q) failed: %v", in, q1.String(), err)
+		}
+		if q1.String() != q2.String() {
+			t.Errorf("round trip changed query: %q -> %q", q1.String(), q2.String())
+		}
+	}
+}
+
+func TestVarsDeduplicated(t *testing.T) {
+	q := MustParse("?x knows ?y . ?y knows ?x . ?x ?p ?y")
+	got := q.Vars()
+	if len(got) != 3 {
+		t.Fatalf("Vars = %v, want x, y, p", got)
+	}
+	if got[0] != "x" || got[1] != "y" || got[2] != "p" {
+		t.Fatalf("Vars order = %v", got)
+	}
+}
+
+func TestPatternVars(t *testing.T) {
+	q := MustParse("?x ?p ?x")
+	got := q.Patterns[0].Vars()
+	if len(got) != 2 || got[0] != "x" || got[1] != "p" {
+		t.Fatalf("Pattern.Vars = %v", got)
+	}
+}
+
+func TestValidateNegativeLimit(t *testing.T) {
+	q := &Query{Patterns: []Pattern{{S: Variable("x"), P: Bound(rdf.Resource("p")), O: Variable("y")}}, Limit: -1}
+	if err := q.Validate(); err == nil {
+		t.Fatal("negative limit accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	q := MustParse("SELECT ?x WHERE { ?x bornIn Ulm }")
+	c := q.Clone()
+	c.Patterns[0].P = Bound(rdf.Resource("diedIn"))
+	c.Projection[0] = "changed"
+	if q.Patterns[0].P.Term.Text != "bornIn" || q.Projection[0] != "x" {
+		t.Fatal("Clone shares state with original")
+	}
+}
+
+func TestSlotString(t *testing.T) {
+	if got := Variable("x").String(); got != "?x" {
+		t.Errorf("var String = %q", got)
+	}
+	if got := Bound(rdf.Token("won nobel")).String(); got != "'won nobel'" {
+		t.Errorf("token String = %q", got)
+	}
+	if got := Bound(rdf.Resource("Ulm")).String(); got != "Ulm" {
+		t.Errorf("resource String = %q", got)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse on bad input did not panic")
+		}
+	}()
+	MustParse("not a ' query")
+}
+
+func TestIdentifierWithDigitsAndPunct(t *testing.T) {
+	q, err := Parse("?x type wikicat_1879_births . Yago2s p ?x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Patterns[0].O.Term != rdf.Resource("wikicat_1879_births") {
+		t.Fatalf("O = %+v", q.Patterns[0].O)
+	}
+	if q.Patterns[1].S.Term != rdf.Resource("Yago2s") {
+		t.Fatalf("S = %+v", q.Patterns[1].S)
+	}
+}
+
+func TestQuotedTokenEscapes(t *testing.T) {
+	// Tokens may embed quotes via backslash escapes.
+	q, err := Parse(`?x 'rock \'n\' roll' ?y`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Patterns[0].P.Term.Text; got != "rock 'n' roll" {
+		t.Fatalf("token text = %q", got)
+	}
+	// And the canonical rendering round-trips.
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("canonical %q does not re-parse: %v", q.String(), err)
+	}
+	if q2.Patterns[0].P.Term.Text != "rock 'n' roll" {
+		t.Fatalf("round trip lost escapes: %q", q2.Patterns[0].P.Term.Text)
+	}
+}
+
+func TestFullyBoundQueryString(t *testing.T) {
+	q := MustParse("AlbertEinstein bornIn Ulm")
+	s := q.String()
+	if strings.Contains(s, "SELECT") {
+		t.Fatalf("variable-free query rendered with SELECT: %q", s)
+	}
+	if _, err := Parse(s); err != nil {
+		t.Fatalf("canonical form %q does not re-parse: %v", s, err)
+	}
+}
+
+func TestParseFilter(t *testing.T) {
+	q, err := Parse("SELECT ?x WHERE { ?x bornOn ?d . FILTER(?d < '1900-01-01') }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Filters) != 1 {
+		t.Fatalf("filters = %v", q.Filters)
+	}
+	f := q.Filters[0]
+	if f.Var != "d" || f.Op != "<" || f.Value.Text != "1900-01-01" {
+		t.Fatalf("filter = %+v", f)
+	}
+}
+
+func TestParseFilterVariants(t *testing.T) {
+	cases := []string{
+		"?x p ?y . FILTER(?y != ?x)",
+		"?x p ?y . FILTER(?y >= 42)",
+		"?x p ?y . FILTER(?y = Germany)",
+		"SELECT ?x WHERE { ?x p ?y . FILTER(?y <= '2000') . ?y q ?z }",
+		"?x p ?y . FILTER(?y > '1900') . FILTER(?y < '1950')",
+	}
+	for _, in := range cases {
+		q, err := Parse(in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", in, err)
+			continue
+		}
+		if len(q.Filters) == 0 {
+			t.Errorf("Parse(%q): no filters", in)
+		}
+		// Canonical form must re-parse with the same filters.
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Errorf("canonical %q does not re-parse: %v", q.String(), err)
+			continue
+		}
+		if len(q2.Filters) != len(q.Filters) {
+			t.Errorf("%q: filter count changed on round trip", in)
+		}
+	}
+}
+
+func TestParseFilterErrors(t *testing.T) {
+	cases := []struct{ in, substr string }{
+		{"?x p ?y . FILTER ?y < 3", "expected '('"},
+		{"?x p ?y . FILTER(y < 3)", "?variable on the left"},
+		{"?x p ?y . FILTER(?y 3)", "comparison operator"},
+		{"?x p ?y . FILTER(?y <)", "value or ?variable"},
+		{"?x p ?y . FILTER(?y < 3", "expected ')'"},
+		{"?x p ?y . FILTER(?z < 3)", "does not occur"},
+		{"?x p ?y . FILTER(?y ! 3)", "'!' must be followed"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.in)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded", tc.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.substr) {
+			t.Errorf("Parse(%q) error = %q, want %q", tc.in, err, tc.substr)
+		}
+	}
+}
+
+func TestEvalFilter(t *testing.T) {
+	tests := []struct {
+		op, lhs, rhs string
+		want         bool
+	}{
+		{"<", "1879-03-14", "1900-01-01", true},
+		{"<", "1900-01-02", "1900-01-01", false},
+		{">=", "42", "42", true},
+		{">", "9", "10", false}, // numeric, not lexicographic
+		{">", "b", "a", true},
+		{"=", "x", "x", true},
+		{"!=", "x", "y", true},
+		{"<=", "3.5", "3.6", true},
+	}
+	for _, tc := range tests {
+		if got := EvalFilter(tc.op, tc.lhs, tc.rhs); got != tc.want {
+			t.Errorf("EvalFilter(%q, %q, %q) = %v, want %v", tc.op, tc.lhs, tc.rhs, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package rdf
+
+// Dict is a term dictionary mapping (kind, text) pairs to dense TermIDs and
+// back. IDs start at 1; TermID 0 (NoTerm) is reserved as the invalid ID.
+//
+// A Dict is not safe for concurrent mutation; once fully populated it may be
+// read from any number of goroutines.
+type Dict struct {
+	terms []Term // terms[0] is a placeholder for NoTerm
+	index map[Term]TermID
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{
+		terms: make([]Term, 1), // reserve index 0
+		index: make(map[Term]TermID),
+	}
+}
+
+// Intern returns the ID for the given term, assigning a fresh one if the
+// term has not been seen before.
+func (d *Dict) Intern(t Term) TermID {
+	if id, ok := d.index[t]; ok {
+		return id
+	}
+	id := TermID(len(d.terms))
+	d.terms = append(d.terms, t)
+	d.index[t] = id
+	return id
+}
+
+// InternResource interns a canonical-resource term.
+func (d *Dict) InternResource(text string) TermID { return d.Intern(Resource(text)) }
+
+// InternLiteral interns a literal term.
+func (d *Dict) InternLiteral(text string) TermID { return d.Intern(Literal(text)) }
+
+// InternToken interns a token-phrase term.
+func (d *Dict) InternToken(text string) TermID { return d.Intern(Token(text)) }
+
+// Lookup returns the ID of the term if it has been interned.
+func (d *Dict) Lookup(t Term) (TermID, bool) {
+	id, ok := d.index[t]
+	return id, ok
+}
+
+// Term decodes an ID back to its term. It panics if the ID was not assigned
+// by this dictionary, since that always indicates a programming error.
+func (d *Dict) Term(id TermID) Term {
+	if id == NoTerm || int(id) >= len(d.terms) {
+		panic("rdf: Term called with ID not assigned by this dictionary")
+	}
+	return d.terms[id]
+}
+
+// Valid reports whether id was assigned by this dictionary.
+func (d *Dict) Valid(id TermID) bool {
+	return id != NoTerm && int(id) < len(d.terms)
+}
+
+// Len returns the number of interned terms.
+func (d *Dict) Len() int { return len(d.terms) - 1 }
+
+// All calls fn for every interned term in ID order, stopping early if fn
+// returns false.
+func (d *Dict) All(fn func(TermID, Term) bool) {
+	for i := 1; i < len(d.terms); i++ {
+		if !fn(TermID(i), d.terms[i]) {
+			return
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package rdf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermConstructorsAndString(t *testing.T) {
+	tests := []struct {
+		term Term
+		kind TermKind
+		want string
+	}{
+		{Resource("AlbertEinstein"), KindResource, "AlbertEinstein"},
+		{Literal("1879-03-14"), KindLiteral, "'1879-03-14'"},
+		{Token("won a Nobel for"), KindToken, "'won a Nobel for'"},
+	}
+	for _, tc := range tests {
+		if tc.term.Kind != tc.kind {
+			t.Errorf("%v: kind = %v, want %v", tc.term, tc.term.Kind, tc.kind)
+		}
+		if got := tc.term.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestTermKindString(t *testing.T) {
+	if KindResource.String() != "resource" || KindLiteral.String() != "literal" || KindToken.String() != "token" {
+		t.Errorf("unexpected kind names: %v %v %v", KindResource, KindLiteral, KindToken)
+	}
+	if got := TermKind(99).String(); got != "TermKind(99)" {
+		t.Errorf("unknown kind String() = %q", got)
+	}
+}
+
+func TestDictInternIsIdempotent(t *testing.T) {
+	d := NewDict()
+	a := d.InternResource("AlbertEinstein")
+	b := d.InternResource("AlbertEinstein")
+	if a != b {
+		t.Fatalf("re-interning same term gave different IDs: %d vs %d", a, b)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", d.Len())
+	}
+}
+
+func TestDictKindsAreDistinct(t *testing.T) {
+	d := NewDict()
+	r := d.InternResource("Ulm")
+	l := d.InternLiteral("Ulm")
+	tok := d.InternToken("Ulm")
+	if r == l || l == tok || r == tok {
+		t.Fatalf("same text with different kinds must get distinct IDs: %d %d %d", r, l, tok)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", d.Len())
+	}
+}
+
+func TestDictLookup(t *testing.T) {
+	d := NewDict()
+	id := d.InternToken("lectured at")
+	got, ok := d.Lookup(Token("lectured at"))
+	if !ok || got != id {
+		t.Fatalf("Lookup = (%d, %v), want (%d, true)", got, ok, id)
+	}
+	if _, ok := d.Lookup(Resource("lectured at")); ok {
+		t.Fatal("Lookup found a resource that was only interned as a token")
+	}
+	if _, ok := d.Lookup(Resource("missing")); ok {
+		t.Fatal("Lookup found a term that was never interned")
+	}
+}
+
+func TestDictTermPanicsOnInvalidID(t *testing.T) {
+	d := NewDict()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Term(NoTerm) did not panic")
+		}
+	}()
+	d.Term(NoTerm)
+}
+
+func TestDictValid(t *testing.T) {
+	d := NewDict()
+	id := d.InternResource("x")
+	if !d.Valid(id) {
+		t.Error("freshly interned ID reported invalid")
+	}
+	if d.Valid(NoTerm) {
+		t.Error("NoTerm reported valid")
+	}
+	if d.Valid(id + 1000) {
+		t.Error("out-of-range ID reported valid")
+	}
+}
+
+func TestDictAllVisitsInIDOrder(t *testing.T) {
+	d := NewDict()
+	want := []string{"a", "b", "c"}
+	for _, s := range want {
+		d.InternResource(s)
+	}
+	var got []string
+	d.All(func(id TermID, term Term) bool {
+		got = append(got, term.Text)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("visited %d terms, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("All order: got[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDictAllEarlyStop(t *testing.T) {
+	d := NewDict()
+	d.InternResource("a")
+	d.InternResource("b")
+	n := 0
+	d.All(func(TermID, Term) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early-stopped All visited %d terms, want 1", n)
+	}
+}
+
+// Property: interning any sequence of terms and decoding the returned IDs
+// round-trips to the original terms.
+func TestDictRoundTripProperty(t *testing.T) {
+	f := func(texts []string, kinds []uint8) bool {
+		d := NewDict()
+		n := len(texts)
+		if len(kinds) < n {
+			n = len(kinds)
+		}
+		for i := 0; i < n; i++ {
+			term := Term{Kind: TermKind(kinds[i] % 3), Text: texts[i]}
+			id := d.Intern(term)
+			if d.Term(id) != term {
+				return false
+			}
+			// A second intern must return the same ID.
+			if d.Intern(term) != id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: IDs are dense, starting at 1, in order of first interning.
+func TestDictDenseIDsProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		d := NewDict()
+		for i := 0; i < int(n); i++ {
+			id := d.InternResource(string(rune('a' + i)))
+			if id != TermID(i+1) {
+				return false
+			}
+		}
+		return d.Len() == int(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSourceString(t *testing.T) {
+	if SourceKG.String() != "KG" || SourceXKG.String() != "XKG" {
+		t.Errorf("Source names: %v %v", SourceKG, SourceXKG)
+	}
+}
+
+func TestProvTable(t *testing.T) {
+	pt := NewProvTable()
+	if pt.Len() != 0 {
+		t.Fatalf("empty table Len = %d", pt.Len())
+	}
+	p := Prov{Doc: "clueweb-doc-17", Sentence: "Einstein won a Nobel for his discovery of the photoelectric effect."}
+	id := pt.Add(p)
+	if id == NoProv {
+		t.Fatal("Add returned NoProv")
+	}
+	if got := pt.Get(id); got != p {
+		t.Fatalf("Get = %+v, want %+v", got, p)
+	}
+	if got := pt.Get(NoProv); got != (Prov{}) {
+		t.Fatalf("Get(NoProv) = %+v, want zero", got)
+	}
+	if got := pt.Get(id + 99); got != (Prov{}) {
+		t.Fatalf("Get(out of range) = %+v, want zero", got)
+	}
+}
+
+func TestTripleKeyIgnoresMetadata(t *testing.T) {
+	a := Triple{S: 1, P: 2, O: 3, Source: SourceKG, Conf: 1}
+	b := Triple{S: 1, P: 2, O: 3, Source: SourceXKG, Conf: 0.5, Prov: 7}
+	if a.Key() != b.Key() {
+		t.Fatal("Key must depend only on S, P, O")
+	}
+	c := Triple{S: 1, P: 2, O: 4}
+	if a.Key() == c.Key() {
+		t.Fatal("different O must give different keys")
+	}
+}
+
+func TestTripleFormat(t *testing.T) {
+	d := NewDict()
+	s := d.InternResource("AlbertEinstein")
+	p := d.InternToken("won Nobel for")
+	o := d.InternToken("discovery of the photoelectric effect")
+	tr := Triple{S: s, P: p, O: o, Source: SourceXKG, Conf: 0.8}
+	want := "AlbertEinstein 'won Nobel for' 'discovery of the photoelectric effect'"
+	if got := tr.Format(d); got != want {
+		t.Errorf("Format = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,91 @@
+package rdf
+
+import "fmt"
+
+// Source identifies which part of the extended knowledge graph a triple
+// belongs to.
+type Source uint8
+
+const (
+	// SourceKG marks a curated fact of the original knowledge graph.
+	// KG triples carry confidence 1.
+	SourceKG Source = iota
+	// SourceXKG marks a token triple obtained by running Open IE over
+	// text. XKG triples carry the extractor's confidence and a
+	// provenance record pointing at the source document and sentence.
+	SourceXKG
+)
+
+// String returns "KG" or "XKG".
+func (s Source) String() string {
+	if s == SourceKG {
+		return "KG"
+	}
+	return "XKG"
+}
+
+// ProvID identifies a provenance record in a ProvTable. Zero means the
+// triple has no recorded provenance (true for all KG triples).
+type ProvID uint32
+
+// NoProv is the absent provenance ID.
+const NoProv ProvID = 0
+
+// Prov records where an XKG triple was extracted from.
+type Prov struct {
+	// Doc is an identifier of the source document (URL, file, or
+	// synthetic document name).
+	Doc string
+	// Sentence is the sentence the triple was extracted from.
+	Sentence string
+}
+
+// ProvTable assigns dense IDs to provenance records.
+type ProvTable struct {
+	recs []Prov // recs[0] is the placeholder for NoProv
+}
+
+// NewProvTable returns an empty provenance table.
+func NewProvTable() *ProvTable { return &ProvTable{recs: make([]Prov, 1)} }
+
+// Add stores a provenance record and returns its ID.
+func (pt *ProvTable) Add(p Prov) ProvID {
+	pt.recs = append(pt.recs, p)
+	return ProvID(len(pt.recs) - 1)
+}
+
+// Get decodes a provenance ID. Get(NoProv) returns the zero record.
+func (pt *ProvTable) Get(id ProvID) Prov {
+	if id == NoProv || int(id) >= len(pt.recs) {
+		return Prov{}
+	}
+	return pt.recs[id]
+}
+
+// Len returns the number of stored records.
+func (pt *ProvTable) Len() int { return len(pt.recs) - 1 }
+
+// Triple is a dictionary-encoded SPO fact of the extended knowledge graph.
+type Triple struct {
+	S, P, O TermID
+	// Source tells whether this is a curated KG fact or an Open-IE
+	// extraction.
+	Source Source
+	// Conf is the extraction confidence in (0, 1]. Curated KG facts have
+	// confidence 1.
+	Conf float64
+	// Prov points at the provenance record for XKG triples.
+	Prov ProvID
+}
+
+// Key returns the (S, P, O) identity of the triple, ignoring metadata.
+// Two triples with equal keys assert the same fact.
+type Key struct{ S, P, O TermID }
+
+// Key returns the SPO identity of the triple.
+func (t Triple) Key() Key { return Key{t.S, t.P, t.O} }
+
+// Format renders the triple using the given dictionary.
+func (t Triple) Format(d *Dict) string {
+	return fmt.Sprintf("%s %s %s", d.Term(t.S), d.Term(t.P), d.Term(t.O))
+}

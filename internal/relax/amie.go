@@ -1,0 +1,170 @@
+package relax
+
+import (
+	"fmt"
+	"sort"
+
+	"trinit/internal/query"
+	"trinit/internal/rdf"
+	"trinit/internal/store"
+)
+
+// HornOptions configure AMIE-style chain-rule mining (§3 cites AMIE
+// (Galárraga et al., WWW 2013) as a source of relaxation rules).
+type HornOptions struct {
+	// MinSupport is the minimum number of chain instances that are also
+	// head facts.
+	MinSupport int
+	// MinConfidence is the minimum PCA confidence for a rule.
+	MinConfidence float64
+	// MaxRules caps the output (0 = unbounded).
+	MaxRules int
+	// MaxPredicateTriples skips body predicates with more triples, to
+	// bound the join cost on token-heavy stores (0 = no bound).
+	MaxPredicateTriples int
+}
+
+// DefaultHornOptions are moderate defaults for laptop-scale stores.
+func DefaultHornOptions() HornOptions {
+	return HornOptions{MinSupport: 2, MinConfidence: 0.25, MaxPredicateTriples: 20000}
+}
+
+// MineHornRules mines chain rules in AMIE's most useful shape,
+//
+//	p(x, y)  ⇐  q(x, z) ∧ r(z, y)
+//
+// scored with PCA confidence (the denominator counts only chains whose x
+// has *some* p fact, AMIE's partial-completeness assumption for
+// incomplete KGs). Each mined rule is emitted as the relaxation
+//
+//	?x p ?y  →  ?x q ?z ; ?z r ?y   with weight = PCA confidence,
+//
+// which generalises Figure 4 rule 1: a query for the head predicate is
+// relaxed into the two-hop body. The store must be frozen.
+func MineHornRules(st *store.Store, opts HornOptions) []*Rule {
+	if opts.MinSupport < 1 {
+		opts.MinSupport = 1
+	}
+	dict := st.Dict()
+
+	// Group edges by predicate.
+	type edges struct {
+		out      map[rdf.TermID][]rdf.TermID // subject -> objects
+		args     map[[2]rdf.TermID]bool
+		subjects map[rdf.TermID]bool
+		size     int
+	}
+	byPred := make(map[rdf.TermID]*edges)
+	var preds []rdf.TermID
+	for i := 0; i < st.Len(); i++ {
+		t := st.Triple(store.ID(i))
+		e := byPred[t.P]
+		if e == nil {
+			e = &edges{
+				out:      make(map[rdf.TermID][]rdf.TermID),
+				args:     make(map[[2]rdf.TermID]bool),
+				subjects: make(map[rdf.TermID]bool),
+			}
+			byPred[t.P] = e
+			preds = append(preds, t.P)
+		}
+		if e.args[[2]rdf.TermID{t.S, t.O}] {
+			continue
+		}
+		e.args[[2]rdf.TermID{t.S, t.O}] = true
+		e.out[t.S] = append(e.out[t.S], t.O)
+		e.subjects[t.S] = true
+		e.size++
+	}
+	sort.Slice(preds, func(i, j int) bool { return preds[i] < preds[j] })
+
+	usable := func(p rdf.TermID) bool {
+		return opts.MaxPredicateTriples <= 0 || byPred[p].size <= opts.MaxPredicateTriples
+	}
+
+	var rules []*Rule
+	for _, q := range preds {
+		if !usable(q) {
+			continue
+		}
+		for _, r := range preds {
+			if !usable(r) {
+				continue
+			}
+			// Materialise the chain q(x,z) ∧ r(z,y) as a set of
+			// (x, y) pairs.
+			chain := make(map[[2]rdf.TermID]bool)
+			for x, zs := range byPred[q].out {
+				for _, z := range zs {
+					for _, y := range byPred[r].out[z] {
+						chain[[2]rdf.TermID{x, y}] = true
+					}
+				}
+			}
+			if len(chain) < opts.MinSupport {
+				continue
+			}
+			// Score every head predicate against this chain.
+			for _, p := range preds {
+				head := byPred[p]
+				support := 0
+				pcaDenom := 0
+				for pair := range chain {
+					if head.subjects[pair[0]] {
+						pcaDenom++
+						if head.args[pair] {
+							support++
+						}
+					}
+				}
+				if support < opts.MinSupport || pcaDenom == 0 {
+					continue
+				}
+				conf := float64(support) / float64(pcaDenom)
+				if conf < opts.MinConfidence {
+					continue
+				}
+				// Trivial self-explanations (p == q with r
+				// acting as identity, etc.) are filtered by
+				// requiring the rule to be non-degenerate.
+				if p == q && p == r {
+					continue
+				}
+				pt, qt, rt := dict.Term(p), dict.Term(q), dict.Term(r)
+				x, y, z := query.Variable("x"), query.Variable("y"), query.Variable("z")
+				rules = append(rules, &Rule{
+					ID:  fmt.Sprintf("horn:%s<=%s.%s", pt, qt, rt),
+					LHS: []query.Pattern{{S: x, P: query.Bound(pt), O: y}},
+					RHS: []query.Pattern{
+						{S: x, P: query.Bound(qt), O: z},
+						{S: z, P: query.Bound(rt), O: y},
+					},
+					Weight: conf,
+					Origin: "horn",
+				})
+			}
+		}
+	}
+	sortRules(rules)
+	if opts.MaxRules > 0 && len(rules) > opts.MaxRules {
+		rules = rules[:opts.MaxRules]
+	}
+	return rules
+}
+
+// HornOperator plugs MineHornRules into the operator API.
+type HornOperator struct {
+	Options HornOptions
+}
+
+// Name implements Operator.
+func (HornOperator) Name() string { return "horn" }
+
+// Rules implements Operator.
+func (op HornOperator) Rules(st *store.Store) ([]*Rule, error) {
+	o := op.Options
+	if o.MinSupport == 0 && o.MinConfidence == 0 {
+		o = DefaultHornOptions()
+	}
+	return MineHornRules(st, o), nil
+}

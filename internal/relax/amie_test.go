@@ -1,0 +1,222 @@
+package relax
+
+import (
+	"strings"
+	"testing"
+
+	"trinit/internal/query"
+	"trinit/internal/rdf"
+	"trinit/internal/store"
+)
+
+// hornStore encodes a KG where livesIn(x,y) is (mostly) explained by
+// bornIn(x,z) ∧ locatedIn(z,y).
+func hornStore() *store.Store {
+	st := store.New(nil, nil)
+	add := func(s, p, o string) {
+		st.AddKG(rdf.Resource(s), rdf.Resource(p), rdf.Resource(o))
+	}
+	add("A", "bornIn", "Ulm")
+	add("B", "bornIn", "Ulm")
+	add("C", "bornIn", "Paris")
+	add("D", "bornIn", "Paris")
+	add("Ulm", "locatedIn", "Germany")
+	add("Paris", "locatedIn", "France")
+	// livesIn holds for A, B, C (chain-consistent) but not for D, whose
+	// livesIn fact is elsewhere.
+	add("A", "livesIn", "Germany")
+	add("B", "livesIn", "Germany")
+	add("C", "livesIn", "France")
+	add("D", "livesIn", "Spain")
+	st.Freeze()
+	return st
+}
+
+func TestMineHornRulesFindsChain(t *testing.T) {
+	st := hornStore()
+	rules := MineHornRules(st, HornOptions{MinSupport: 2, MinConfidence: 0.2})
+	r := findRule(rules, "horn:livesIn<=bornIn.locatedIn")
+	if r == nil {
+		t.Fatalf("chain rule missing; got %v", rules)
+	}
+	// Chain pairs: (A,Germany),(B,Germany),(C,France),(D,France).
+	// All four x's have some livesIn fact, so PCA denominator = 4;
+	// support = 3 (A, B, C).
+	if want := 0.75; r.Weight != want {
+		t.Errorf("PCA confidence = %v, want %v", r.Weight, want)
+	}
+	if len(r.RHS) != 2 {
+		t.Fatalf("RHS = %v", r.RHS)
+	}
+	// The rule must actually relax a livesIn query into the chain.
+	q := query.MustParse("?p livesIn Germany")
+	apps := Apply(q, r)
+	if len(apps) != 1 {
+		t.Fatalf("rule did not apply: %v", apps)
+	}
+}
+
+func TestMineHornRulesSupportThreshold(t *testing.T) {
+	st := hornStore()
+	rules := MineHornRules(st, HornOptions{MinSupport: 4, MinConfidence: 0})
+	if findRule(rules, "horn:livesIn<=bornIn.locatedIn") != nil {
+		t.Fatal("rule with support 3 survived MinSupport 4")
+	}
+}
+
+func TestMineHornRulesConfidenceThreshold(t *testing.T) {
+	st := hornStore()
+	rules := MineHornRules(st, HornOptions{MinSupport: 1, MinConfidence: 0.9})
+	if findRule(rules, "horn:livesIn<=bornIn.locatedIn") != nil {
+		t.Fatal("0.75-confidence rule survived MinConfidence 0.9")
+	}
+}
+
+func TestMineHornRulesSkipsFullyDegenerate(t *testing.T) {
+	st := store.New(nil, nil)
+	st.AddKG(rdf.Resource("A"), rdf.Resource("p"), rdf.Resource("B"))
+	st.AddKG(rdf.Resource("B"), rdf.Resource("p"), rdf.Resource("C"))
+	st.AddKG(rdf.Resource("A"), rdf.Resource("p"), rdf.Resource("C"))
+	st.Freeze()
+	rules := MineHornRules(st, HornOptions{MinSupport: 1, MinConfidence: 0})
+	for _, r := range rules {
+		if strings.Contains(r.ID, "horn:p<=p.p") {
+			t.Fatalf("fully degenerate rule emitted: %v", r)
+		}
+	}
+}
+
+func TestMineHornRulesMaxPredicateTriples(t *testing.T) {
+	st := hornStore()
+	rules := MineHornRules(st, HornOptions{MinSupport: 1, MinConfidence: 0, MaxPredicateTriples: 1})
+	if len(rules) != 0 {
+		t.Fatalf("size bound ignored: %v", rules)
+	}
+}
+
+func TestHornOperator(t *testing.T) {
+	st := hornStore()
+	op := HornOperator{}
+	rules, err := op.Rules(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Name() != "horn" {
+		t.Errorf("name = %q", op.Name())
+	}
+	if findRule(rules, "horn:livesIn<=bornIn.locatedIn") == nil {
+		t.Fatalf("operator missed the chain rule: %v", rules)
+	}
+}
+
+func paraStore() *store.Store {
+	st := store.New(nil, nil)
+	st.AddFact(rdf.Resource("A"), rdf.Token("worked at"), rdf.Resource("X"), rdf.SourceXKG, 0.8, rdf.NoProv)
+	st.AddFact(rdf.Resource("B"), rdf.Token("was employed by"), rdf.Resource("Y"), rdf.SourceXKG, 0.8, rdf.NoProv)
+	st.AddFact(rdf.Resource("C"), rdf.Token("collected stamps with"), rdf.Resource("D"), rdf.SourceXKG, 0.8, rdf.NoProv)
+	st.Freeze()
+	return st
+}
+
+func TestParaphraseOperator(t *testing.T) {
+	st := paraStore()
+	op := ParaphraseOperator{}
+	rules, err := op.Rules(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Name() != "paraphrase" {
+		t.Errorf("name = %q", op.Name())
+	}
+	// 'worked at' and 'was employed by' are in the same builtin cluster
+	// and both occur as predicates: two directed rules.
+	var found int
+	for _, r := range rules {
+		if strings.Contains(r.ID, "worked at") && strings.Contains(r.ID, "was employed by") {
+			found++
+			if r.Weight != 0.8 {
+				t.Errorf("weight = %v", r.Weight)
+			}
+		}
+		if strings.Contains(r.ID, "collected stamps") {
+			t.Errorf("out-of-repository predicate got a rule: %v", r)
+		}
+	}
+	if found != 2 {
+		t.Fatalf("found %d worked-at/employed-by rules, want 2 (both directions); rules: %v", found, rules)
+	}
+}
+
+func TestParaphraseOperatorCustomClusters(t *testing.T) {
+	st := paraStore()
+	op := ParaphraseOperator{
+		Clusters: [][]string{{"collected stamps with", "worked at"}},
+		Weight:   0.5,
+	}
+	rules, err := op.Rules(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("rules = %v", rules)
+	}
+	if rules[0].Weight != 0.5 {
+		t.Errorf("custom weight ignored: %v", rules[0].Weight)
+	}
+}
+
+func TestRelatednessOperator(t *testing.T) {
+	st := store.New(nil, nil)
+	st.AddKG(rdf.Resource("A"), rdf.Resource("bornIn"), rdf.Resource("Ulm"))
+	st.AddFact(rdf.Resource("B"), rdf.Token("was born in"), rdf.Resource("Paris"), rdf.SourceXKG, 0.8, rdf.NoProv)
+	st.AddFact(rdf.Resource("C"), rdf.Token("jousted near"), rdf.Resource("Lyon"), rdf.SourceXKG, 0.8, rdf.NoProv)
+	st.Freeze()
+	op := RelatednessOperator{MinSim: 0.5}
+	rules, err := op.Rules(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Name() != "relatedness" {
+		t.Errorf("name = %q", op.Name())
+	}
+	// bornIn (camel-split "born in") relates to 'was born in'.
+	found := false
+	for _, r := range rules {
+		if r.ID == "rel:bornIn->'was born in'" {
+			found = true
+			if r.Weight < 0.5 || r.Weight > 1 {
+				t.Errorf("weight = %v", r.Weight)
+			}
+		}
+		if strings.Contains(r.ID, "jousted") {
+			t.Errorf("unrelated predicate got a rule: %v", r)
+		}
+	}
+	if !found {
+		t.Fatalf("bornIn <-> 'was born in' relatedness rule missing: %v", rules)
+	}
+	// MaxRules cap.
+	capped, _ := RelatednessOperator{MinSim: 0.1, MaxRules: 1}.Rules(st)
+	if len(capped) > 1 {
+		t.Fatalf("MaxRules ignored: %v", capped)
+	}
+}
+
+func TestRelatednessBridgesUserBWithoutManualRule(t *testing.T) {
+	// End to end: with a relatedness rule mined from labels alone, the
+	// query 'X hasAdvisor ?y' can reach 'was advised by' XKG facts.
+	st := store.New(nil, nil)
+	st.AddFact(rdf.Resource("AlbertEinstein"), rdf.Token("was advised by"), rdf.Resource("AlfredKleiner"), rdf.SourceXKG, 0.8, rdf.NoProv)
+	st.AddKG(rdf.Resource("AlbertEinstein"), rdf.Resource("hasAdvisor2"), rdf.Resource("Nobody"))
+	st.Freeze()
+	// Note: hasAdvisor must occur as a predicate somewhere for the
+	// label-based operator to see it; here we use the related spelling.
+	op := RelatednessOperator{MinSim: 0.3}
+	rules, err := op.Rules(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Fatal("no relatedness rules")
+	}
+}

@@ -1,0 +1,118 @@
+package relax
+
+import (
+	"container/heap"
+
+	"trinit/internal/query"
+)
+
+// Rewrite is one node of the rewrite space: a (possibly) relaxed query, the
+// sequence of rules that produced it, and the product of their weights. The
+// original query is the Rewrite with no applied rules and weight 1.
+type Rewrite struct {
+	Query   *query.Query
+	Applied []*Rule
+	Weight  float64
+}
+
+// Expander enumerates the rewrite space of a query in best-first order of
+// derivation weight. The space is otherwise prohibitively large (§4), so
+// expansion is bounded by depth, count, and minimum weight; the top-k
+// processor additionally opens rewrites lazily.
+type Expander struct {
+	// Rules is the rule repertoire.
+	Rules []*Rule
+	// MaxDepth bounds the number of rule applications per derivation;
+	// 0 disables relaxation entirely (only the original query is
+	// returned), negative values select the default depth of 2.
+	MaxDepth int
+	// MaxRewrites bounds the total number of rewrites returned,
+	// including the original query. Zero means no bound.
+	MaxRewrites int
+	// MinWeight prunes derivations below this weight.
+	MinWeight float64
+}
+
+// NewExpander returns an expander with the default bounds used by the
+// engine: depth 2, 64 rewrites, minimum weight 0.05.
+func NewExpander(rules []*Rule) *Expander {
+	return &Expander{Rules: rules, MaxDepth: 2, MaxRewrites: 64, MinWeight: 0.05}
+}
+
+type rwItem struct {
+	rw    Rewrite
+	depth int
+}
+
+type rwHeap []rwItem
+
+func (h rwHeap) Len() int      { return len(h) }
+func (h rwHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h rwHeap) Less(i, j int) bool {
+	if h[i].rw.Weight != h[j].rw.Weight {
+		return h[i].rw.Weight > h[j].rw.Weight
+	}
+	// Deterministic tie-break: shallower derivations first, then by
+	// canonical query text.
+	if h[i].depth != h[j].depth {
+		return h[i].depth < h[j].depth
+	}
+	return canonicalKey(h[i].rw.Query) < canonicalKey(h[j].rw.Query)
+}
+func (h *rwHeap) Push(x any) { *h = append(*h, x.(rwItem)) }
+func (h *rwHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Expand returns the rewrite space of q in descending weight order. The
+// first element is always the original query (weight 1, no rules). Each
+// distinct query appears once, with its maximum-weight derivation — the
+// paper's max-over-sequences semantics (§4) applied at the rewrite level.
+func (e *Expander) Expand(q *query.Query) []Rewrite {
+	maxDepth := e.MaxDepth
+	if maxDepth < 0 {
+		maxDepth = 2
+	}
+	h := &rwHeap{{rw: Rewrite{Query: q, Weight: 1}, depth: 0}}
+	heap.Init(h)
+	seen := make(map[string]bool)
+	var out []Rewrite
+	for h.Len() > 0 {
+		it := heap.Pop(h).(rwItem)
+		key := canonicalKey(it.rw.Query)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, it.rw)
+		if e.MaxRewrites > 0 && len(out) >= e.MaxRewrites {
+			break
+		}
+		if it.depth >= maxDepth {
+			continue
+		}
+		for _, r := range e.Rules {
+			for _, app := range Apply(it.rw.Query, r) {
+				w := it.rw.Weight * r.Weight
+				if w < e.MinWeight {
+					continue
+				}
+				if seen[canonicalKey(app.Query)] {
+					continue
+				}
+				applied := make([]*Rule, len(it.rw.Applied), len(it.rw.Applied)+1)
+				copy(applied, it.rw.Applied)
+				applied = append(applied, r)
+				heap.Push(h, rwItem{
+					rw:    Rewrite{Query: app.Query, Applied: applied, Weight: w},
+					depth: it.depth + 1,
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,325 @@
+package relax
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"trinit/internal/query"
+	"trinit/internal/rdf"
+	"trinit/internal/store"
+)
+
+// MiningOptions control the XKG rule miners.
+type MiningOptions struct {
+	// MinSupport is the minimum size of the args intersection for a rule
+	// to be emitted.
+	MinSupport int
+	// MinWeight drops rules below this weight.
+	MinWeight float64
+	// MaxRules caps the number of rules returned (0 = unbounded); the
+	// highest-weight rules are kept.
+	MaxRules int
+	// IncludeInverse also mines predicate-inversion rules such as
+	// Figure 4 rule 2 (?x hasAdvisor ?y → ?y hasStudent ?x).
+	IncludeInverse bool
+}
+
+// DefaultMiningOptions mirror the engine defaults.
+func DefaultMiningOptions() MiningOptions {
+	return MiningOptions{MinSupport: 2, MinWeight: 0.1, MaxRules: 0, IncludeInverse: true}
+}
+
+// Mine derives predicate-rewriting rules from the XKG, as described in §3:
+// for predicates p1, p2 it emits
+//
+//	?x p1 ?y  →  ?x p2 ?y   with   w = |args(p1) ∩ args(p2)| / |args(p2)|
+//
+// where args(p) is the set of (subject, object) pairs connected by p. With
+// IncludeInverse, it additionally emits
+//
+//	?x p1 ?y  →  ?y p2 ?x   with   w = |args(p1) ∩ args(p2)⁻¹| / |args(p2)|.
+//
+// The store must be frozen. Rules are returned in descending weight order
+// (ties broken by rule ID).
+func Mine(st *store.Store, opts MiningOptions) []*Rule {
+	if opts.MinSupport < 1 {
+		opts.MinSupport = 1
+	}
+	dict := st.Dict()
+
+	// Build pair → predicate postings so that co-counts are accumulated
+	// only over co-occurring argument pairs, rather than over all
+	// predicate pairs.
+	predsByPair := make(map[[2]rdf.TermID][]rdf.TermID)
+	argCount := make(map[rdf.TermID]int)
+	seenPair := make(map[[3]rdf.TermID]bool) // (p, s, o) dedup
+	for i := 0; i < st.Len(); i++ {
+		t := st.Triple(store.ID(i))
+		key := [3]rdf.TermID{t.P, t.S, t.O}
+		if seenPair[key] {
+			continue
+		}
+		seenPair[key] = true
+		pair := [2]rdf.TermID{t.S, t.O}
+		predsByPair[pair] = append(predsByPair[pair], t.P)
+		argCount[t.P]++
+	}
+
+	co := make(map[[2]rdf.TermID]int)    // (p1, p2): |args(p1) ∩ args(p2)|
+	coInv := make(map[[2]rdf.TermID]int) // (p1, p2): |args(p1) ∩ args(p2)⁻¹|
+	for pair, preds := range predsByPair {
+		for _, p1 := range preds {
+			for _, p2 := range preds {
+				if p1 != p2 {
+					co[[2]rdf.TermID{p1, p2}]++
+				}
+			}
+		}
+		if opts.IncludeInverse {
+			inv := [2]rdf.TermID{pair[1], pair[0]}
+			if invPreds, ok := predsByPair[inv]; ok {
+				for _, p1 := range preds {
+					for _, p2 := range invPreds {
+						// p1(s,o) and p2(o,s): p1 rewrites to inverted p2.
+						coInv[[2]rdf.TermID{p1, p2}]++
+					}
+				}
+			}
+		}
+	}
+
+	var rules []*Rule
+	emit := func(p1, p2 rdf.TermID, inter int, inverse bool) {
+		if inter < opts.MinSupport {
+			return
+		}
+		w := float64(inter) / float64(argCount[p2])
+		if w > 1 {
+			w = 1
+		}
+		if w < opts.MinWeight {
+			return
+		}
+		t1, t2 := dict.Term(p1), dict.Term(p2)
+		x, y := query.Variable("x"), query.Variable("y")
+		lhs := []query.Pattern{{S: x, P: query.Bound(t1), O: y}}
+		var rhs []query.Pattern
+		var id string
+		if inverse {
+			rhs = []query.Pattern{{S: y, P: query.Bound(t2), O: x}}
+			id = fmt.Sprintf("inv:%s->%s", t1, t2)
+		} else {
+			rhs = []query.Pattern{{S: x, P: query.Bound(t2), O: y}}
+			id = fmt.Sprintf("mine:%s->%s", t1, t2)
+		}
+		origin := "mined"
+		if inverse {
+			origin = "inversion"
+		}
+		rules = append(rules, &Rule{ID: id, LHS: lhs, RHS: rhs, Weight: w, Origin: origin})
+	}
+	for pq, inter := range co {
+		emit(pq[0], pq[1], inter, false)
+	}
+	for pq, inter := range coInv {
+		emit(pq[0], pq[1], inter, true)
+	}
+
+	sortRules(rules)
+	if opts.MaxRules > 0 && len(rules) > opts.MaxRules {
+		rules = rules[:opts.MaxRules]
+	}
+	return rules
+}
+
+// MineCompositions derives structural expansion rules in the shape of
+// Figure 4 rule 1: when the objects of predicate p are frequently subjects
+// of a containment predicate c (cities are locatedIn countries), it emits
+//
+//	?x p ?y  →  ?x p ?z ; ?z c ?y
+//
+// with weight |objects(p) ∩ subjects(c)| / |objects(p)|. This lets a query
+// for people born in a country reach people whose KG birthplace is a city
+// located in that country.
+func MineCompositions(st *store.Store, containment []string, opts MiningOptions) []*Rule {
+	if opts.MinSupport < 1 {
+		opts.MinSupport = 1
+	}
+	dict := st.Dict()
+	var cPreds []rdf.TermID
+	for _, name := range containment {
+		if id, ok := dict.Lookup(rdf.Resource(name)); ok {
+			cPreds = append(cPreds, id)
+		}
+	}
+	if len(cPreds) == 0 {
+		return nil
+	}
+	objects := make(map[rdf.TermID]map[rdf.TermID]bool)  // p → object set
+	subjects := make(map[rdf.TermID]map[rdf.TermID]bool) // c → subject set
+	isC := make(map[rdf.TermID]bool)
+	for _, c := range cPreds {
+		isC[c] = true
+		subjects[c] = make(map[rdf.TermID]bool)
+	}
+	for i := 0; i < st.Len(); i++ {
+		t := st.Triple(store.ID(i))
+		if isC[t.P] {
+			subjects[t.P][t.S] = true
+		}
+		if objects[t.P] == nil {
+			objects[t.P] = make(map[rdf.TermID]bool)
+		}
+		objects[t.P][t.O] = true
+	}
+
+	var rules []*Rule
+	for p, objs := range objects {
+		for _, c := range cPreds {
+			if p == c {
+				continue
+			}
+			inter := 0
+			for o := range objs {
+				if subjects[c][o] {
+					inter++
+				}
+			}
+			if inter < opts.MinSupport {
+				continue
+			}
+			w := float64(inter) / float64(len(objs))
+			if w < opts.MinWeight {
+				continue
+			}
+			pt, ct := dict.Term(p), dict.Term(c)
+			x, y, z := query.Variable("x"), query.Variable("y"), query.Variable("z")
+			rules = append(rules, &Rule{
+				ID:     fmt.Sprintf("comp:%s/%s", pt, ct),
+				LHS:    []query.Pattern{{S: x, P: query.Bound(pt), O: y}},
+				RHS:    []query.Pattern{{S: x, P: query.Bound(pt), O: z}, {S: z, P: query.Bound(ct), O: y}},
+				Weight: w,
+				Origin: "composition",
+			})
+		}
+	}
+	sortRules(rules)
+	if opts.MaxRules > 0 && len(rules) > opts.MaxRules {
+		rules = rules[:opts.MaxRules]
+	}
+	return rules
+}
+
+func sortRules(rules []*Rule) {
+	sort.Slice(rules, func(i, j int) bool {
+		if rules[i].Weight != rules[j].Weight {
+			return rules[i].Weight > rules[j].Weight
+		}
+		return rules[i].ID < rules[j].ID
+	})
+}
+
+// Operator is the plug-in API of §3: "TriniT has an API for relaxation
+// operators, which administrators and advanced users can use to plug in
+// their code for generating relaxation rules and their weights."
+type Operator interface {
+	// Name identifies the operator in rule origins and diagnostics.
+	Name() string
+	// Rules generates relaxation rules from the (frozen) store.
+	Rules(st *store.Store) ([]*Rule, error)
+}
+
+// AlignmentOperator mines predicate alignment and inversion rules with Mine.
+type AlignmentOperator struct {
+	Options MiningOptions
+}
+
+// Name implements Operator.
+func (AlignmentOperator) Name() string { return "alignment" }
+
+// Rules implements Operator.
+func (op AlignmentOperator) Rules(st *store.Store) ([]*Rule, error) {
+	return Mine(st, op.Options), nil
+}
+
+// CompositionOperator mines structural expansion rules with
+// MineCompositions. Containment defaults to common part-of predicates.
+type CompositionOperator struct {
+	Containment []string
+	Options     MiningOptions
+}
+
+// Name implements Operator.
+func (CompositionOperator) Name() string { return "composition" }
+
+// Rules implements Operator.
+func (op CompositionOperator) Rules(st *store.Store) ([]*Rule, error) {
+	c := op.Containment
+	if len(c) == 0 {
+		c = []string{"locatedIn", "partOf", "memberOf"}
+	}
+	return MineCompositions(st, c, op.Options), nil
+}
+
+// ManualOperator serves a fixed rule list, e.g. administrator-supplied
+// rules or the user-customised relaxations of the demo.
+type ManualOperator struct {
+	List []*Rule
+}
+
+// Name implements Operator.
+func (ManualOperator) Name() string { return "manual" }
+
+// Rules implements Operator.
+func (op ManualOperator) Rules(*store.Store) ([]*Rule, error) {
+	for _, r := range op.List {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return op.List, nil
+}
+
+// ParseRule builds a rule from textual pattern lists, e.g.
+//
+//	ParseRule("r2", "?x hasAdvisor ?y => ?y hasStudent ?x", 1.0, "manual")
+//
+// Both sides use the query shorthand syntax with ';'- or '.'-separated
+// patterns.
+func ParseRule(id, s string, weight float64, origin string) (*Rule, error) {
+	parts := strings.SplitN(s, "=>", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("rule %s: missing '=>' in %q", id, s)
+	}
+	lhs, err := parsePatterns(parts[0])
+	if err != nil {
+		return nil, fmt.Errorf("rule %s LHS: %w", id, err)
+	}
+	rhs, err := parsePatterns(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("rule %s RHS: %w", id, err)
+	}
+	r := &Rule{ID: id, LHS: lhs, RHS: rhs, Weight: weight, Origin: origin}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// MustParseRule is ParseRule panicking on error; for fixtures and tests.
+func MustParseRule(id, s string, weight float64, origin string) *Rule {
+	r, err := ParseRule(id, s, weight, origin)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func parsePatterns(s string) ([]query.Pattern, error) {
+	q, err := query.Parse(strings.TrimSpace(s))
+	if err != nil {
+		return nil, err
+	}
+	return q.Patterns, nil
+}

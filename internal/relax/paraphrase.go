@@ -1,0 +1,161 @@
+package relax
+
+import (
+	"fmt"
+	"sort"
+
+	"trinit/internal/query"
+	"trinit/internal/rdf"
+	"trinit/internal/store"
+	"trinit/internal/text"
+)
+
+// ParaphraseOperator generates relaxation rules from a paraphrase
+// repository: clusters of relation phrases known to express the same
+// relation (§3 cites PATTY and Biperpedia as sources of such clusters).
+// For every pair of cluster members that both occur as predicates in the
+// store, it emits rewrite rules in both directions.
+type ParaphraseOperator struct {
+	// Clusters are groups of interchangeable relation phrases. Empty
+	// uses BuiltinParaphrases.
+	Clusters [][]string
+	// Weight is the rule weight (default 0.8). Paraphrase repositories
+	// assert near-synonymy, so a single high weight is appropriate.
+	Weight float64
+	// MinMatch is the label-similarity needed to consider a store
+	// predicate an occurrence of a cluster phrase (default 0.75).
+	MinMatch float64
+}
+
+// BuiltinParaphrases is a small PATTY-style repository covering the
+// relation families of the paper's examples and the synthetic world.
+var BuiltinParaphrases = [][]string{
+	{"worked at", "was employed by", "worked for", "joined", "taught at", "lectured at"},
+	{"was born in", "born in", "is a native of", "grew up in", "was raised in"},
+	{"studied under", "was a student of", "was advised by"},
+	{"advised", "supervised", "mentored", "was the advisor of"},
+	{"won", "received", "was awarded", "earned"},
+	{"located in", "situated in", "based in", "housed in"},
+	{"died in", "passed away in"},
+}
+
+// Name implements Operator.
+func (ParaphraseOperator) Name() string { return "paraphrase" }
+
+// Rules implements Operator. The store must be frozen.
+func (op ParaphraseOperator) Rules(st *store.Store) ([]*Rule, error) {
+	clusters := op.Clusters
+	if len(clusters) == 0 {
+		clusters = BuiltinParaphrases
+	}
+	weight := op.Weight
+	if weight <= 0 {
+		weight = 0.8
+	}
+	minMatch := op.MinMatch
+	if minMatch <= 0 {
+		minMatch = 0.75
+	}
+
+	// Store predicates with their normalised labels.
+	type pred struct {
+		id    rdf.TermID
+		label string
+	}
+	var preds []pred
+	for _, ps := range st.Predicates() {
+		term := st.Dict().Term(ps.Pred)
+		preds = append(preds, pred{id: ps.Pred, label: term.Text})
+	}
+
+	var rules []*Rule
+	seen := make(map[[2]rdf.TermID]bool)
+	for _, cluster := range clusters {
+		// Resolve each phrase to matching store predicates.
+		var members []rdf.TermID
+		memberSet := make(map[rdf.TermID]bool)
+		for _, phrase := range cluster {
+			for _, p := range preds {
+				if memberSet[p.id] {
+					continue
+				}
+				if text.Similarity(phrase, p.label) >= minMatch {
+					members = append(members, p.id)
+					memberSet[p.id] = true
+				}
+			}
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		for _, a := range members {
+			for _, b := range members {
+				if a == b || seen[[2]rdf.TermID{a, b}] {
+					continue
+				}
+				seen[[2]rdf.TermID{a, b}] = true
+				at, bt := st.Dict().Term(a), st.Dict().Term(b)
+				x, y := query.Variable("x"), query.Variable("y")
+				rules = append(rules, &Rule{
+					ID:     fmt.Sprintf("para:%s->%s", at, bt),
+					LHS:    []query.Pattern{{S: x, P: query.Bound(at), O: y}},
+					RHS:    []query.Pattern{{S: x, P: query.Bound(bt), O: y}},
+					Weight: weight,
+					Origin: "paraphrase",
+				})
+			}
+		}
+	}
+	sortRules(rules)
+	return rules, nil
+}
+
+// RelatednessOperator generates rules from label similarity alone (§3
+// cites explicit semantic relatedness measures such as ESA). A rule
+// p1 → p2 is emitted when the predicates' surface labels are similar,
+// weighted by that similarity; camel-case splitting and stemming make KG
+// predicates comparable to token phrases, so 'was advised by' relates to
+// hasAdvisor without any argument overlap.
+type RelatednessOperator struct {
+	// MinSim is the minimum label similarity (default 0.5).
+	MinSim float64
+	// MaxRules caps the output (0 = unbounded).
+	MaxRules int
+}
+
+// Name implements Operator.
+func (RelatednessOperator) Name() string { return "relatedness" }
+
+// Rules implements Operator. The store must be frozen.
+func (op RelatednessOperator) Rules(st *store.Store) ([]*Rule, error) {
+	minSim := op.MinSim
+	if minSim <= 0 {
+		minSim = 0.5
+	}
+	stats := st.Predicates()
+	var rules []*Rule
+	for _, a := range stats {
+		at := st.Dict().Term(a.Pred)
+		for _, b := range stats {
+			if a.Pred == b.Pred {
+				continue
+			}
+			bt := st.Dict().Term(b.Pred)
+			sim := text.StemSimilarity(at.Text, bt.Text)
+			if sim < minSim {
+				continue
+			}
+			x, y := query.Variable("x"), query.Variable("y")
+			rules = append(rules, &Rule{
+				ID:     fmt.Sprintf("rel:%s->%s", at, bt),
+				LHS:    []query.Pattern{{S: x, P: query.Bound(at), O: y}},
+				RHS:    []query.Pattern{{S: x, P: query.Bound(bt), O: y}},
+				Weight: sim,
+				Origin: "relatedness",
+			})
+		}
+	}
+	sortRules(rules)
+	if op.MaxRules > 0 && len(rules) > op.MaxRules {
+		rules = rules[:op.MaxRules]
+	}
+	return rules, nil
+}

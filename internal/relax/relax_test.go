@@ -1,0 +1,524 @@
+package relax
+
+import (
+	"strings"
+	"testing"
+
+	"trinit/internal/query"
+	"trinit/internal/rdf"
+	"trinit/internal/store"
+)
+
+func TestParseRule(t *testing.T) {
+	r, err := ParseRule("r2", "?x hasAdvisor ?y => ?y hasStudent ?x", 1.0, "manual")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.LHS) != 1 || len(r.RHS) != 1 {
+		t.Fatalf("rule shape: %+v", r)
+	}
+	if r.LHS[0].P.Term.Text != "hasAdvisor" || r.RHS[0].P.Term.Text != "hasStudent" {
+		t.Fatalf("predicates wrong: %v", r)
+	}
+	if r.RHS[0].S.Var != "y" || r.RHS[0].O.Var != "x" {
+		t.Fatalf("inversion lost: %v", r.RHS[0])
+	}
+}
+
+func TestParseRuleMultiPattern(t *testing.T) {
+	// Figure 4 rule 3.
+	r, err := ParseRule("r3", "?x affiliation ?y => ?x affiliation ?z ; ?z 'housed in' ?y", 0.8, "manual")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.RHS) != 2 {
+		t.Fatalf("RHS size = %d", len(r.RHS))
+	}
+	if r.RHS[1].P.Term.Kind != rdf.KindToken {
+		t.Fatalf("token predicate lost: %v", r.RHS[1])
+	}
+}
+
+func TestParseRuleErrors(t *testing.T) {
+	cases := []struct{ id, s string }{
+		{"noarrow", "?x p ?y"},
+		{"badlhs", "?x p => ?x q ?y"},
+		{"badrhs", "?x p ?y => ?x"},
+	}
+	for _, c := range cases {
+		if _, err := ParseRule(c.id, c.s, 1, "manual"); err == nil {
+			t.Errorf("ParseRule(%q) succeeded", c.s)
+		}
+	}
+	if _, err := ParseRule("w", "?x p ?y => ?x q ?y", 1.5, "manual"); err == nil {
+		t.Error("weight 1.5 accepted")
+	}
+	if _, err := ParseRule("w", "?x p ?y => ?x q ?y", -0.1, "manual"); err == nil {
+		t.Error("weight -0.1 accepted")
+	}
+}
+
+func TestMustParseRulePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustParseRule("bad", "no arrow here", 1, "manual")
+}
+
+func TestApplyInversionRule(t *testing.T) {
+	// User B's failing query, fixed by Figure 4 rule 2.
+	q := query.MustParse("AlbertEinstein hasAdvisor ?x")
+	r := MustParseRule("r2", "?x hasAdvisor ?y => ?y hasStudent ?x", 1.0, "manual")
+	apps := Apply(q, r)
+	if len(apps) != 1 {
+		t.Fatalf("got %d applications, want 1", len(apps))
+	}
+	got := apps[0].Query.Patterns
+	if len(got) != 1 {
+		t.Fatalf("patterns = %v", got)
+	}
+	// ?x in the rule bound AlbertEinstein, ?y bound the query's ?x, so
+	// the rewritten pattern is: ?x hasStudent AlbertEinstein.
+	p := got[0]
+	if !p.S.IsVar() || p.S.Var != "x" {
+		t.Errorf("S = %v, want ?x", p.S)
+	}
+	if p.P.Term.Text != "hasStudent" {
+		t.Errorf("P = %v", p.P)
+	}
+	if p.O.IsVar() || p.O.Term.Text != "AlbertEinstein" {
+		t.Errorf("O = %v, want AlbertEinstein", p.O)
+	}
+}
+
+func TestApplyExpansionRuleCreatesFreshVariable(t *testing.T) {
+	// Figure 4 rule 3 applied to user C's first pattern.
+	q := query.MustParse("AlbertEinstein affiliation ?x . ?x member IvyLeague")
+	r := MustParseRule("r3", "?x affiliation ?y => ?x affiliation ?z ; ?z 'housed in' ?y", 0.8, "manual")
+	apps := Apply(q, r)
+	if len(apps) != 1 {
+		t.Fatalf("applications = %d", len(apps))
+	}
+	nq := apps[0].Query
+	if len(nq.Patterns) != 3 {
+		t.Fatalf("rewritten query = %v", nq)
+	}
+	// The fresh variable must not clash with the existing ?x.
+	vars := nq.Vars()
+	seen := make(map[string]bool)
+	for _, v := range vars {
+		if seen[v] {
+			t.Fatalf("duplicate variable %s", v)
+		}
+		seen[v] = true
+	}
+	if len(vars) != 2 {
+		t.Fatalf("vars = %v, want x plus one fresh", vars)
+	}
+	// The 'housed in' pattern must end in the original variable ?x.
+	last := nq.Patterns[2]
+	if last.P.Term.Kind != rdf.KindToken || last.O.Var != "x" {
+		t.Fatalf("last pattern = %v", last)
+	}
+}
+
+func TestApplyConstantLHSRequiresExactMatch(t *testing.T) {
+	r := MustParseRule("r", "?x bornIn Germany => ?x bornIn ?z ; ?z locatedIn Germany", 0.9, "manual")
+	hit := query.MustParse("?x bornIn Germany")
+	miss := query.MustParse("?x bornIn France")
+	if got := Apply(hit, r); len(got) != 1 {
+		t.Fatalf("constant match failed: %v", got)
+	}
+	if got := Apply(miss, r); len(got) != 0 {
+		t.Fatalf("constant mismatch applied: %v", got)
+	}
+}
+
+func TestApplyTokenNormalisedMatch(t *testing.T) {
+	// Token constants unify up to normalisation: 'won nobel for' in the
+	// rule matches 'won a Nobel for' in the query.
+	r := MustParseRule("r", "?x 'won nobel for' ?y => ?x wonPrize ?y", 0.9, "manual")
+	q := query.MustParse("AlbertEinstein 'won a Nobel for' ?w")
+	if got := Apply(q, r); len(got) != 1 {
+		t.Fatalf("normalised token unification failed: %v", got)
+	}
+}
+
+func TestApplyRejectsProjectionLoss(t *testing.T) {
+	// Rewriting the only pattern binding the projected variable away
+	// must be rejected.
+	q := query.MustParse("SELECT ?y WHERE { ?x knows ?y }")
+	r := MustParseRule("r", "?a knows ?b => ?a lonely ?a", 0.5, "manual")
+	if got := Apply(q, r); len(got) != 0 {
+		t.Fatalf("projection-losing rewrite accepted: %v", got[0].Query)
+	}
+}
+
+func TestApplyNoMatch(t *testing.T) {
+	q := query.MustParse("?x bornIn ?y")
+	r := MustParseRule("r", "?x diedIn ?y => ?x buriedIn ?y", 0.5, "manual")
+	if got := Apply(q, r); got != nil {
+		t.Fatalf("unexpected application: %v", got)
+	}
+}
+
+func TestApplyMultiplePositions(t *testing.T) {
+	// A rule matching two different patterns yields two rewrites.
+	q := query.MustParse("?x affiliation ?y . ?z affiliation ?w")
+	r := MustParseRule("r4", "?a affiliation ?b => ?a 'lectured at' ?b", 0.7, "manual")
+	got := Apply(q, r)
+	if len(got) != 2 {
+		t.Fatalf("applications = %d, want 2", len(got))
+	}
+}
+
+func TestApplyIdentityRewriteSuppressed(t *testing.T) {
+	q := query.MustParse("?x p ?y")
+	r := MustParseRule("id", "?a p ?b => ?a p ?b", 1.0, "manual")
+	if got := Apply(q, r); len(got) != 0 {
+		t.Fatalf("identity rewrite emitted: %v", got)
+	}
+}
+
+func TestApplyMultiPatternLHS(t *testing.T) {
+	// Collapse a two-pattern chain into one predicate.
+	q := query.MustParse("?x affiliation ?i . ?i 'housed in' ?u")
+	r := MustParseRule("collapse", "?a affiliation ?b ; ?b 'housed in' ?c => ?a affiliatedWith ?c", 0.8, "manual")
+	got := Apply(q, r)
+	if len(got) != 1 {
+		t.Fatalf("applications = %d, want 1", len(got))
+	}
+	nq := got[0].Query
+	if len(nq.Patterns) != 1 || nq.Patterns[0].P.Term.Text != "affiliatedWith" {
+		t.Fatalf("rewritten = %v", nq)
+	}
+}
+
+func TestRuleValidate(t *testing.T) {
+	bad := &Rule{ID: "b"}
+	if bad.Validate() == nil {
+		t.Error("empty rule validated")
+	}
+	ok := MustParseRule("ok", "?x p ?y => ?x q ?y", 0.5, "manual")
+	if err := ok.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := MustParseRule("r", "?x hasAdvisor ?y => ?y hasStudent ?x", 1.0, "manual")
+	s := r.String()
+	if !strings.Contains(s, "hasAdvisor") || !strings.Contains(s, "=>") || !strings.Contains(s, "1.00") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestExpanderOriginalFirst(t *testing.T) {
+	q := query.MustParse("AlbertEinstein hasAdvisor ?x")
+	rules := []*Rule{
+		MustParseRule("r2", "?x hasAdvisor ?y => ?y hasStudent ?x", 1.0, "manual"),
+	}
+	e := NewExpander(rules)
+	rws := e.Expand(q)
+	if len(rws) != 2 {
+		t.Fatalf("rewrites = %d, want 2", len(rws))
+	}
+	if rws[0].Weight != 1 || len(rws[0].Applied) != 0 {
+		t.Fatalf("first rewrite is not the original: %+v", rws[0])
+	}
+	if rws[1].Weight != 1.0 || len(rws[1].Applied) != 1 {
+		t.Fatalf("second rewrite: %+v", rws[1])
+	}
+}
+
+func TestExpanderWeightsMultiply(t *testing.T) {
+	q := query.MustParse("?x affiliation ?y")
+	rules := []*Rule{
+		MustParseRule("a", "?a affiliation ?b => ?a 'lectured at' ?b", 0.7, "manual"),
+		MustParseRule("b", "?a 'lectured at' ?b => ?a 'visited' ?b", 0.5, "manual"),
+	}
+	e := NewExpander(rules)
+	rws := e.Expand(q)
+	var found bool
+	for _, rw := range rws {
+		if len(rw.Applied) == 2 {
+			found = true
+			if rw.Weight != 0.7*0.5 {
+				t.Fatalf("two-step weight = %v, want 0.35", rw.Weight)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("two-step derivation missing")
+	}
+}
+
+func TestExpanderDescendingWeights(t *testing.T) {
+	q := query.MustParse("?x affiliation ?y")
+	rules := []*Rule{
+		MustParseRule("a", "?a affiliation ?b => ?a worksAt ?b", 0.9, "manual"),
+		MustParseRule("b", "?a affiliation ?b => ?a 'lectured at' ?b", 0.7, "manual"),
+		MustParseRule("c", "?a worksAt ?b => ?a employedBy ?b", 0.8, "manual"),
+	}
+	e := NewExpander(rules)
+	rws := e.Expand(q)
+	for i := 1; i < len(rws); i++ {
+		if rws[i-1].Weight < rws[i].Weight {
+			t.Fatalf("rewrites not in descending weight order: %v then %v", rws[i-1].Weight, rws[i].Weight)
+		}
+	}
+}
+
+func TestExpanderMaxDepth(t *testing.T) {
+	q := query.MustParse("?x p0 ?y")
+	rules := []*Rule{
+		MustParseRule("s1", "?a p0 ?b => ?a p1 ?b", 0.9, "manual"),
+		MustParseRule("s2", "?a p1 ?b => ?a p2 ?b", 0.9, "manual"),
+		MustParseRule("s3", "?a p2 ?b => ?a p3 ?b", 0.9, "manual"),
+	}
+	e := NewExpander(rules)
+	e.MaxDepth = 1
+	rws := e.Expand(q)
+	for _, rw := range rws {
+		if len(rw.Applied) > 1 {
+			t.Fatalf("depth bound violated: %d rules applied", len(rw.Applied))
+		}
+	}
+	if len(rws) != 2 {
+		t.Fatalf("rewrites = %d, want original + one relaxation", len(rws))
+	}
+}
+
+func TestExpanderMinWeightPrunes(t *testing.T) {
+	q := query.MustParse("?x p ?y")
+	rules := []*Rule{MustParseRule("weak", "?a p ?b => ?a q ?b", 0.01, "manual")}
+	e := NewExpander(rules)
+	e.MinWeight = 0.05
+	if rws := e.Expand(q); len(rws) != 1 {
+		t.Fatalf("weak rule not pruned: %d rewrites", len(rws))
+	}
+}
+
+func TestExpanderMaxRewrites(t *testing.T) {
+	q := query.MustParse("?x p ?y")
+	var rules []*Rule
+	for _, s := range []string{"a", "b", "c", "d", "e"} {
+		rules = append(rules, MustParseRule(s, "?a p ?b => ?a "+s+" ?b", 0.9, "manual"))
+	}
+	e := NewExpander(rules)
+	e.MaxRewrites = 3
+	if rws := e.Expand(q); len(rws) != 3 {
+		t.Fatalf("rewrites = %d, want 3", len(rws))
+	}
+}
+
+func TestExpanderDeterministic(t *testing.T) {
+	q := query.MustParse("?x affiliation ?y . ?y member IvyLeague")
+	rules := []*Rule{
+		MustParseRule("r3", "?x affiliation ?y => ?x affiliation ?z ; ?z 'housed in' ?y", 0.8, "manual"),
+		MustParseRule("r4", "?x affiliation ?y => ?x 'lectured at' ?y", 0.7, "manual"),
+	}
+	e := NewExpander(rules)
+	a := e.Expand(q)
+	for round := 0; round < 5; round++ {
+		b := NewExpander(rules).Expand(q)
+		if len(a) != len(b) {
+			t.Fatal("non-deterministic rewrite count")
+		}
+		for i := range a {
+			if a[i].Query.String() != b[i].Query.String() || a[i].Weight != b[i].Weight {
+				t.Fatalf("non-deterministic rewrite %d", i)
+			}
+		}
+	}
+}
+
+// mineStore builds a store where alignment and inversion weights are known
+// exactly.
+func mineStore() *store.Store {
+	st := store.New(nil, nil)
+	// affiliation and 'works at' share 2 of 'works at''s 4 pairs.
+	add := func(s, p, o string, tokenP bool) {
+		pt := rdf.Resource(p)
+		if tokenP {
+			pt = rdf.Token(p)
+		}
+		st.AddFact(rdf.Resource(s), pt, rdf.Resource(o), rdf.SourceKG, 1, rdf.NoProv)
+	}
+	add("E", "affiliation", "IAS", false)
+	add("N", "affiliation", "PU", false)
+	add("G", "affiliation", "IAS", false)
+	add("E", "works at", "IAS", true)
+	add("N", "works at", "PU", true)
+	add("A", "works at", "ETH", true)
+	add("B", "works at", "ETH", true)
+	// hasAdvisor / hasStudent are exact inverses on 2 pairs.
+	add("E", "hasAdvisor", "K", false)
+	add("M", "hasAdvisor", "L", false)
+	add("K", "hasStudent", "E", false)
+	add("L", "hasStudent", "M", false)
+	st.Freeze()
+	return st
+}
+
+func findRule(rules []*Rule, id string) *Rule {
+	for _, r := range rules {
+		if r.ID == id {
+			return r
+		}
+	}
+	return nil
+}
+
+func TestMineAlignmentWeights(t *testing.T) {
+	st := mineStore()
+	rules := Mine(st, MiningOptions{MinSupport: 1, MinWeight: 0, IncludeInverse: false})
+	// w(affiliation -> 'works at') = |∩| / |args(works at)| = 2/4.
+	r := findRule(rules, "mine:affiliation->'works at'")
+	if r == nil {
+		t.Fatalf("alignment rule missing; got %v", rules)
+	}
+	if r.Weight != 0.5 {
+		t.Errorf("w(affiliation->works at) = %v, want 0.5", r.Weight)
+	}
+	// w('works at' -> affiliation) = 2/3.
+	r2 := findRule(rules, "mine:'works at'->affiliation")
+	if r2 == nil {
+		t.Fatal("reverse alignment rule missing")
+	}
+	if want := 2.0 / 3.0; r2.Weight != want {
+		t.Errorf("w(works at->affiliation) = %v, want %v", r2.Weight, want)
+	}
+}
+
+func TestMineInversionRule(t *testing.T) {
+	st := mineStore()
+	rules := Mine(st, MiningOptions{MinSupport: 2, MinWeight: 0, IncludeInverse: true})
+	r := findRule(rules, "inv:hasAdvisor->hasStudent")
+	if r == nil {
+		t.Fatalf("inversion rule missing; got %v", rules)
+	}
+	// |args(hasAdvisor) ∩ inv(args(hasStudent))| = 2, |args(hasStudent)| = 2.
+	if r.Weight != 1.0 {
+		t.Errorf("inversion weight = %v, want 1.0", r.Weight)
+	}
+	// The rule must actually invert argument order.
+	if r.RHS[0].S.Var != "y" || r.RHS[0].O.Var != "x" {
+		t.Errorf("inversion RHS = %v", r.RHS[0])
+	}
+}
+
+func TestMineMinSupport(t *testing.T) {
+	st := mineStore()
+	rules := Mine(st, MiningOptions{MinSupport: 3, MinWeight: 0, IncludeInverse: true})
+	if len(rules) != 0 {
+		t.Fatalf("rules above support 3: %v", rules)
+	}
+}
+
+func TestMineMaxRulesKeepsHighestWeight(t *testing.T) {
+	st := mineStore()
+	all := Mine(st, MiningOptions{MinSupport: 1, MinWeight: 0, IncludeInverse: true})
+	top := Mine(st, MiningOptions{MinSupport: 1, MinWeight: 0, IncludeInverse: true, MaxRules: 2})
+	if len(top) != 2 {
+		t.Fatalf("MaxRules ignored: %d", len(top))
+	}
+	if top[0].Weight < all[len(all)-1].Weight {
+		t.Fatal("MaxRules did not keep the highest-weight rules")
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Weight < all[i].Weight {
+			t.Fatal("mined rules not sorted by weight")
+		}
+	}
+}
+
+func TestMineDeterministic(t *testing.T) {
+	st := mineStore()
+	a := Mine(st, DefaultMiningOptions())
+	for i := 0; i < 5; i++ {
+		b := Mine(st, DefaultMiningOptions())
+		if len(a) != len(b) {
+			t.Fatal("non-deterministic rule count")
+		}
+		for j := range a {
+			if a[j].ID != b[j].ID || a[j].Weight != b[j].Weight {
+				t.Fatalf("non-deterministic rule %d: %v vs %v", j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestMineCompositions(t *testing.T) {
+	st := store.New(nil, nil)
+	st.AddKG(rdf.Resource("E"), rdf.Resource("bornIn"), rdf.Resource("Ulm"))
+	st.AddKG(rdf.Resource("M"), rdf.Resource("bornIn"), rdf.Resource("Paris"))
+	st.AddKG(rdf.Resource("Ulm"), rdf.Resource("locatedIn"), rdf.Resource("Germany"))
+	st.AddKG(rdf.Resource("Paris"), rdf.Resource("locatedIn"), rdf.Resource("France"))
+	st.Freeze()
+	rules := MineCompositions(st, []string{"locatedIn"}, MiningOptions{MinSupport: 2, MinWeight: 0})
+	r := findRule(rules, "comp:bornIn/locatedIn")
+	if r == nil {
+		t.Fatalf("composition rule missing: %v", rules)
+	}
+	// Both bornIn objects are locatedIn subjects: weight 1.
+	if r.Weight != 1.0 {
+		t.Errorf("composition weight = %v, want 1", r.Weight)
+	}
+	if len(r.RHS) != 2 {
+		t.Fatalf("composition RHS = %v", r.RHS)
+	}
+	// Applying it to user A's query produces the Figure 4 rule 1 shape.
+	q := query.MustParse("?x bornIn Germany")
+	apps := Apply(q, r)
+	if len(apps) != 1 {
+		t.Fatalf("composition did not apply: %v", apps)
+	}
+	nq := apps[0].Query
+	if len(nq.Patterns) != 2 {
+		t.Fatalf("rewritten = %v", nq)
+	}
+}
+
+func TestMineCompositionsNoContainmentPredicate(t *testing.T) {
+	st := store.New(nil, nil)
+	st.AddKG(rdf.Resource("E"), rdf.Resource("bornIn"), rdf.Resource("Ulm"))
+	st.Freeze()
+	if rules := MineCompositions(st, []string{"locatedIn"}, DefaultMiningOptions()); len(rules) != 0 {
+		t.Fatalf("rules without containment predicate: %v", rules)
+	}
+}
+
+func TestOperators(t *testing.T) {
+	st := mineStore()
+	ops := []Operator{
+		AlignmentOperator{Options: MiningOptions{MinSupport: 1, MinWeight: 0, IncludeInverse: true}},
+		CompositionOperator{Options: MiningOptions{MinSupport: 1, MinWeight: 0}},
+		ManualOperator{List: []*Rule{MustParseRule("m", "?x p ?y => ?x q ?y", 0.4, "manual")}},
+	}
+	names := map[string]bool{}
+	for _, op := range ops {
+		names[op.Name()] = true
+		rules, err := op.Rules(st)
+		if err != nil {
+			t.Fatalf("%s: %v", op.Name(), err)
+		}
+		for _, r := range rules {
+			if err := r.Validate(); err != nil {
+				t.Errorf("%s produced invalid rule: %v", op.Name(), err)
+			}
+		}
+	}
+	if !names["alignment"] || !names["composition"] || !names["manual"] {
+		t.Fatalf("operator names = %v", names)
+	}
+}
+
+func TestManualOperatorRejectsInvalidRule(t *testing.T) {
+	op := ManualOperator{List: []*Rule{{ID: "bad", Weight: 2}}}
+	if _, err := op.Rules(nil); err == nil {
+		t.Fatal("invalid manual rule accepted")
+	}
+}

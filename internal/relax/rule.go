@@ -1,0 +1,265 @@
+// Package relax implements TriniT's query relaxation framework (§3).
+//
+// A relaxation rule replaces a set of triple patterns in a query with a set
+// of new patterns and carries a weight w ∈ [0, 1] reflecting the semantic
+// similarity of the two sides. Rules are applied by unification: rule
+// variables bind to the query's slots (variables or constants), constants
+// in the rule must match the query exactly. The package also provides the
+// rewrite-space expander used by top-k processing and the rule miners that
+// derive rules from the XKG itself, including the paper's weight formula
+//
+//	w(p1 → p2) = |args(p1) ∩ args(p2)| / |args(p2)|.
+package relax
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"trinit/internal/query"
+	"trinit/internal/rdf"
+	"trinit/internal/text"
+)
+
+// Rule is a weighted relaxation rule: LHS patterns are replaced by RHS
+// patterns. Variables (?x, ?y, ...) in the rule unify with the query's
+// slots; variables appearing only in the RHS become fresh query variables.
+type Rule struct {
+	// ID is a stable identifier used in explanations and suggestions.
+	ID string
+	// LHS is the set of patterns to be replaced.
+	LHS []query.Pattern
+	// RHS is the replacement set.
+	RHS []query.Pattern
+	// Weight is the rule's semantic-similarity weight in [0, 1].
+	Weight float64
+	// Origin records where the rule came from: "manual", "mined",
+	// "inversion", "composition", or an operator name.
+	Origin string
+}
+
+// String renders the rule like the rows of Figure 4.
+func (r *Rule) String() string {
+	return fmt.Sprintf("%s => %s [w=%.2f, %s]", patternsString(r.LHS), patternsString(r.RHS), r.Weight, r.Origin)
+}
+
+func patternsString(ps []query.Pattern) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " ; ")
+}
+
+// Validate checks the rule is well-formed: non-empty sides, a weight in
+// [0, 1], and no constant-only degenerate LHS duplicates.
+func (r *Rule) Validate() error {
+	if len(r.LHS) == 0 || len(r.RHS) == 0 {
+		return fmt.Errorf("rule %s: empty LHS or RHS", r.ID)
+	}
+	if r.Weight < 0 || r.Weight > 1 {
+		return fmt.Errorf("rule %s: weight %v outside [0,1]", r.ID, r.Weight)
+	}
+	return nil
+}
+
+// subst maps rule-variable names to query slots.
+type subst map[string]query.Slot
+
+// unifySlot attempts to unify one rule slot with one query slot under s,
+// returning the extended substitution or ok=false.
+func unifySlot(rs, qs query.Slot, s subst) (subst, bool) {
+	if rs.IsVar() {
+		if bound, ok := s[rs.Var]; ok {
+			if !slotEqual(bound, qs) {
+				return nil, false
+			}
+			return s, true
+		}
+		ns := make(subst, len(s)+1)
+		for k, v := range s {
+			ns[k] = v
+		}
+		ns[rs.Var] = qs
+		return ns, true
+	}
+	// Constant rule slot: the query slot must be an equal constant.
+	if qs.IsVar() {
+		return nil, false
+	}
+	if !termEqual(rs.Term, qs.Term) {
+		return nil, false
+	}
+	return s, true
+}
+
+func slotEqual(a, b query.Slot) bool {
+	if a.IsVar() != b.IsVar() {
+		return false
+	}
+	if a.IsVar() {
+		return a.Var == b.Var
+	}
+	return termEqual(a.Term, b.Term)
+}
+
+// termEqual compares terms; token phrases compare by normalised text so
+// that 'won nobel for' in a rule matches 'won a Nobel for' in a query.
+func termEqual(a, b rdf.Term) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	if a.Kind == rdf.KindToken {
+		return text.Normalize(a.Text) == text.Normalize(b.Text)
+	}
+	return a.Text == b.Text
+}
+
+// unifyPattern unifies a rule pattern with a query pattern.
+func unifyPattern(rp, qp query.Pattern, s subst) (subst, bool) {
+	s1, ok := unifySlot(rp.S, qp.S, s)
+	if !ok {
+		return nil, false
+	}
+	s2, ok := unifySlot(rp.P, qp.P, s1)
+	if !ok {
+		return nil, false
+	}
+	s3, ok := unifySlot(rp.O, qp.O, s2)
+	if !ok {
+		return nil, false
+	}
+	return s3, true
+}
+
+// Application is one way a rule matched a query: the substitution plus the
+// matched query pattern indices, and the rewritten query.
+type Application struct {
+	Rule    *Rule
+	Query   *query.Query
+	Matched []int // indices into the original query's Patterns
+}
+
+// Apply returns every distinct single-step rewriting of q by r. A rewriting
+// replaces an injectively matched set of query patterns (one per LHS
+// pattern) with the instantiated RHS. Rewritings that would lose a
+// projected variable are discarded.
+func Apply(q *query.Query, r *Rule) []Application {
+	var out []Application
+	seen := make(map[string]bool)
+	n := len(q.Patterns)
+	if len(r.LHS) > n {
+		return nil
+	}
+	used := make([]bool, n)
+	match := make([]int, 0, len(r.LHS))
+
+	var rec func(li int, s subst)
+	rec = func(li int, s subst) {
+		if li == len(r.LHS) {
+			app := instantiate(q, r, match, s)
+			if app == nil {
+				return
+			}
+			key := canonicalKey(app.Query)
+			if seen[key] || key == canonicalKey(q) {
+				return
+			}
+			seen[key] = true
+			out = append(out, *app)
+			return
+		}
+		for qi := 0; qi < n; qi++ {
+			if used[qi] {
+				continue
+			}
+			s2, ok := unifyPattern(r.LHS[li], q.Patterns[qi], s)
+			if !ok {
+				continue
+			}
+			used[qi] = true
+			match = append(match, qi)
+			rec(li+1, s2)
+			match = match[:len(match)-1]
+			used[qi] = false
+		}
+	}
+	rec(0, subst{})
+	return out
+}
+
+// instantiate builds the rewritten query for one complete match. Returns
+// nil when the rewrite is invalid (e.g. drops a projected variable).
+func instantiate(q *query.Query, r *Rule, matched []int, s subst) *Application {
+	isMatched := make(map[int]bool, len(matched))
+	for _, i := range matched {
+		isMatched[i] = true
+	}
+	taken := make(map[string]bool)
+	for _, v := range q.Vars() {
+		taken[v] = true
+	}
+	fresh := make(map[string]string)
+	freshCounter := 0
+	resolve := func(sl query.Slot) query.Slot {
+		if !sl.IsVar() {
+			return sl
+		}
+		if bound, ok := s[sl.Var]; ok {
+			return bound
+		}
+		// RHS-only rule variable: allocate a fresh query variable,
+		// stable within this application.
+		if name, ok := fresh[sl.Var]; ok {
+			return query.Variable(name)
+		}
+		var name string
+		for {
+			name = fmt.Sprintf("r%d", freshCounter)
+			freshCounter++
+			if !taken[name] {
+				break
+			}
+		}
+		taken[name] = true
+		fresh[sl.Var] = name
+		return query.Variable(name)
+	}
+
+	nq := &query.Query{
+		Projection: append([]string(nil), q.Projection...),
+		Filters:    append([]query.Filter(nil), q.Filters...),
+		Limit:      q.Limit,
+	}
+	for i, p := range q.Patterns {
+		if !isMatched[i] {
+			nq.Patterns = append(nq.Patterns, p)
+		}
+	}
+	for _, p := range r.RHS {
+		nq.Patterns = append(nq.Patterns, query.Pattern{
+			S: resolve(p.S), P: resolve(p.P), O: resolve(p.O),
+		})
+	}
+	if err := nq.Validate(); err != nil {
+		return nil
+	}
+	return &Application{Rule: r, Query: nq, Matched: matched2(matched)}
+}
+
+func matched2(m []int) []int {
+	out := append([]int(nil), m...)
+	sort.Ints(out)
+	return out
+}
+
+// canonicalKey is an order-insensitive rendering of a query's patterns used
+// to deduplicate rewrites.
+func canonicalKey(q *query.Query) string {
+	parts := make([]string, len(q.Patterns))
+	for i, p := range q.Patterns {
+		parts[i] = p.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " | ")
+}

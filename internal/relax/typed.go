@@ -1,0 +1,181 @@
+package relax
+
+import (
+	"fmt"
+
+	"trinit/internal/query"
+	"trinit/internal/rdf"
+	"trinit/internal/store"
+)
+
+// TypedCompositionOptions configure MineTypedCompositions.
+type TypedCompositionOptions struct {
+	// TypePredicate names the instance-of predicate (default "type").
+	TypePredicate string
+	// Containment lists candidate containment predicates (default
+	// locatedIn, partOf, memberOf).
+	Containment []string
+	// MinSupport is the minimum number of witnessing chains.
+	MinSupport int
+	// MinWeight drops rules below this weight.
+	MinWeight float64
+	// MaxRules caps the output (0 = unbounded).
+	MaxRules int
+}
+
+// DefaultTypedCompositionOptions returns moderate defaults.
+func DefaultTypedCompositionOptions() TypedCompositionOptions {
+	return TypedCompositionOptions{TypePredicate: "type", MinSupport: 2, MinWeight: 0.1}
+}
+
+// MineTypedCompositions mines rules in the *exact* shape of Figure 4
+// rule 1, with type constraints on both sides:
+//
+//	?x p ?y ; ?y type T_coarse  →  ?x p ?z ; ?z type T_fine ; ?z c ?y
+//
+// A rule is emitted when the KG witnesses the pattern: objects of p are
+// predominantly of type T_fine, and those objects are contained (via c) in
+// entities of type T_coarse. The weight is the fraction of p-objects of
+// type T_fine whose containment target has type T_coarse — 1.0 when, as in
+// the paper's example, everybody is born in a city and every city lies in
+// a country. The store must be frozen.
+func MineTypedCompositions(st *store.Store, opts TypedCompositionOptions) []*Rule {
+	if opts.TypePredicate == "" {
+		opts.TypePredicate = "type"
+	}
+	if len(opts.Containment) == 0 {
+		opts.Containment = []string{"locatedIn", "partOf", "memberOf"}
+	}
+	if opts.MinSupport < 1 {
+		opts.MinSupport = 1
+	}
+	dict := st.Dict()
+	typeID, ok := dict.Lookup(rdf.Resource(opts.TypePredicate))
+	if !ok {
+		return nil
+	}
+	// typeOf[e] = the entity's first type (entities with multiple types
+	// use the lowest term ID for determinism).
+	typeOf := make(map[rdf.TermID]rdf.TermID)
+	for _, id := range st.Match(rdf.NoTerm, typeID, rdf.NoTerm) {
+		t := st.Triple(id)
+		if cur, ok := typeOf[t.S]; !ok || t.O < cur {
+			typeOf[t.S] = t.O
+		}
+	}
+	var cPreds []rdf.TermID
+	for _, name := range opts.Containment {
+		if id, ok := dict.Lookup(rdf.Resource(name)); ok {
+			cPreds = append(cPreds, id)
+		}
+	}
+	if len(cPreds) == 0 {
+		return nil
+	}
+	// containerOf[c][e] = what e is contained in via c.
+	containerOf := make(map[rdf.TermID]map[rdf.TermID]rdf.TermID)
+	for _, c := range cPreds {
+		m := make(map[rdf.TermID]rdf.TermID)
+		for _, id := range st.Match(rdf.NoTerm, c, rdf.NoTerm) {
+			t := st.Triple(id)
+			if cur, ok := m[t.S]; !ok || t.O < cur {
+				m[t.S] = t.O
+			}
+		}
+		containerOf[c] = m
+	}
+
+	// For every predicate p and containment c, bucket chains by the
+	// (fine type, coarse type) pair they witness.
+	type key struct {
+		p, c, fine, coarse rdf.TermID
+	}
+	witness := make(map[key]int)
+	objTyped := make(map[[2]rdf.TermID]int) // (p, fineType) → #objects with that type (with repetition per triple)
+	for _, ps := range st.Predicates() {
+		p := ps.Pred
+		if p == typeID {
+			continue
+		}
+		for _, id := range st.Match(rdf.NoTerm, p, rdf.NoTerm) {
+			t := st.Triple(id)
+			fine, ok := typeOf[t.O]
+			if !ok {
+				continue
+			}
+			objTyped[[2]rdf.TermID{p, fine}]++
+			for _, c := range cPreds {
+				container, ok := containerOf[c][t.O]
+				if !ok {
+					continue
+				}
+				coarse, ok := typeOf[container]
+				if !ok || coarse == fine {
+					continue
+				}
+				witness[key{p: p, c: c, fine: fine, coarse: coarse}]++
+			}
+		}
+	}
+
+	var rules []*Rule
+	for k, n := range witness {
+		if n < opts.MinSupport {
+			continue
+		}
+		denom := objTyped[[2]rdf.TermID{k.p, k.fine}]
+		if denom == 0 {
+			continue
+		}
+		w := float64(n) / float64(denom)
+		if w > 1 {
+			w = 1
+		}
+		if w < opts.MinWeight {
+			continue
+		}
+		pt := dict.Term(k.p)
+		ct := dict.Term(k.c)
+		fineT := dict.Term(k.fine)
+		coarseT := dict.Term(k.coarse)
+		typeT := rdf.Resource(opts.TypePredicate)
+		x, y, z := query.Variable("x"), query.Variable("y"), query.Variable("z")
+		rules = append(rules, &Rule{
+			ID: fmt.Sprintf("typed:%s/%s:%s->%s", pt, ct, coarseT, fineT),
+			LHS: []query.Pattern{
+				{S: x, P: query.Bound(pt), O: y},
+				{S: y, P: query.Bound(typeT), O: query.Bound(coarseT)},
+			},
+			RHS: []query.Pattern{
+				{S: x, P: query.Bound(pt), O: z},
+				{S: z, P: query.Bound(typeT), O: query.Bound(fineT)},
+				{S: z, P: query.Bound(ct), O: y},
+			},
+			Weight: w,
+			Origin: "typed-composition",
+		})
+	}
+	sortRules(rules)
+	if opts.MaxRules > 0 && len(rules) > opts.MaxRules {
+		rules = rules[:opts.MaxRules]
+	}
+	return rules
+}
+
+// TypedCompositionOperator plugs MineTypedCompositions into the operator
+// API.
+type TypedCompositionOperator struct {
+	Options TypedCompositionOptions
+}
+
+// Name implements Operator.
+func (TypedCompositionOperator) Name() string { return "typed-composition" }
+
+// Rules implements Operator.
+func (op TypedCompositionOperator) Rules(st *store.Store) ([]*Rule, error) {
+	o := op.Options
+	if o.TypePredicate == "" && o.MinSupport == 0 {
+		o = DefaultTypedCompositionOptions()
+	}
+	return MineTypedCompositions(st, o), nil
+}

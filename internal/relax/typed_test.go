@@ -1,0 +1,103 @@
+package relax
+
+import (
+	"testing"
+
+	"trinit/internal/rdf"
+	"trinit/internal/store"
+)
+
+// figure1Typed is the Figure 1 KG plus the type facts the paper's rule 1
+// presumes: people are born in cities, cities lie in countries.
+func figure1Typed() *store.Store {
+	st := store.New(nil, nil)
+	add := func(s, p, o string) { st.AddKG(rdf.Resource(s), rdf.Resource(p), rdf.Resource(o)) }
+	add("AlbertEinstein", "bornIn", "Ulm")
+	add("MaxBorn", "bornIn", "Breslau")
+	add("Ulm", "locatedIn", "Germany")
+	add("Breslau", "locatedIn", "Germany")
+	add("Ulm", "type", "city")
+	add("Breslau", "type", "city")
+	add("Germany", "type", "country")
+	st.Freeze()
+	return st
+}
+
+func TestMineTypedCompositionsReproducesFigure4Rule1(t *testing.T) {
+	st := figure1Typed()
+	rules := MineTypedCompositions(st, DefaultTypedCompositionOptions())
+	r := findRule(rules, "typed:bornIn/locatedIn:country->city")
+	if r == nil {
+		t.Fatalf("Figure 4 rule 1 not mined; got %v", rules)
+	}
+	// Every bornIn object is a city located in a typed country: w = 1.
+	if r.Weight != 1.0 {
+		t.Errorf("weight = %v, want 1.0 (paper's rule 1 weight)", r.Weight)
+	}
+	// Shape check against Figure 4 rule 1.
+	if len(r.LHS) != 2 || len(r.RHS) != 3 {
+		t.Fatalf("rule shape LHS=%d RHS=%d, want 2/3", len(r.LHS), len(r.RHS))
+	}
+	if r.LHS[1].P.Term.Text != "type" || r.LHS[1].O.Term.Text != "country" {
+		t.Errorf("LHS type constraint = %v", r.LHS[1])
+	}
+	if r.RHS[1].O.Term.Text != "city" {
+		t.Errorf("RHS type constraint = %v", r.RHS[1])
+	}
+}
+
+func TestMineTypedCompositionsNoTypePredicate(t *testing.T) {
+	st := store.New(nil, nil)
+	st.AddKG(rdf.Resource("A"), rdf.Resource("bornIn"), rdf.Resource("Ulm"))
+	st.Freeze()
+	if rules := MineTypedCompositions(st, DefaultTypedCompositionOptions()); len(rules) != 0 {
+		t.Fatalf("rules without type facts: %v", rules)
+	}
+}
+
+func TestMineTypedCompositionsMinSupport(t *testing.T) {
+	st := figure1Typed()
+	opts := DefaultTypedCompositionOptions()
+	opts.MinSupport = 3
+	if r := findRule(MineTypedCompositions(st, opts), "typed:bornIn/locatedIn:country->city"); r != nil {
+		t.Fatal("support-2 rule survived MinSupport 3")
+	}
+}
+
+func TestMineTypedCompositionsPartialCoverage(t *testing.T) {
+	st := store.New(nil, nil)
+	add := func(s, p, o string) { st.AddKG(rdf.Resource(s), rdf.Resource(p), rdf.Resource(o)) }
+	add("A", "bornIn", "Ulm")
+	add("B", "bornIn", "Atlantis") // typed city without containment
+	add("Ulm", "locatedIn", "Germany")
+	add("Ulm", "type", "city")
+	add("Atlantis", "type", "city")
+	add("Germany", "type", "country")
+	st.Freeze()
+	opts := DefaultTypedCompositionOptions()
+	opts.MinSupport = 1
+	rules := MineTypedCompositions(st, opts)
+	r := findRule(rules, "typed:bornIn/locatedIn:country->city")
+	if r == nil {
+		t.Fatalf("rule missing: %v", rules)
+	}
+	// One of two typed city objects has a containment chain: w = 0.5.
+	if r.Weight != 0.5 {
+		t.Errorf("weight = %v, want 0.5", r.Weight)
+	}
+}
+
+func TestTypedCompositionOperator(t *testing.T) {
+	st := figure1Typed()
+	op := TypedCompositionOperator{}
+	if op.Name() != "typed-composition" {
+		t.Errorf("name = %q", op.Name())
+	}
+	rules, err := op.Rules(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findRule(rules, "typed:bornIn/locatedIn:country->city") == nil {
+		t.Fatalf("operator missed the rule: %v", rules)
+	}
+}

@@ -1,0 +1,185 @@
+// Package score implements TriniT's answer-scoring model (§4): a
+// query-likelihood approach in which each triple pattern is viewed as a
+// document that emits triples with certain probabilities.
+//
+// For a pattern p and a matching triple t,
+//
+//	P(t | p) = conf(t) · match(t, p)  /  Σ_{t' ⊨ p} conf(t') · match(t', p)
+//
+// where conf is the triple's confidence (1 for curated KG facts — the
+// tf-like effect rewards reliable, frequently-extracted facts since
+// duplicate extractions keep the maximum confidence) and match is the
+// token-similarity of textual slots (1 for exact resource matches). The
+// denominator is the pattern's total match mass: selective patterns emit
+// each of their matches with higher probability — the idf-like effect.
+//
+// Relaxation-weight attenuation and the max-over-derivations semantics are
+// applied by the top-k processor on top of these per-pattern probabilities.
+package score
+
+import (
+	"sort"
+
+	"trinit/internal/query"
+	"trinit/internal/rdf"
+	"trinit/internal/store"
+	"trinit/internal/text"
+)
+
+// Binding assigns a term to a query variable.
+type Binding struct {
+	Var  string
+	Term rdf.TermID
+}
+
+// Match is one triple matching a pattern, with its emission probability.
+type Match struct {
+	Triple store.ID
+	// Raw is conf(t) · match(t, p), before normalisation.
+	Raw float64
+	// Prob is the normalised emission probability P(t | p).
+	Prob float64
+	// Bindings are the variable assignments this match induces.
+	Bindings []Binding
+}
+
+// Matcher evaluates single patterns against a frozen store.
+type Matcher struct {
+	St *store.Store
+	// MinTokenSim is the minimum similarity for a textual token slot to
+	// match a term (default 0.34: roughly one shared content word out
+	// of three).
+	MinTokenSim float64
+	// UniformConf treats every triple as confidence 1, ablating the
+	// tf-like effect of the scoring model (experiment E8).
+	UniformConf bool
+	// NoNormalize skips the per-pattern normalisation, ablating the
+	// idf-like selectivity effect (experiment E8).
+	NoNormalize bool
+
+	// accesses counts triples touched during matching; the E5
+	// experiment reports it as the posting-list access cost.
+	accesses int
+}
+
+// NewMatcher returns a matcher with default thresholds.
+func NewMatcher(st *store.Store) *Matcher {
+	return &Matcher{St: st, MinTokenSim: 0.34}
+}
+
+// Accesses returns the number of posting-list entries touched so far.
+func (m *Matcher) Accesses() int { return m.accesses }
+
+// ResetAccesses clears the access counter.
+func (m *Matcher) ResetAccesses() { m.accesses = 0 }
+
+// MatchPattern returns all matches of the pattern, sorted by descending
+// probability (ties by triple ID). Token slots match approximately; the
+// match factor of a triple is the product of its token-slot similarities.
+func (m *Matcher) MatchPattern(p query.Pattern) []Match {
+	// Resolve exactly-bound slots to term IDs; a bound resource or
+	// literal that is not in the dictionary can never match.
+	var ids [3]rdf.TermID // NoTerm = wildcard for the index scan
+	var tokenText [3]string
+	slots := [3]query.Slot{p.S, p.P, p.O}
+	for i, sl := range slots {
+		switch {
+		case sl.IsVar():
+			// wildcard
+		case sl.Term.Kind == rdf.KindToken:
+			tokenText[i] = sl.Term.Text
+		default:
+			id, ok := m.St.Dict().Lookup(sl.Term)
+			if !ok {
+				return nil
+			}
+			ids[i] = id
+		}
+	}
+
+	cands := m.St.Match(ids[0], ids[1], ids[2])
+	out := make([]Match, 0, len(cands))
+	var mass float64
+	for _, id := range cands {
+		m.accesses++
+		tr := m.St.Triple(id)
+		parts := [3]rdf.TermID{tr.S, tr.P, tr.O}
+		matchFactor := 1.0
+		ok := true
+		for i := range slots {
+			if tokenText[i] == "" {
+				continue
+			}
+			sim := text.Similarity(tokenText[i], m.St.Dict().Term(parts[i]).Text)
+			if sim < m.MinTokenSim {
+				ok = false
+				break
+			}
+			matchFactor *= sim
+		}
+		if !ok {
+			continue
+		}
+		bindings, ok := bind(slots, parts)
+		if !ok {
+			continue
+		}
+		conf := tr.Conf
+		if m.UniformConf {
+			conf = 1
+		}
+		raw := conf * matchFactor
+		mass += raw
+		out = append(out, Match{Triple: id, Raw: raw, Bindings: bindings})
+	}
+	if m.NoNormalize {
+		for i := range out {
+			out[i].Prob = out[i].Raw
+		}
+	} else if mass > 0 {
+		for i := range out {
+			out[i].Prob = out[i].Raw / mass
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		return out[i].Triple < out[j].Triple
+	})
+	return out
+}
+
+// bind computes variable bindings for a triple, enforcing that repeated
+// variables bind to the same term (e.g. ?x knows ?x).
+func bind(slots [3]query.Slot, parts [3]rdf.TermID) ([]Binding, bool) {
+	var out []Binding
+	for i, sl := range slots {
+		if !sl.IsVar() {
+			continue
+		}
+		dup := false
+		for _, b := range out {
+			if b.Var == sl.Var {
+				if b.Term != parts[i] {
+					return nil, false
+				}
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, Binding{Var: sl.Var, Term: parts[i]})
+		}
+	}
+	return out, true
+}
+
+// Selectivity returns the number of triples matching the pattern, the
+// quantity behind the idf-like effect. It does not count accesses.
+func (m *Matcher) Selectivity(p query.Pattern) int {
+	saved := m.accesses
+	n := len(m.MatchPattern(p))
+	m.accesses = saved
+	return n
+}

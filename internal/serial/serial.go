@@ -1,0 +1,229 @@
+// Package serial persists extended knowledge graphs and relaxation rules
+// in a line-oriented text format ("TNT" — TriniT triples), so that an XKG
+// built from a corpus once can be reloaded without re-running extraction.
+//
+// The format is tab-separated, one record per line, with Go-quoted fields:
+//
+//	KG	R"AlbertEinstein"	R"bornIn"	R"Ulm"
+//	KG	R"AlbertEinstein"	R"bornOn"	L"1879-03-14"
+//	XKG	R"AlbertEinstein"	T"won Nobel for"	T"discovery ..."	0.9	"doc-1"	"Einstein won ..."
+//	RULE	"fig4-2"	1	"manual"	"?x hasAdvisor ?y => ?y hasStudent ?x"
+//
+// Term fields are a kind sigil (R resource, L literal, T token) followed by
+// a Go-quoted string. XKG lines carry confidence and optional provenance
+// (document, sentence). Lines starting with '#' and blank lines are
+// ignored.
+package serial
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"trinit/internal/query"
+	"trinit/internal/rdf"
+	"trinit/internal/relax"
+	"trinit/internal/store"
+)
+
+// WriteStore writes every triple of the store, KG lines first in ID order.
+func WriteStore(w io.Writer, st *store.Store) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# TriniT extended knowledge graph"); err != nil {
+		return err
+	}
+	dict := st.Dict()
+	for i := 0; i < st.Len(); i++ {
+		t := st.Triple(store.ID(i))
+		s := formatTerm(dict.Term(t.S))
+		p := formatTerm(dict.Term(t.P))
+		o := formatTerm(dict.Term(t.O))
+		var err error
+		if t.Source == rdf.SourceKG {
+			_, err = fmt.Fprintf(bw, "KG\t%s\t%s\t%s\n", s, p, o)
+		} else {
+			prov := st.Prov().Get(t.Prov)
+			_, err = fmt.Fprintf(bw, "XKG\t%s\t%s\t%s\t%s\t%s\t%s\n",
+				s, p, o,
+				strconv.FormatFloat(t.Conf, 'g', -1, 64),
+				strconv.Quote(prov.Doc), strconv.Quote(prov.Sentence))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteRules appends RULE records for the given rules.
+func WriteRules(w io.Writer, rules []*relax.Rule) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range rules {
+		lhs := patternsText(r.LHS)
+		rhs := patternsText(r.RHS)
+		if _, err := fmt.Fprintf(bw, "RULE\t%s\t%s\t%s\t%s\n",
+			strconv.Quote(r.ID),
+			strconv.FormatFloat(r.Weight, 'g', -1, 64),
+			strconv.Quote(r.Origin),
+			strconv.Quote(lhs+" => "+rhs)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// patternsText renders rule patterns in re-parseable query syntax. Rule
+// terms are identifier-like resources, quoted tokens, or variables, all of
+// which round-trip through relax.ParseRule.
+func patternsText(ps []query.Pattern) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " ; ")
+}
+
+func formatTerm(t rdf.Term) string {
+	var sigil byte
+	switch t.Kind {
+	case rdf.KindResource:
+		sigil = 'R'
+	case rdf.KindLiteral:
+		sigil = 'L'
+	default:
+		sigil = 'T'
+	}
+	return string(sigil) + strconv.Quote(t.Text)
+}
+
+func parseTerm(field string, line int) (rdf.Term, error) {
+	if len(field) < 3 {
+		return rdf.Term{}, fmt.Errorf("serial: line %d: malformed term %q", line, field)
+	}
+	text, err := strconv.Unquote(field[1:])
+	if err != nil {
+		return rdf.Term{}, fmt.Errorf("serial: line %d: bad term quoting %q: %v", line, field, err)
+	}
+	switch field[0] {
+	case 'R':
+		return rdf.Resource(text), nil
+	case 'L':
+		return rdf.Literal(text), nil
+	case 'T':
+		return rdf.Token(text), nil
+	default:
+		return rdf.Term{}, fmt.Errorf("serial: line %d: unknown term kind %q", line, field[0])
+	}
+}
+
+// Decoded is the result of reading a TNT stream.
+type Decoded struct {
+	// Triples is the number of triples added to the store.
+	Triples int
+	// Rules holds the RULE records, in file order.
+	Rules []*relax.Rule
+}
+
+// Read parses a TNT stream, adding triples into st (which must not be
+// frozen) and collecting rules.
+func Read(r io.Reader, st *store.Store) (Decoded, error) {
+	var out Decoded
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		switch fields[0] {
+		case "KG":
+			if len(fields) != 4 {
+				return out, fmt.Errorf("serial: line %d: KG record needs 4 fields, got %d", lineNo, len(fields))
+			}
+			s, err := parseTerm(fields[1], lineNo)
+			if err != nil {
+				return out, err
+			}
+			p, err := parseTerm(fields[2], lineNo)
+			if err != nil {
+				return out, err
+			}
+			o, err := parseTerm(fields[3], lineNo)
+			if err != nil {
+				return out, err
+			}
+			st.AddFact(s, p, o, rdf.SourceKG, 1, rdf.NoProv)
+			out.Triples++
+		case "XKG":
+			if len(fields) != 7 {
+				return out, fmt.Errorf("serial: line %d: XKG record needs 7 fields, got %d", lineNo, len(fields))
+			}
+			s, err := parseTerm(fields[1], lineNo)
+			if err != nil {
+				return out, err
+			}
+			p, err := parseTerm(fields[2], lineNo)
+			if err != nil {
+				return out, err
+			}
+			o, err := parseTerm(fields[3], lineNo)
+			if err != nil {
+				return out, err
+			}
+			conf, err := strconv.ParseFloat(fields[4], 64)
+			if err != nil || conf <= 0 || conf > 1 {
+				return out, fmt.Errorf("serial: line %d: bad confidence %q", lineNo, fields[4])
+			}
+			doc, err := strconv.Unquote(fields[5])
+			if err != nil {
+				return out, fmt.Errorf("serial: line %d: bad doc field: %v", lineNo, err)
+			}
+			sentence, err := strconv.Unquote(fields[6])
+			if err != nil {
+				return out, fmt.Errorf("serial: line %d: bad sentence field: %v", lineNo, err)
+			}
+			prov := rdf.NoProv
+			if doc != "" || sentence != "" {
+				prov = st.Prov().Add(rdf.Prov{Doc: doc, Sentence: sentence})
+			}
+			st.AddFact(s, p, o, rdf.SourceXKG, conf, prov)
+			out.Triples++
+		case "RULE":
+			if len(fields) != 5 {
+				return out, fmt.Errorf("serial: line %d: RULE record needs 5 fields, got %d", lineNo, len(fields))
+			}
+			id, err := strconv.Unquote(fields[1])
+			if err != nil {
+				return out, fmt.Errorf("serial: line %d: bad rule id: %v", lineNo, err)
+			}
+			weight, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return out, fmt.Errorf("serial: line %d: bad rule weight: %v", lineNo, err)
+			}
+			origin, err := strconv.Unquote(fields[3])
+			if err != nil {
+				return out, fmt.Errorf("serial: line %d: bad rule origin: %v", lineNo, err)
+			}
+			text, err := strconv.Unquote(fields[4])
+			if err != nil {
+				return out, fmt.Errorf("serial: line %d: bad rule text: %v", lineNo, err)
+			}
+			rule, err := relax.ParseRule(id, text, weight, origin)
+			if err != nil {
+				return out, fmt.Errorf("serial: line %d: %v", lineNo, err)
+			}
+			out.Rules = append(out.Rules, rule)
+		default:
+			return out, fmt.Errorf("serial: line %d: unknown record type %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}

@@ -1,0 +1,170 @@
+package serial
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"trinit/internal/dataset"
+	"trinit/internal/rdf"
+	"trinit/internal/relax"
+	"trinit/internal/store"
+)
+
+func demoStore() *store.Store {
+	st := store.New(nil, nil)
+	st.AddKG(rdf.Resource("AlbertEinstein"), rdf.Resource("bornIn"), rdf.Resource("Ulm"))
+	st.AddFact(rdf.Resource("AlbertEinstein"), rdf.Resource("bornOn"), rdf.Literal("1879-03-14"), rdf.SourceKG, 1, rdf.NoProv)
+	prov := st.Prov().Add(rdf.Prov{Doc: "doc-1", Sentence: "Einstein won a Nobel for his discovery."})
+	st.AddFact(rdf.Resource("AlbertEinstein"), rdf.Token("won Nobel for"), rdf.Token("discovery of the photoelectric effect"), rdf.SourceXKG, 0.9, prov)
+	return st
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	src := demoStore()
+	var buf bytes.Buffer
+	if err := WriteStore(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := store.New(nil, nil)
+	dec, err := Read(&buf, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Triples != src.Len() || dst.Len() != src.Len() {
+		t.Fatalf("triples: wrote %d, read %d", src.Len(), dec.Triples)
+	}
+	// Every triple must survive with source, confidence and provenance.
+	for i := 0; i < src.Len(); i++ {
+		a := src.Triple(store.ID(i))
+		sTerm := src.Dict().Term(a.S)
+		pTerm := src.Dict().Term(a.P)
+		oTerm := src.Dict().Term(a.O)
+		sid, ok1 := dst.Dict().Lookup(sTerm)
+		pid, ok2 := dst.Dict().Lookup(pTerm)
+		oid, ok3 := dst.Dict().Lookup(oTerm)
+		if !ok1 || !ok2 || !ok3 {
+			t.Fatalf("terms of %v missing after round trip", a)
+		}
+		if !dst.Contains(sid, pid, oid) {
+			t.Fatalf("fact %s %s %s missing after round trip", sTerm, pTerm, oTerm)
+		}
+	}
+	// Check the XKG triple's metadata survived.
+	dst.Freeze()
+	p, _ := dst.Dict().Lookup(rdf.Token("won Nobel for"))
+	ms := dst.Match(rdf.NoTerm, p, rdf.NoTerm)
+	if len(ms) != 1 {
+		t.Fatalf("XKG triple not found")
+	}
+	tr := dst.Triple(ms[0])
+	if tr.Conf != 0.9 || tr.Source != rdf.SourceXKG {
+		t.Fatalf("metadata lost: %+v", tr)
+	}
+	if got := dst.Prov().Get(tr.Prov); got.Doc != "doc-1" || !strings.Contains(got.Sentence, "Nobel") {
+		t.Fatalf("provenance lost: %+v", got)
+	}
+}
+
+func TestRulesRoundTrip(t *testing.T) {
+	rules := []*relax.Rule{
+		relax.MustParseRule("fig4-2", "?x hasAdvisor ?y => ?y hasStudent ?x", 1.0, "manual"),
+		relax.MustParseRule("fig4-3", "?x affiliation ?y => ?x affiliation ?z ; ?z 'housed in' ?y", 0.8, "manual"),
+	}
+	var buf bytes.Buffer
+	if err := WriteRules(&buf, rules); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Read(&buf, store.New(nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Rules) != 2 {
+		t.Fatalf("rules = %d", len(dec.Rules))
+	}
+	for i, r := range dec.Rules {
+		if r.ID != rules[i].ID || r.Weight != rules[i].Weight || r.Origin != rules[i].Origin {
+			t.Fatalf("rule %d metadata: %+v vs %+v", i, r, rules[i])
+		}
+		if r.String() != rules[i].String() {
+			t.Fatalf("rule %d text: %q vs %q", i, r.String(), rules[i].String())
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	input := "# header\n\nKG\tR\"A\"\tR\"p\"\tR\"B\"\n   \n# trailing\n"
+	st := store.New(nil, nil)
+	dec, err := Read(strings.NewReader(input), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Triples != 1 {
+		t.Fatalf("triples = %d", dec.Triples)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, input string
+	}{
+		{"unknown record", "BOGUS\tR\"A\"\n"},
+		{"short KG", "KG\tR\"A\"\tR\"p\"\n"},
+		{"bad term sigil", "KG\tZ\"A\"\tR\"p\"\tR\"B\"\n"},
+		{"bad quoting", "KG\tR\"A\tR\"p\"\tR\"B\"\n"},
+		{"bad confidence", "XKG\tR\"A\"\tT\"p\"\tR\"B\"\t2.5\t\"\"\t\"\"\n"},
+		{"short XKG", "XKG\tR\"A\"\tT\"p\"\tR\"B\"\t0.5\n"},
+		{"bad rule text", "RULE\t\"r\"\t0.5\t\"manual\"\t\"no arrow\"\n"},
+		{"bad rule weight", "RULE\t\"r\"\tXX\t\"manual\"\t\"?x p ?y => ?x q ?y\"\n"},
+	}
+	for _, tc := range cases {
+		st := store.New(nil, nil)
+		if _, err := Read(strings.NewReader(tc.input), st); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestWeirdTextRoundTrips(t *testing.T) {
+	st := store.New(nil, nil)
+	nasty := "line\nbreak\tand \"quotes\" and 'apostrophes'"
+	st.AddFact(rdf.Token(nasty), rdf.Token("rel\twith\ttabs"), rdf.Literal("val\\back"), rdf.SourceXKG, 0.5,
+		st.Prov().Add(rdf.Prov{Doc: "d\t1", Sentence: "s\n2"}))
+	var buf bytes.Buffer
+	if err := WriteStore(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	dst := store.New(nil, nil)
+	if _, err := Read(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 1 {
+		t.Fatalf("len = %d", dst.Len())
+	}
+	if _, ok := dst.Dict().Lookup(rdf.Token(nasty)); !ok {
+		t.Fatal("nasty token text did not round trip")
+	}
+}
+
+func TestSyntheticWorldRoundTrip(t *testing.T) {
+	cfg := dataset.DefaultConfig()
+	cfg.People = 30
+	w := dataset.Generate(cfg)
+	src := store.New(nil, nil)
+	w.PopulateKG(src)
+	var buf bytes.Buffer
+	if err := WriteStore(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := store.New(nil, nil)
+	dec, err := Read(&buf, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Triples != src.Len() {
+		t.Fatalf("triples: %d vs %d", dec.Triples, src.Len())
+	}
+	if dst.Stats() != src.Stats() {
+		t.Fatalf("stats differ: %+v vs %+v", dst.Stats(), src.Stats())
+	}
+}

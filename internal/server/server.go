@@ -1,0 +1,274 @@
+// Package server exposes a TriniT engine over HTTP with a small embedded
+// demo UI — the reproduction of the §5 demonstration setting: posing mixed
+// resource/token triple-pattern queries, browsing ranked answers with
+// explanations, registering user-defined relaxation rules, and
+// auto-completing input.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"trinit"
+)
+
+// Server wraps an engine with HTTP handlers.
+type Server struct {
+	engine *trinit.Engine
+	mux    *http.ServeMux
+}
+
+// New builds a server around a frozen engine.
+func New(e *trinit.Engine) *Server {
+	s := &Server{engine: e, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/api/query", s.handleQuery)
+	s.mux.HandleFunc("/api/ask", s.handleAsk)
+	s.mux.HandleFunc("/api/complete", s.handleComplete)
+	s.mux.HandleFunc("/api/stats", s.handleStats)
+	s.mux.HandleFunc("/api/rules", s.handleRules)
+	s.mux.HandleFunc("/", s.handleIndex)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// QueryResponse is the JSON shape of /api/query.
+type QueryResponse struct {
+	Query       string              `json:"query"`
+	Answers     []trinit.Answer     `json:"answers"`
+	Notices     []trinit.Notice     `json:"notices,omitempty"`
+	Suggestions []trinit.Suggestion `json:"suggestions,omitempty"`
+	Metrics     trinit.Metrics      `json:"metrics"`
+	// Trace is included when the request passes trace=1 (§5: internal
+	// processing steps).
+	Trace []trinit.TraceEntry `json:"trace,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing q parameter"))
+		return
+	}
+	res, err := s.engine.Query(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := QueryResponse{
+		Query:       res.Query,
+		Answers:     res.Answers,
+		Notices:     res.Notices,
+		Suggestions: res.Suggestions,
+		Metrics:     res.Metrics,
+	}
+	if r.URL.Query().Get("trace") == "1" {
+		resp.Trace = res.Trace
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// AskResponse is the JSON shape of /api/ask: a QueryResponse plus the
+// query the question was translated into.
+type AskResponse struct {
+	Question   string `json:"question"`
+	Translated string `json:"translated"`
+	QueryResponse
+}
+
+func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	question := r.URL.Query().Get("q")
+	if question == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing q parameter"))
+		return
+	}
+	res, translated, err := s.engine.Ask(question)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, AskResponse{
+		Question:   question,
+		Translated: translated,
+		QueryResponse: QueryResponse{
+			Query:       res.Query,
+			Answers:     res.Answers,
+			Notices:     res.Notices,
+			Suggestions: res.Suggestions,
+			Metrics:     res.Metrics,
+		},
+	})
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	prefix := r.URL.Query().Get("prefix")
+	if prefix == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing prefix parameter"))
+		return
+	}
+	limit := 10
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		if n, err := strconv.Atoi(ls); err == nil && n > 0 {
+			limit = n
+		}
+	}
+	comps := s.engine.Complete(prefix, limit)
+	if comps == nil {
+		comps = []trinit.Completion{}
+	}
+	writeJSON(w, http.StatusOK, comps)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Stats())
+}
+
+// ruleRequest is the POST body of /api/rules.
+type ruleRequest struct {
+	ID     string  `json:"id"`
+	Rule   string  `json:"rule"`
+	Weight float64 `json:"weight"`
+}
+
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		rules := s.engine.Rules()
+		if rules == nil {
+			rules = []trinit.RuleSpec{}
+		}
+		writeJSON(w, http.StatusOK, rules)
+	case http.MethodPost:
+		var req ruleRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := s.engine.AddRule(req.ID, req.Rule, req.Weight); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"status": "rule added"})
+	case http.MethodDelete:
+		id := r.URL.Query().Get("id")
+		if id == "" {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("missing id parameter"))
+			return
+		}
+		if !s.engine.RemoveRule(id) {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no rule with id %q", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "rule removed"})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	}
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(indexHTML))
+}
+
+// indexHTML is the embedded demo UI: a query box with auto-completion, a
+// rule editor, ranked answers with expandable explanations.
+const indexHTML = `<!doctype html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>TriniT — Exploratory Querying of Extended Knowledge Graphs</title>
+<style>
+body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 60rem; color: #222; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 1.5rem; }
+textarea, input { width: 100%; font-family: ui-monospace, monospace; font-size: 0.95rem; padding: .4rem; box-sizing: border-box; }
+button { margin-top: .5rem; padding: .4rem 1rem; }
+.answer { border: 1px solid #ccc; border-radius: 6px; padding: .6rem .8rem; margin: .5rem 0; }
+.score { color: #666; font-size: .85rem; }
+pre { background: #f6f6f6; padding: .6rem; overflow-x: auto; font-size: .8rem; }
+.notice { background: #fff8e0; border: 1px solid #e0d090; padding: .4rem .6rem; margin: .4rem 0; border-radius: 4px; }
+.sugg { background: #e8f4ff; border: 1px solid #a8c8e8; padding: .4rem .6rem; margin: .4rem 0; border-radius: 4px; }
+#completions { color: #555; font-size: .85rem; }
+</style>
+</head>
+<body>
+<h1>TriniT &mdash; exploratory querying of extended knowledge graphs</h1>
+<p>Triple patterns, one per line or ';'-separated. Quoted strings are textual tokens,
+bare names are KG resources, ?x are variables. Example:
+<code>AlbertEinstein affiliation ?x ; ?x member IvyLeague</code></p>
+<textarea id="q" rows="3">AlbertEinstein affiliation ?x ; ?x member IvyLeague</textarea>
+<div id="completions"></div>
+<button onclick="runQuery()">Run query</button>
+<h2>Add relaxation rule</h2>
+<input id="ruleid" placeholder="rule id">
+<input id="ruletext" placeholder="?x affiliation ?y =&gt; ?x 'lectured at' ?y">
+<input id="ruleweight" placeholder="weight (0..1)" value="0.7">
+<button onclick="addRule()">Add rule</button>
+<h2>Results</h2>
+<div id="out"></div>
+<script>
+async function runQuery() {
+  const q = document.getElementById('q').value;
+  const res = await fetch('/api/query?q=' + encodeURIComponent(q));
+  const data = await res.json();
+  const out = document.getElementById('out');
+  out.innerHTML = '';
+  if (data.error) { out.textContent = 'error: ' + data.error; return; }
+  (data.notices || []).forEach(n => {
+    const d = document.createElement('div'); d.className = 'notice';
+    d.textContent = n.Message; out.appendChild(d);
+  });
+  (data.suggestions || []).forEach(s => {
+    const d = document.createElement('div'); d.className = 'sugg';
+    d.textContent = 'suggestion: replace \'' + s.Token + '\' (' + s.Position + ') with ' + s.Resource;
+    out.appendChild(d);
+  });
+  (data.answers || []).forEach(a => {
+    const d = document.createElement('div'); d.className = 'answer';
+    const b = Object.entries(a.Bindings).map(([k,v]) => '?' + k + ' = ' + v).join(', ');
+    d.innerHTML = '<strong>' + b + '</strong> <span class="score">score ' +
+      a.Score.toFixed(4) + '</span><details><summary>explanation</summary><pre>' +
+      a.Explanation.Text.replace(/</g,'&lt;') + '</pre></details>';
+    out.appendChild(d);
+  });
+  if (!(data.answers || []).length) out.textContent += 'no answers';
+}
+async function addRule() {
+  const body = JSON.stringify({
+    id: document.getElementById('ruleid').value,
+    rule: document.getElementById('ruletext').value,
+    weight: parseFloat(document.getElementById('ruleweight').value),
+  });
+  const res = await fetch('/api/rules', {method: 'POST', body});
+  const data = await res.json();
+  alert(data.error || data.status);
+}
+document.getElementById('q').addEventListener('input', async (ev) => {
+  const text = ev.target.value;
+  const word = text.split(/[\s;.{}]+/).pop();
+  const el = document.getElementById('completions');
+  if (!word || word.length < 2 || word.startsWith('?') || word.startsWith("'")) { el.textContent = ''; return; }
+  const res = await fetch('/api/complete?prefix=' + encodeURIComponent(word) + '&limit=6');
+  const comps = await res.json();
+  el.textContent = comps.length ? 'complete: ' + comps.map(c => c.Text).join('  ') : '';
+});
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,253 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"trinit"
+)
+
+func testServer() *Server {
+	return New(trinit.NewDemoEngine())
+}
+
+func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	s := testServer()
+	rec := get(t, s, "/api/query?q="+escaped("AlbertEinstein hasAdvisor ?x"))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var resp QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 1 || resp.Answers[0].Bindings["x"] != "AlfredKleiner" {
+		t.Fatalf("answers = %+v", resp.Answers)
+	}
+	if len(resp.Notices) == 0 {
+		t.Error("no notices for inverted query")
+	}
+	if resp.Metrics.RewritesTotal == 0 {
+		t.Error("metrics missing")
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	s := testServer()
+	if rec := get(t, s, "/api/query"); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing q: status %d", rec.Code)
+	}
+	if rec := get(t, s, "/api/query?q="+escaped("broken ' query")); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad query: status %d", rec.Code)
+	}
+}
+
+func TestCompleteEndpoint(t *testing.T) {
+	s := testServer()
+	rec := get(t, s, "/api/complete?prefix=Albert&limit=3")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var comps []trinit.Completion
+	if err := json.Unmarshal(rec.Body.Bytes(), &comps); err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) == 0 || comps[0].Text != "AlbertEinstein" {
+		t.Fatalf("completions = %v", comps)
+	}
+	if rec := get(t, s, "/api/complete"); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing prefix: status %d", rec.Code)
+	}
+	// Unknown prefix returns an empty array, not null.
+	rec = get(t, s, "/api/complete?prefix=Zzzz")
+	if strings.TrimSpace(rec.Body.String()) != "[]" {
+		t.Errorf("empty completions = %q", rec.Body.String())
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s := testServer()
+	rec := get(t, s, "/api/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var stats trinit.Stats
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.KGTriples != 8 || stats.XKGTriples != 4 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestRulesEndpoint(t *testing.T) {
+	s := testServer()
+	rec := get(t, s, "/api/rules")
+	var rules []trinit.RuleSpec
+	if err := json.Unmarshal(rec.Body.Bytes(), &rules); err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 4 {
+		t.Fatalf("rules = %d", len(rules))
+	}
+
+	// Add a user-defined rule via POST, as the demo supports.
+	body := strings.NewReader(`{"id":"user1","rule":"?x diedIn ?y => ?x 'passed away in' ?y","weight":0.6}`)
+	req := httptest.NewRequest(http.MethodPost, "/api/rules", body)
+	recPost := httptest.NewRecorder()
+	s.ServeHTTP(recPost, req)
+	if recPost.Code != http.StatusCreated {
+		t.Fatalf("POST status = %d: %s", recPost.Code, recPost.Body)
+	}
+	rec = get(t, s, "/api/rules")
+	if err := json.Unmarshal(rec.Body.Bytes(), &rules); err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 5 {
+		t.Fatalf("rules after POST = %d", len(rules))
+	}
+
+	// Invalid rule rejected.
+	req = httptest.NewRequest(http.MethodPost, "/api/rules", strings.NewReader(`{"id":"bad","rule":"no arrow","weight":0.5}`))
+	recPost = httptest.NewRecorder()
+	s.ServeHTTP(recPost, req)
+	if recPost.Code != http.StatusBadRequest {
+		t.Errorf("invalid rule POST status = %d", recPost.Code)
+	}
+
+	// Unsupported method.
+	req = httptest.NewRequest(http.MethodPatch, "/api/rules", nil)
+	recPost = httptest.NewRecorder()
+	s.ServeHTTP(recPost, req)
+	if recPost.Code != http.StatusMethodNotAllowed {
+		t.Errorf("PATCH status = %d", recPost.Code)
+	}
+}
+
+func TestUserRuleAffectsQueries(t *testing.T) {
+	s := testServer()
+	// Before the custom rule, a 'housed in'-style query via a fresh
+	// predicate yields nothing.
+	rec := get(t, s, "/api/query?q="+escaped("IAS basedIn ?x"))
+	var resp QueryResponse
+	_ = json.Unmarshal(rec.Body.Bytes(), &resp)
+	if len(resp.Answers) != 0 {
+		t.Fatalf("unexpected answers before rule: %+v", resp.Answers)
+	}
+	body := strings.NewReader(`{"id":"user-basedin","rule":"?x basedIn ?y => ?x 'housed in' ?y","weight":0.9}`)
+	req := httptest.NewRequest(http.MethodPost, "/api/rules", body)
+	recPost := httptest.NewRecorder()
+	s.ServeHTTP(recPost, req)
+	if recPost.Code != http.StatusCreated {
+		t.Fatalf("rule POST failed: %s", recPost.Body)
+	}
+	rec = get(t, s, "/api/query?q="+escaped("IAS basedIn ?x"))
+	_ = json.Unmarshal(rec.Body.Bytes(), &resp)
+	if len(resp.Answers) != 1 || resp.Answers[0].Bindings["x"] != "PrincetonUniversity" {
+		t.Fatalf("answers after rule = %+v", resp.Answers)
+	}
+}
+
+func TestIndexPage(t *testing.T) {
+	s := testServer()
+	rec := get(t, s, "/")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "TriniT") {
+		t.Error("index page missing title")
+	}
+	if rec := get(t, s, "/nosuchpage"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown path status = %d", rec.Code)
+	}
+}
+
+func escaped(q string) string {
+	r := strings.NewReplacer(" ", "%20", "'", "%27", "?", "%3F", "{", "%7B", "}", "%7D", ";", "%3B")
+	return r.Replace(q)
+}
+
+func TestAskEndpoint(t *testing.T) {
+	s := testServer()
+	rec := get(t, s, "/api/ask?q="+escaped("Who was the advisor of Albert Einstein?"))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var resp AskResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Translated != "AlbertEinstein hasAdvisor ?a" {
+		t.Fatalf("translated = %q", resp.Translated)
+	}
+	if len(resp.Answers) != 1 || resp.Answers[0].Bindings["a"] != "AlfredKleiner" {
+		t.Fatalf("answers = %+v", resp.Answers)
+	}
+	if rec := get(t, s, "/api/ask"); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing q: %d", rec.Code)
+	}
+	if rec := get(t, s, "/api/ask?q="+escaped("gibberish beyond templates")); rec.Code != http.StatusBadRequest {
+		t.Errorf("untranslatable question: %d", rec.Code)
+	}
+}
+
+func TestQueryTraceParam(t *testing.T) {
+	s := testServer()
+	q := escaped("AlbertEinstein hasAdvisor ?x")
+	var resp QueryResponse
+	rec := get(t, s, "/api/query?q="+q)
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Trace) != 0 {
+		t.Fatalf("trace included without trace=1: %v", resp.Trace)
+	}
+	rec = get(t, s, "/api/query?trace=1&q="+q)
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Trace) == 0 {
+		t.Fatal("trace missing with trace=1")
+	}
+}
+
+func TestRuleDeletion(t *testing.T) {
+	s := testServer()
+	req := httptest.NewRequest(http.MethodDelete, "/api/rules?id=fig4-4", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("DELETE status = %d: %s", rec.Code, rec.Body)
+	}
+	var rules []trinit.RuleSpec
+	recGet := get(t, s, "/api/rules")
+	if err := json.Unmarshal(recGet.Body.Bytes(), &rules); err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("rules after delete = %d, want 3", len(rules))
+	}
+	// Deleting again: not found.
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "/api/rules?id=fig4-4", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("second DELETE status = %d", rec.Code)
+	}
+	// Missing id.
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "/api/rules", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("DELETE without id status = %d", rec.Code)
+	}
+}

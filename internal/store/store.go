@@ -1,0 +1,345 @@
+// Package store implements TriniT's storage backend: an in-memory,
+// dictionary-encoded triple store over the extended knowledge graph.
+//
+// It replaces the ElasticSearch backend of the original system. The query
+// processor requires exactly two capabilities from the backend, both
+// provided here:
+//
+//  1. matching a triple pattern with any combination of bound and unbound
+//     slots, via three permutation indexes (SPO, POS, OSP), and
+//  2. resolving a textual query token to candidate XKG token phrases or
+//     resource labels, via an inverted index over term words.
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"trinit/internal/rdf"
+)
+
+// Store is an immutable-after-Freeze triple store over the XKG.
+type Store struct {
+	dict *rdf.Dict
+	prov *rdf.ProvTable
+
+	triples []rdf.Triple
+	byKey   map[rdf.Key]ID
+
+	// Permutation indexes, built by Freeze.
+	spo, pos, osp []ID
+	frozen        bool
+
+	tokens *tokenIndex
+
+	numKG, numXKG int
+}
+
+// ID identifies a triple inside a Store.
+type ID uint32
+
+// New returns an empty store sharing the given dictionary and provenance
+// table. Passing nil creates fresh ones.
+func New(dict *rdf.Dict, prov *rdf.ProvTable) *Store {
+	if dict == nil {
+		dict = rdf.NewDict()
+	}
+	if prov == nil {
+		prov = rdf.NewProvTable()
+	}
+	return &Store{
+		dict:   dict,
+		prov:   prov,
+		byKey:  make(map[rdf.Key]ID),
+		tokens: newTokenIndex(),
+	}
+}
+
+// Dict returns the store's term dictionary.
+func (st *Store) Dict() *rdf.Dict { return st.dict }
+
+// Prov returns the store's provenance table.
+func (st *Store) Prov() *rdf.ProvTable { return st.prov }
+
+// Add inserts a triple. Triples are deduplicated by their (S, P, O) key;
+// when the same fact is added twice, the copy with the higher confidence is
+// kept (the paper's XKG consists of distinct triples). Add panics if the
+// store has been frozen, since index maintenance after Freeze is not
+// supported.
+func (st *Store) Add(t rdf.Triple) ID {
+	if st.frozen {
+		panic("store: Add after Freeze")
+	}
+	if t.Conf <= 0 || t.Conf > 1 {
+		panic(fmt.Sprintf("store: triple confidence %v outside (0, 1]", t.Conf))
+	}
+	if id, ok := st.byKey[t.Key()]; ok {
+		if t.Conf > st.triples[id].Conf {
+			st.countSource(st.triples[id].Source, -1)
+			st.triples[id] = t
+			st.countSource(t.Source, +1)
+		}
+		return id
+	}
+	id := ID(len(st.triples))
+	st.triples = append(st.triples, t)
+	st.byKey[t.Key()] = id
+	st.countSource(t.Source, +1)
+	return id
+}
+
+func (st *Store) countSource(s rdf.Source, d int) {
+	if s == rdf.SourceKG {
+		st.numKG += d
+	} else {
+		st.numXKG += d
+	}
+}
+
+// AddFact is a convenience that interns the three terms and adds a triple.
+func (st *Store) AddFact(s, p, o rdf.Term, src rdf.Source, conf float64, prov rdf.ProvID) ID {
+	return st.Add(rdf.Triple{
+		S:      st.dict.Intern(s),
+		P:      st.dict.Intern(p),
+		O:      st.dict.Intern(o),
+		Source: src,
+		Conf:   conf,
+		Prov:   prov,
+	})
+}
+
+// AddKG adds a curated KG fact between resources with confidence 1.
+func (st *Store) AddKG(s, p, o rdf.Term) ID {
+	return st.AddFact(s, p, o, rdf.SourceKG, 1, rdf.NoProv)
+}
+
+// Triple returns the triple with the given ID.
+func (st *Store) Triple(id ID) rdf.Triple { return st.triples[id] }
+
+// Len returns the number of distinct triples.
+func (st *Store) Len() int { return len(st.triples) }
+
+// NumKG and NumXKG report the number of triples per source.
+func (st *Store) NumKG() int  { return st.numKG }
+func (st *Store) NumXKG() int { return st.numXKG }
+
+// Contains reports whether the exact fact is stored.
+func (st *Store) Contains(s, p, o rdf.TermID) bool {
+	_, ok := st.byKey[rdf.Key{S: s, P: p, O: o}]
+	return ok
+}
+
+// Freeze builds the permutation and token indexes. After Freeze the store
+// is immutable and safe for concurrent reads. Freeze is idempotent.
+func (st *Store) Freeze() {
+	if st.frozen {
+		return
+	}
+	n := len(st.triples)
+	st.spo = make([]ID, n)
+	st.pos = make([]ID, n)
+	st.osp = make([]ID, n)
+	for i := 0; i < n; i++ {
+		st.spo[i], st.pos[i], st.osp[i] = ID(i), ID(i), ID(i)
+	}
+	sort.Slice(st.spo, func(a, b int) bool { return st.lessSPO(st.spo[a], st.spo[b]) })
+	sort.Slice(st.pos, func(a, b int) bool { return st.lessPOS(st.pos[a], st.pos[b]) })
+	sort.Slice(st.osp, func(a, b int) bool { return st.lessOSP(st.osp[a], st.osp[b]) })
+	st.buildTokenIndex()
+	st.frozen = true
+}
+
+// Frozen reports whether Freeze has been called.
+func (st *Store) Frozen() bool { return st.frozen }
+
+func (st *Store) lessSPO(a, b ID) bool {
+	ta, tb := st.triples[a], st.triples[b]
+	if ta.S != tb.S {
+		return ta.S < tb.S
+	}
+	if ta.P != tb.P {
+		return ta.P < tb.P
+	}
+	return ta.O < tb.O
+}
+
+func (st *Store) lessPOS(a, b ID) bool {
+	ta, tb := st.triples[a], st.triples[b]
+	if ta.P != tb.P {
+		return ta.P < tb.P
+	}
+	if ta.O != tb.O {
+		return ta.O < tb.O
+	}
+	return ta.S < tb.S
+}
+
+func (st *Store) lessOSP(a, b ID) bool {
+	ta, tb := st.triples[a], st.triples[b]
+	if ta.O != tb.O {
+		return ta.O < tb.O
+	}
+	if ta.S != tb.S {
+		return ta.S < tb.S
+	}
+	return ta.P < tb.P
+}
+
+// Match returns the IDs of all triples matching the pattern, where NoTerm
+// in a slot acts as a wildcard. The result is in index order of the chosen
+// permutation, which is deterministic. Match requires a frozen store.
+func (st *Store) Match(s, p, o rdf.TermID) []ID {
+	if !st.frozen {
+		panic("store: Match before Freeze")
+	}
+	switch {
+	case s != rdf.NoTerm && p != rdf.NoTerm && o != rdf.NoTerm:
+		if id, ok := st.byKey[rdf.Key{S: s, P: p, O: o}]; ok {
+			return []ID{id}
+		}
+		return nil
+	case s != rdf.NoTerm && p != rdf.NoTerm:
+		return st.scan(st.spo, func(t rdf.Triple) int { return cmp2(t.S, s, t.P, p) })
+	case s != rdf.NoTerm && o != rdf.NoTerm:
+		return st.scan(st.osp, func(t rdf.Triple) int { return cmp2(t.O, o, t.S, s) })
+	case p != rdf.NoTerm && o != rdf.NoTerm:
+		return st.scan(st.pos, func(t rdf.Triple) int { return cmp2(t.P, p, t.O, o) })
+	case s != rdf.NoTerm:
+		return st.scan(st.spo, func(t rdf.Triple) int { return cmp1(t.S, s) })
+	case p != rdf.NoTerm:
+		return st.scan(st.pos, func(t rdf.Triple) int { return cmp1(t.P, p) })
+	case o != rdf.NoTerm:
+		return st.scan(st.osp, func(t rdf.Triple) int { return cmp1(t.O, o) })
+	default:
+		out := make([]ID, len(st.spo))
+		copy(out, st.spo)
+		return out
+	}
+}
+
+// Count returns the number of triples matching the pattern without
+// materialising them all (except in the unrestricted case).
+func (st *Store) Count(s, p, o rdf.TermID) int {
+	if s == rdf.NoTerm && p == rdf.NoTerm && o == rdf.NoTerm {
+		return len(st.triples)
+	}
+	return len(st.Match(s, p, o))
+}
+
+// scan binary-searches the permutation index for the contiguous range where
+// cmp returns 0. cmp must return <0 / 0 / >0 for triples ordering before /
+// inside / after the wanted range.
+func (st *Store) scan(idx []ID, cmp func(rdf.Triple) int) []ID {
+	lo := sort.Search(len(idx), func(i int) bool { return cmp(st.triples[idx[i]]) >= 0 })
+	hi := sort.Search(len(idx), func(i int) bool { return cmp(st.triples[idx[i]]) > 0 })
+	if lo >= hi {
+		return nil
+	}
+	out := make([]ID, hi-lo)
+	copy(out, idx[lo:hi])
+	return out
+}
+
+func cmp1(a, b rdf.TermID) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmp2(a1, b1, a2, b2 rdf.TermID) int {
+	if c := cmp1(a1, b1); c != 0 {
+		return c
+	}
+	return cmp1(a2, b2)
+}
+
+// Predicates returns the distinct predicate terms in ascending TermID
+// order, with their triple counts.
+func (st *Store) Predicates() []PredicateStat {
+	counts := make(map[rdf.TermID]int)
+	for _, t := range st.triples {
+		counts[t.P]++
+	}
+	ids := make([]rdf.TermID, 0, len(counts))
+	for p := range counts {
+		ids = append(ids, p)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]PredicateStat, len(ids))
+	for i, p := range ids {
+		out[i] = PredicateStat{Pred: p, Count: counts[p]}
+	}
+	return out
+}
+
+// PredicateStat pairs a predicate with its number of triples.
+type PredicateStat struct {
+	Pred  rdf.TermID
+	Count int
+}
+
+// Args returns the set of (subject, object) pairs connected by predicate p,
+// the args(p) of the paper's rule-mining weight formula.
+func (st *Store) Args(p rdf.TermID) map[[2]rdf.TermID]bool {
+	out := make(map[[2]rdf.TermID]bool)
+	for _, id := range st.Match(rdf.NoTerm, p, rdf.NoTerm) {
+		t := st.triples[id]
+		out[[2]rdf.TermID{t.S, t.O}] = true
+	}
+	return out
+}
+
+// Stats summarises the store contents (§5 reports these for the demo XKG).
+type Stats struct {
+	Triples        int
+	KGTriples      int
+	XKGTriples     int
+	Terms          int
+	Resources      int
+	Literals       int
+	Tokens         int
+	Predicates     int
+	TokenPreds     int // predicates that are token phrases
+	ResourcePreds  int // predicates that are canonical resources
+	ProvenanceRecs int
+}
+
+// Stats computes summary statistics.
+func (st *Store) Stats() Stats {
+	s := Stats{
+		Triples:        len(st.triples),
+		KGTriples:      st.numKG,
+		XKGTriples:     st.numXKG,
+		Terms:          st.dict.Len(),
+		ProvenanceRecs: st.prov.Len(),
+	}
+	st.dict.All(func(_ rdf.TermID, t rdf.Term) bool {
+		switch t.Kind {
+		case rdf.KindResource:
+			s.Resources++
+		case rdf.KindLiteral:
+			s.Literals++
+		case rdf.KindToken:
+			s.Tokens++
+		}
+		return true
+	})
+	preds := make(map[rdf.TermID]bool)
+	for _, t := range st.triples {
+		preds[t.P] = true
+	}
+	s.Predicates = len(preds)
+	for p := range preds {
+		if st.dict.Term(p).Kind == rdf.KindToken {
+			s.TokenPreds++
+		} else {
+			s.ResourcePreds++
+		}
+	}
+	return s
+}

@@ -1,0 +1,108 @@
+package store
+
+import (
+	"sort"
+
+	"trinit/internal/rdf"
+	"trinit/internal/text"
+)
+
+// tokenIndex is an inverted index from content words to the terms whose
+// surface text contains them. It backs the resolution of textual query
+// tokens ("extended triple patterns", §2) to candidate XKG token phrases,
+// and of token phrases to highly related KG resources (query suggestion,
+// §5).
+type tokenIndex struct {
+	byWord map[string][]rdf.TermID
+}
+
+func newTokenIndex() *tokenIndex {
+	return &tokenIndex{byWord: make(map[string][]rdf.TermID)}
+}
+
+func (ix *tokenIndex) add(id rdf.TermID, surface string) {
+	seen := make(map[string]bool)
+	for _, w := range text.ContentTokens(surface) {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		ix.byWord[w] = append(ix.byWord[w], id)
+	}
+}
+
+// buildTokenIndex indexes every term that occurs in at least one triple.
+func (st *Store) buildTokenIndex() {
+	used := make(map[rdf.TermID]bool, 3*len(st.triples))
+	for _, t := range st.triples {
+		used[t.S] = true
+		used[t.P] = true
+		used[t.O] = true
+	}
+	ids := make([]rdf.TermID, 0, len(used))
+	for id := range used {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		st.tokens.add(id, st.dict.Term(id).Text)
+	}
+}
+
+// KindMask selects which term kinds a token lookup may return.
+type KindMask uint8
+
+// Kind masks for MatchToken.
+const (
+	MaskResource KindMask = 1 << rdf.KindResource
+	MaskLiteral  KindMask = 1 << rdf.KindLiteral
+	MaskToken    KindMask = 1 << rdf.KindToken
+	MaskAny               = MaskResource | MaskLiteral | MaskToken
+)
+
+func (m KindMask) has(k rdf.TermKind) bool { return m&(1<<k) != 0 }
+
+// ScoredTerm is a candidate term for a textual query token, with its
+// phrase-similarity score in (0, 1].
+type ScoredTerm struct {
+	Term rdf.TermID
+	Sim  float64
+}
+
+// MatchToken resolves a textual query token to candidate terms whose
+// surface text is similar to it. Results are restricted to kinds in mask,
+// filtered at minSim, sorted by descending similarity (ties by TermID), and
+// truncated to limit (0 = no limit).
+func (st *Store) MatchToken(tok string, mask KindMask, minSim float64, limit int) []ScoredTerm {
+	if !st.frozen {
+		panic("store: MatchToken before Freeze")
+	}
+	cands := make(map[rdf.TermID]bool)
+	for _, w := range text.ContentTokens(tok) {
+		for _, id := range st.tokens.byWord[w] {
+			cands[id] = true
+		}
+	}
+	out := make([]ScoredTerm, 0, len(cands))
+	for id := range cands {
+		term := st.dict.Term(id)
+		if !mask.has(term.Kind) {
+			continue
+		}
+		sim := text.Similarity(tok, term.Text)
+		if sim < minSim || sim == 0 {
+			continue
+		}
+		out = append(out, ScoredTerm{Term: id, Sim: sim})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sim != out[j].Sim {
+			return out[i].Sim > out[j].Sim
+		}
+		return out[i].Term < out[j].Term
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+// Package suggest implements TriniT's query-suggestion features (§5):
+//
+//   - auto-completion of KG resources and XKG token phrases while typing;
+//   - token → resource suggestions: when the matches of a textual token
+//     overlap significantly with the matches of a highly related KG
+//     resource, the canonical resource is suggested for future queries;
+//   - structural-rule notices: when a structural relaxation (e.g. a
+//     predicate inversion) contributed to the answers, the user is told,
+//     gradually teaching them the KG's structure.
+package suggest
+
+import (
+	"fmt"
+	"sort"
+
+	"trinit/internal/query"
+	"trinit/internal/rdf"
+	"trinit/internal/store"
+	"trinit/internal/text"
+	"trinit/internal/topk"
+)
+
+// Suggester provides completions and reformulation suggestions over one
+// frozen store.
+type Suggester struct {
+	st   *store.Store
+	trie *text.Trie
+	// MinOverlap is the match-overlap threshold for token → resource
+	// suggestions.
+	MinOverlap float64
+}
+
+// New builds a suggester; the store must be frozen.
+func New(st *store.Store) *Suggester {
+	s := &Suggester{st: st, trie: text.NewTrie(), MinOverlap: 0.3}
+	// Weight completions by how often the term occurs in triples, so
+	// that prominent entities and predicates surface first.
+	freq := make(map[rdf.TermID]int)
+	for i := 0; i < st.Len(); i++ {
+		t := st.Triple(store.ID(i))
+		freq[t.S]++
+		freq[t.P]++
+		freq[t.O]++
+	}
+	ids := make([]rdf.TermID, 0, len(freq))
+	for id := range freq {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		term := st.Dict().Term(id)
+		s.trie.Insert(term.Text, uint32(id), float64(freq[id]))
+	}
+	return s
+}
+
+// Complete returns up to limit auto-completions for a prefix the user is
+// typing into an S, P or O field.
+func (s *Suggester) Complete(prefix string, limit int) []text.Completion {
+	return s.trie.Complete(prefix, limit)
+}
+
+// TokenSuggestion proposes replacing a textual token of the query with a
+// canonical KG resource.
+type TokenSuggestion struct {
+	// Token is the user's textual token.
+	Token string
+	// Resource is the suggested canonical resource.
+	Resource string
+	// Overlap is the fraction of the token's matches that the
+	// resource's matches cover.
+	Overlap float64
+	// Position describes where in the query the token occurred,
+	// e.g. "pattern 1, predicate".
+	Position string
+}
+
+// Suggest computes token → resource suggestions for every textual token in
+// the query. For a token in predicate position, candidate KG predicates are
+// compared by argument-pair overlap; for subject/object tokens, candidate
+// resources are compared by the overlap of the triple sets they match.
+func (s *Suggester) Suggest(q *query.Query) []TokenSuggestion {
+	var out []TokenSuggestion
+	for pi, p := range q.Patterns {
+		slots := [3]query.Slot{p.S, p.P, p.O}
+		roles := [3]string{"subject", "predicate", "object"}
+		for si, sl := range slots {
+			if sl.IsVar() || sl.Term.Kind != rdf.KindToken {
+				continue
+			}
+			var sugg *TokenSuggestion
+			if si == 1 {
+				sugg = s.predicateSuggestion(sl.Term.Text)
+			} else {
+				sugg = s.entitySuggestion(sl.Term.Text)
+			}
+			if sugg != nil {
+				sugg.Position = fmt.Sprintf("pattern %d, %s", pi+1, roles[si])
+				out = append(out, *sugg)
+			}
+		}
+	}
+	return out
+}
+
+// predicateSuggestion finds the KG predicate whose argument pairs best
+// cover the matches of the token predicate.
+func (s *Suggester) predicateSuggestion(tok string) *TokenSuggestion {
+	// Gather the argument pairs matched by the token predicate.
+	tokPairs := make(map[[2]rdf.TermID]bool)
+	for _, cand := range s.st.MatchToken(tok, store.MaskToken, 0.5, 0) {
+		for pair := range s.st.Args(cand.Term) {
+			tokPairs[pair] = true
+		}
+	}
+	if len(tokPairs) == 0 {
+		return nil
+	}
+	best := TokenSuggestion{Token: tok}
+	for _, ps := range s.st.Predicates() {
+		term := s.st.Dict().Term(ps.Pred)
+		if term.Kind != rdf.KindResource {
+			continue
+		}
+		args := s.st.Args(ps.Pred)
+		inter := 0
+		for pair := range tokPairs {
+			if args[pair] {
+				inter++
+			}
+		}
+		overlap := float64(inter) / float64(len(tokPairs))
+		if overlap > best.Overlap {
+			best.Overlap = overlap
+			best.Resource = term.Text
+		}
+	}
+	if best.Overlap < s.MinOverlap || best.Resource == "" {
+		return nil
+	}
+	return &best
+}
+
+// entitySuggestion finds the KG resource whose label is most similar to a
+// subject/object token, weighted by how many triples mention it.
+func (s *Suggester) entitySuggestion(tok string) *TokenSuggestion {
+	cands := s.st.MatchToken(tok, store.MaskResource, s.MinOverlap, 5)
+	if len(cands) == 0 {
+		return nil
+	}
+	best := cands[0]
+	return &TokenSuggestion{
+		Token:    tok,
+		Resource: s.st.Dict().Term(best.Term).Text,
+		Overlap:  best.Sim,
+	}
+}
+
+// Notice informs the user that a structural relaxation contributed to the
+// answer set (§5: "When a structural relaxation rule ... is invoked and
+// contributes to the final answer set, TriniT informs the user").
+type Notice struct {
+	RuleID  string
+	Origin  string
+	Rule    string
+	Message string
+	// Answers counts how many of the returned answers used the rule.
+	Answers int
+}
+
+// RuleNotices inspects the answers' best derivations and reports each rule
+// that contributed, with a human-readable message.
+func RuleNotices(answers []topk.Answer) []Notice {
+	type agg struct {
+		notice Notice
+	}
+	byID := make(map[string]*agg)
+	var order []string
+	for _, a := range answers {
+		for _, r := range a.Derivation.Rewrite.Applied {
+			if _, ok := byID[r.ID]; !ok {
+				msg := fmt.Sprintf("relaxation %q (%s, weight %.2f) contributed to the answers", r.ID, r.Origin, r.Weight)
+				if r.Origin == "inversion" {
+					msg = fmt.Sprintf("your query's predicate runs in the opposite direction in the KG; rule %q inverted it", r.ID)
+				}
+				byID[r.ID] = &agg{notice: Notice{
+					RuleID:  r.ID,
+					Origin:  r.Origin,
+					Rule:    r.String(),
+					Message: msg,
+				}}
+				order = append(order, r.ID)
+			}
+			byID[r.ID].notice.Answers++
+		}
+	}
+	out := make([]Notice, 0, len(order))
+	for _, id := range order {
+		out = append(out, byID[id].notice)
+	}
+	return out
+}

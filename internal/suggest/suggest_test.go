@@ -1,0 +1,166 @@
+package suggest
+
+import (
+	"strings"
+	"testing"
+
+	"trinit/internal/query"
+	"trinit/internal/rdf"
+	"trinit/internal/relax"
+	"trinit/internal/store"
+	"trinit/internal/topk"
+)
+
+// suggestStore has a KG predicate worksFor whose argument pairs are mostly
+// shared with the token predicate 'works at', so the token should suggest
+// the resource.
+func suggestStore() *store.Store {
+	st := store.New(nil, nil)
+	st.AddKG(rdf.Resource("Alice"), rdf.Resource("worksFor"), rdf.Resource("Acme"))
+	st.AddKG(rdf.Resource("Bob"), rdf.Resource("worksFor"), rdf.Resource("Globex"))
+	st.AddKG(rdf.Resource("Carol"), rdf.Resource("worksFor"), rdf.Resource("Acme"))
+	st.AddFact(rdf.Resource("Alice"), rdf.Token("works at"), rdf.Resource("Acme"), rdf.SourceXKG, 0.8, rdf.NoProv)
+	st.AddFact(rdf.Resource("Bob"), rdf.Token("works at"), rdf.Resource("Globex"), rdf.SourceXKG, 0.8, rdf.NoProv)
+	st.AddFact(rdf.Resource("Dave"), rdf.Token("works at"), rdf.Resource("Initech"), rdf.SourceXKG, 0.7, rdf.NoProv)
+	st.Freeze()
+	return st
+}
+
+func TestCompleteRanksFrequentFirst(t *testing.T) {
+	st := suggestStore()
+	s := New(st)
+	got := s.Complete("A", 5)
+	if len(got) < 2 {
+		t.Fatalf("completions = %v", got)
+	}
+	// Acme occurs in 3 triples, Alice in 2.
+	if got[0].Text != "Acme" {
+		t.Errorf("top completion = %q, want Acme", got[0].Text)
+	}
+}
+
+func TestCompleteMiss(t *testing.T) {
+	s := New(suggestStore())
+	if got := s.Complete("Zzz", 5); len(got) != 0 {
+		t.Fatalf("completions for missing prefix: %v", got)
+	}
+}
+
+func TestPredicateTokenSuggestion(t *testing.T) {
+	st := suggestStore()
+	s := New(st)
+	q := query.MustParse("?x 'works at' ?y")
+	suggs := s.Suggest(q)
+	if len(suggs) != 1 {
+		t.Fatalf("suggestions = %v", suggs)
+	}
+	sg := suggs[0]
+	if sg.Resource != "worksFor" {
+		t.Errorf("suggested %q, want worksFor", sg.Resource)
+	}
+	// 2 of the 3 token argument pairs are covered by worksFor.
+	if want := 2.0 / 3.0; sg.Overlap < want-1e-9 || sg.Overlap > want+1e-9 {
+		t.Errorf("overlap = %v, want %v", sg.Overlap, want)
+	}
+	if !strings.Contains(sg.Position, "predicate") {
+		t.Errorf("position = %q", sg.Position)
+	}
+}
+
+func TestEntityTokenSuggestion(t *testing.T) {
+	st := store.New(nil, nil)
+	st.AddKG(rdf.Resource("PrincetonUniversity"), rdf.Resource("member"), rdf.Resource("IvyLeague"))
+	st.AddFact(rdf.Token("princeton university"), rdf.Token("is in"), rdf.Token("New Jersey"), rdf.SourceXKG, 0.5, rdf.NoProv)
+	st.Freeze()
+	s := New(st)
+	q := query.MustParse("'princeton university' member ?x")
+	suggs := s.Suggest(q)
+	if len(suggs) != 1 {
+		t.Fatalf("suggestions = %v", suggs)
+	}
+	if suggs[0].Resource != "PrincetonUniversity" {
+		t.Errorf("suggested %q", suggs[0].Resource)
+	}
+	if !strings.Contains(suggs[0].Position, "subject") {
+		t.Errorf("position = %q", suggs[0].Position)
+	}
+}
+
+func TestNoSuggestionForResourceOnlyQuery(t *testing.T) {
+	s := New(suggestStore())
+	if suggs := s.Suggest(query.MustParse("?x worksFor ?y")); len(suggs) != 0 {
+		t.Fatalf("suggestions for resource query: %v", suggs)
+	}
+}
+
+func TestNoSuggestionBelowThreshold(t *testing.T) {
+	st := suggestStore()
+	s := New(st)
+	s.MinOverlap = 0.9
+	if suggs := s.Suggest(query.MustParse("?x 'works at' ?y")); len(suggs) != 0 {
+		t.Fatalf("suggestion above impossible threshold: %v", suggs)
+	}
+}
+
+func TestNoSuggestionForUnknownToken(t *testing.T) {
+	s := New(suggestStore())
+	if suggs := s.Suggest(query.MustParse("?x 'flies kites with' ?y")); len(suggs) != 0 {
+		t.Fatalf("suggestion for unmatched token: %v", suggs)
+	}
+}
+
+func TestRuleNotices(t *testing.T) {
+	st := store.New(nil, nil)
+	st.AddKG(rdf.Resource("AlfredKleiner"), rdf.Resource("hasStudent"), rdf.Resource("AlbertEinstein"))
+	st.Freeze()
+	q := query.MustParse("AlbertEinstein hasAdvisor ?x")
+	rules := []*relax.Rule{
+		relax.MustParseRule("r2", "?x hasAdvisor ?y => ?y hasStudent ?x", 1.0, "inversion"),
+	}
+	rewrites := relax.NewExpander(rules).Expand(q)
+	ans, _ := topk.New(st, topk.Options{K: 5}).Evaluate(q, rewrites)
+	if len(ans) != 1 {
+		t.Fatalf("answers = %d", len(ans))
+	}
+	notices := RuleNotices(ans)
+	if len(notices) != 1 {
+		t.Fatalf("notices = %v", notices)
+	}
+	n := notices[0]
+	if n.RuleID != "r2" || n.Answers != 1 {
+		t.Errorf("notice = %+v", n)
+	}
+	if !strings.Contains(n.Message, "opposite direction") {
+		t.Errorf("inversion message = %q", n.Message)
+	}
+}
+
+func TestRuleNoticesEmptyWithoutRelaxation(t *testing.T) {
+	st := suggestStore()
+	q := query.MustParse("?x worksFor ?y")
+	rewrites := relax.NewExpander(nil).Expand(q)
+	ans, _ := topk.New(st, topk.Options{K: 5}).Evaluate(q, rewrites)
+	if len(ans) == 0 {
+		t.Fatal("no answers")
+	}
+	if notices := RuleNotices(ans); len(notices) != 0 {
+		t.Fatalf("notices without relaxation: %v", notices)
+	}
+}
+
+func TestRuleNoticesCountAnswers(t *testing.T) {
+	st := store.New(nil, nil)
+	st.AddKG(rdf.Resource("K"), rdf.Resource("hasStudent"), rdf.Resource("A"))
+	st.AddKG(rdf.Resource("K"), rdf.Resource("hasStudent"), rdf.Resource("B"))
+	st.Freeze()
+	q := query.MustParse("?s hasAdvisor ?a")
+	rules := []*relax.Rule{
+		relax.MustParseRule("r2", "?x hasAdvisor ?y => ?y hasStudent ?x", 1.0, "inversion"),
+	}
+	rewrites := relax.NewExpander(rules).Expand(q)
+	ans, _ := topk.New(st, topk.Options{K: 5}).Evaluate(q, rewrites)
+	notices := RuleNotices(ans)
+	if len(notices) != 1 || notices[0].Answers != 2 {
+		t.Fatalf("notices = %+v", notices)
+	}
+}

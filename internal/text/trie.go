@@ -1,0 +1,89 @@
+package text
+
+import "sort"
+
+// Trie is a prefix tree over strings with per-entry payloads and weights,
+// used for query auto-completion (§5: "User input is eased by
+// auto-completion, guiding users towards meaningful query formulations").
+type Trie struct {
+	root *trieNode
+}
+
+type trieNode struct {
+	children map[byte]*trieNode
+	// entries holds the completions terminating at this node.
+	entries []Completion
+}
+
+// Completion is an auto-completion candidate.
+type Completion struct {
+	// Text is the full completion string.
+	Text string
+	// Payload is an opaque identifier supplied at insert time (for
+	// TriniT, the dictionary TermID of the completed resource).
+	Payload uint32
+	// Weight orders completions: higher weights are suggested first.
+	Weight float64
+}
+
+// NewTrie returns an empty trie.
+func NewTrie() *Trie { return &Trie{root: newTrieNode()} }
+
+func newTrieNode() *trieNode { return &trieNode{children: make(map[byte]*trieNode)} }
+
+// Insert adds a completion for the given text.
+func (t *Trie) Insert(text string, payload uint32, weight float64) {
+	n := t.root
+	for i := 0; i < len(text); i++ {
+		c := lowerByte(text[i])
+		child, ok := n.children[c]
+		if !ok {
+			child = newTrieNode()
+			n.children[c] = child
+		}
+		n = child
+	}
+	n.entries = append(n.entries, Completion{Text: text, Payload: payload, Weight: weight})
+}
+
+// Complete returns up to limit completions of prefix, ordered by descending
+// weight, ties broken by text. Matching is case-insensitive.
+func (t *Trie) Complete(prefix string, limit int) []Completion {
+	n := t.root
+	for i := 0; i < len(prefix); i++ {
+		child, ok := n.children[lowerByte(prefix[i])]
+		if !ok {
+			return nil
+		}
+		n = child
+	}
+	var out []Completion
+	collect(n, &out)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Text < out[j].Text
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+func collect(n *trieNode, out *[]Completion) {
+	*out = append(*out, n.entries...)
+	// Deterministic traversal order: visit children by byte value.
+	for c := 0; c < 256; c++ {
+		if child, ok := n.children[byte(c)]; ok {
+			collect(child, out)
+		}
+	}
+}
+
+func lowerByte(b byte) byte {
+	if b >= 'A' && b <= 'Z' {
+		return b + ('a' - 'A')
+	}
+	return b
+}

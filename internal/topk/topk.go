@@ -1,0 +1,456 @@
+// Package topk implements TriniT's top-k query processor (§4): an
+// adaptation of the incremental top-k algorithm of Theobald et al. [11].
+//
+// The processor consumes the rewrite space of a query (original query plus
+// relaxations, in descending derivation-weight order) and merges their
+// answers incrementally:
+//
+//   - a rewrite is evaluated only while its weight — an upper bound on the
+//     score of any answer it can produce — exceeds the current k-th answer
+//     score ("invoking a relaxation only when it can contribute to the
+//     top-k answers");
+//   - within a rewrite, per-pattern match lists are accessed in sorted
+//     order of emission probability, and join branches are pruned as soon
+//     as their best-possible completion falls below the k-th answer score
+//     ("going only as far as necessary into each triple pattern index
+//     list").
+//
+// The same evaluator also runs in exhaustive mode — materialising every
+// rewrite completely — which serves as the correctness reference and as
+// the cost baseline of experiment E5.
+package topk
+
+import (
+	"sort"
+	"strings"
+
+	"trinit/internal/query"
+	"trinit/internal/rdf"
+	"trinit/internal/relax"
+	"trinit/internal/score"
+	"trinit/internal/store"
+)
+
+// Mode selects the processing strategy.
+type Mode int
+
+const (
+	// Incremental is the paper's adaptive top-k strategy.
+	Incremental Mode = iota
+	// Exhaustive evaluates every rewrite fully; the baseline.
+	Exhaustive
+)
+
+// Options configure evaluation.
+type Options struct {
+	// K is the number of answers to return (default 10).
+	K int
+	// Mode selects incremental or exhaustive processing.
+	Mode Mode
+	// MinTokenSim is the token-slot similarity threshold, forwarded to
+	// the pattern matcher (0 = matcher default).
+	MinTokenSim float64
+	// UniformConf and NoNormalize ablate the tf-like and idf-like
+	// effects of the scoring model (experiment E8); forwarded to the
+	// pattern matcher.
+	UniformConf bool
+	NoNormalize bool
+}
+
+// Answer is one ranked result: a binding of the query's projected
+// variables with its score and best derivation.
+type Answer struct {
+	// Bindings maps projected variable names to bound terms.
+	Bindings map[string]rdf.TermID
+	// Score is the maximal score over all derivations of this answer.
+	Score float64
+	// Derivation is the derivation that achieved Score.
+	Derivation Derivation
+}
+
+// Derivation records how an answer was obtained — the raw material of the
+// demo's answer-explanation feature.
+type Derivation struct {
+	// Rewrite is the rewrite (query + applied rules + weight) that
+	// produced the answer.
+	Rewrite relax.Rewrite
+	// Triples holds one matched triple per pattern of Rewrite.Query, in
+	// pattern order.
+	Triples []store.ID
+	// PatternProbs holds the per-pattern emission probabilities.
+	PatternProbs []float64
+}
+
+// Metrics quantify the work done, for the E5 efficiency experiment.
+type Metrics struct {
+	// RewritesTotal is the size of the supplied rewrite space.
+	RewritesTotal int
+	// RewritesEvaluated counts rewrites whose patterns were matched.
+	RewritesEvaluated int
+	// RewritesSkipped counts rewrites pruned by the weight bound.
+	RewritesSkipped int
+	// SortedAccesses counts entries consumed from the score-sorted
+	// per-pattern match lists during join processing — the paper's
+	// "going only as far as necessary into each triple pattern index
+	// list" is visible as a reduction of this number.
+	SortedAccesses int
+	// IndexScanned counts posting-list entries touched while building
+	// the per-pattern lists (the index-lookup cost; shared lists are
+	// built once and reused across rewrites).
+	IndexScanned int
+	// PatternsMatched counts per-pattern list constructions; cache hits
+	// across rewrites do not count.
+	PatternsMatched int
+	// JoinBranches counts candidate combinations explored during joins.
+	JoinBranches int
+	// PrunedBranches counts join branches cut by the score bound.
+	PrunedBranches int
+}
+
+// RewriteTrace records what happened to one rewrite during processing —
+// the "internal steps" view of the §5 demo.
+type RewriteTrace struct {
+	// Query is the rewritten query text.
+	Query string
+	// Weight is the derivation weight.
+	Weight float64
+	// Rules lists the IDs of the applied rules.
+	Rules []string
+	// Status is "evaluated", "skipped (weight bound)", "no matches",
+	// or "missing projection".
+	Status string
+	// PatternMatches holds the match-list length per pattern (only for
+	// evaluated rewrites).
+	PatternMatches []int
+	// Answers counts answers created or improved by this rewrite.
+	Answers int
+}
+
+// Evaluator runs top-k processing against a frozen store. It keeps the
+// score-sorted per-pattern match lists it builds across queries — the
+// in-memory analogue of the precomputed triple-pattern index lists the
+// original system stored in ElasticSearch. An Evaluator is not safe for
+// concurrent use; create one per goroutine (they share the frozen store).
+type Evaluator struct {
+	st      *store.Store
+	opts    Options
+	matcher *score.Matcher
+	// lists caches match lists by pattern text, persisting across
+	// Evaluate calls. Patterns shared between rewrites — and between
+	// queries — are matched once.
+	lists map[string][]score.Match
+	// lastTrace records the rewrite-by-rewrite processing steps of the
+	// most recent Evaluate call.
+	lastTrace []RewriteTrace
+}
+
+// New returns an evaluator. The store must be frozen.
+func New(st *store.Store, opts Options) *Evaluator {
+	if opts.K <= 0 {
+		opts.K = 10
+	}
+	matcher := score.NewMatcher(st)
+	if opts.MinTokenSim > 0 {
+		matcher.MinTokenSim = opts.MinTokenSim
+	}
+	matcher.UniformConf = opts.UniformConf
+	matcher.NoNormalize = opts.NoNormalize
+	return &Evaluator{
+		st:      st,
+		opts:    opts,
+		matcher: matcher,
+		lists:   make(map[string][]score.Match),
+	}
+}
+
+// LastTrace returns the internal processing steps of the most recent
+// Evaluate call (§5: "TriniT can show internal steps").
+func (ev *Evaluator) LastTrace() []RewriteTrace {
+	return append([]RewriteTrace(nil), ev.lastTrace...)
+}
+
+// SetK changes the default answer count for subsequent Evaluate calls,
+// keeping the warmed pattern-list cache.
+func (ev *Evaluator) SetK(k int) {
+	if k > 0 {
+		ev.opts.K = k
+	}
+}
+
+// Evaluate processes the rewrites of q (the first of which must be the
+// original query; the list must be sorted by descending weight, as
+// produced by relax.Expander) and returns the top-k answers sorted by
+// descending score, ties broken by binding key.
+func (ev *Evaluator) Evaluate(q *query.Query, rewrites []relax.Rewrite) ([]Answer, Metrics) {
+	proj := q.ProjectedVars()
+	k := ev.opts.K
+	if q.Limit > 0 && q.Limit < k {
+		k = q.Limit
+	}
+
+	ev.matcher.ResetAccesses()
+
+	st := &state{
+		answers: make(map[string]*Answer),
+		k:       k,
+		dirty:   true,
+	}
+	var m Metrics
+	m.RewritesTotal = len(rewrites)
+	ev.lastTrace = ev.lastTrace[:0]
+	trace := func(rw relax.Rewrite) *RewriteTrace {
+		ids := make([]string, len(rw.Applied))
+		for i, r := range rw.Applied {
+			ids[i] = r.ID
+		}
+		ev.lastTrace = append(ev.lastTrace, RewriteTrace{
+			Query:  rw.Query.String(),
+			Weight: rw.Weight,
+			Rules:  ids,
+		})
+		return &ev.lastTrace[len(ev.lastTrace)-1]
+	}
+
+	for ri, rw := range rewrites {
+		if ev.opts.Mode == Incremental && len(st.answers) >= k && rw.Weight <= st.threshold() {
+			// No later rewrite can contribute: weights descend.
+			m.RewritesSkipped = len(rewrites) - ri
+			for _, skipped := range rewrites[ri:] {
+				trace(skipped).Status = "skipped (weight bound)"
+			}
+			break
+		}
+		m.RewritesEvaluated++
+		rt := trace(rw)
+		before := st.writes
+		status, sizes := ev.evalRewrite(rw, proj, st, &m)
+		rt.Status = status
+		rt.PatternMatches = sizes
+		rt.Answers = st.writes - before
+	}
+	m.IndexScanned = ev.matcher.Accesses()
+
+	out := make([]Answer, 0, len(st.answers))
+	for _, a := range st.answers {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return answerKey(out[i].Bindings, proj) < answerKey(out[j].Bindings, proj)
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, m
+}
+
+// state tracks discovered answers and the k-th score threshold.
+type state struct {
+	answers map[string]*Answer
+	k       int
+	dirty   bool
+	cached  float64
+	// writes counts answers created or improved, for tracing.
+	writes int
+}
+
+// threshold returns the current k-th best answer score, or 0 when fewer
+// than k answers exist.
+func (s *state) threshold() float64 {
+	if !s.dirty {
+		return s.cached
+	}
+	s.dirty = false
+	if len(s.answers) < s.k {
+		s.cached = 0
+		return 0
+	}
+	scores := make([]float64, 0, len(s.answers))
+	for _, a := range s.answers {
+		scores = append(scores, a.Score)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+	s.cached = scores[s.k-1]
+	return s.cached
+}
+
+func (s *state) record(key string, a Answer) {
+	if cur, ok := s.answers[key]; ok {
+		// Max-over-derivations semantics (§4).
+		if a.Score > cur.Score {
+			*cur = a
+			s.dirty = true
+			s.writes++
+		}
+		return
+	}
+	cp := a
+	s.answers[key] = &cp
+	s.dirty = true
+	s.writes++
+}
+
+func answerKey(b map[string]rdf.TermID, proj []string) string {
+	var sb strings.Builder
+	for _, v := range proj {
+		sb.WriteString(v)
+		sb.WriteByte('=')
+		id := b[v]
+		sb.WriteString(termIDString(id))
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+func termIDString(id rdf.TermID) string {
+	const digits = "0123456789"
+	if id == 0 {
+		return "0"
+	}
+	var buf [10]byte
+	i := len(buf)
+	for id > 0 {
+		i--
+		buf[i] = digits[id%10]
+		id /= 10
+	}
+	return string(buf[i:])
+}
+
+// evalRewrite matches all patterns of one rewrite and joins them. It
+// returns a status string and per-pattern match counts for the trace.
+func (ev *Evaluator) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *Metrics) (string, []int) {
+	pats := rw.Query.Patterns
+	n := len(pats)
+
+	// Skip rewrites that cannot bind every projected variable.
+	bound := make(map[string]bool)
+	for _, p := range pats {
+		for _, v := range p.Vars() {
+			bound[v] = true
+		}
+	}
+	for _, v := range proj {
+		if !bound[v] {
+			return "missing projection", nil
+		}
+	}
+
+	lists := make([][]score.Match, n)
+	order := make([]int, n)
+	sizes := make([]int, n)
+	for i, p := range pats {
+		key := p.String()
+		if cached, ok := ev.lists[key]; ok {
+			lists[i] = cached
+		} else {
+			lists[i] = ev.matcher.MatchPattern(p)
+			m.PatternsMatched++
+			ev.lists[key] = lists[i]
+		}
+		sizes[i] = len(lists[i])
+		if len(lists[i]) == 0 {
+			return "no matches", sizes
+		}
+		order[i] = i
+	}
+	// Join most selective patterns first.
+	sort.Slice(order, func(a, b int) bool {
+		la, lb := len(lists[order[a]]), len(lists[order[b]])
+		if la != lb {
+			return la < lb
+		}
+		return order[a] < order[b]
+	})
+
+	// suffixBound[i] = product of head probabilities of patterns i..n-1
+	// in join order: the best possible completion of a partial join.
+	suffixBound := make([]float64, n+1)
+	suffixBound[n] = 1
+	for i := n - 1; i >= 0; i-- {
+		suffixBound[i] = suffixBound[i+1] * lists[order[i]][0].Prob
+	}
+
+	bindings := make(map[string]rdf.TermID)
+	triples := make([]store.ID, n)
+	probs := make([]float64, n)
+
+	var rec func(depth int, partial float64)
+	rec = func(depth int, partial float64) {
+		if depth == n {
+			// Apply the query's FILTER constraints to the complete
+			// binding before recording the answer.
+			for _, f := range rw.Query.Filters {
+				lhs := ev.st.Dict().Term(bindings[f.Var]).Text
+				rhs := f.Value.Text
+				if f.RHSVar != "" {
+					rhs = ev.st.Dict().Term(bindings[f.RHSVar]).Text
+				}
+				if !query.EvalFilter(f.Op, lhs, rhs) {
+					return
+				}
+			}
+			ans := Answer{
+				Bindings: projected(bindings, proj),
+				Score:    rw.Weight * partial,
+				Derivation: Derivation{
+					Rewrite:      rw,
+					Triples:      append([]store.ID(nil), triples...),
+					PatternProbs: append([]float64(nil), probs...),
+				},
+			}
+			st.record(answerKey(ans.Bindings, proj), ans)
+			return
+		}
+		pi := order[depth]
+		for _, match := range lists[pi] {
+			// Reading the next entry of the score-sorted list is
+			// one sorted access.
+			m.SortedAccesses++
+			if ev.opts.Mode == Incremental && len(st.answers) >= st.k {
+				bound := rw.Weight * partial * match.Prob * suffixBound[depth+1]
+				if bound <= st.threshold() {
+					// Matches are sorted by descending
+					// probability: all remaining are worse.
+					m.PrunedBranches++
+					break
+				}
+			}
+			m.JoinBranches++
+			// Check binding consistency and extend.
+			var added []string
+			ok := true
+			for _, b := range match.Bindings {
+				if cur, exists := bindings[b.Var]; exists {
+					if cur != b.Term {
+						ok = false
+						break
+					}
+				} else {
+					bindings[b.Var] = b.Term
+					added = append(added, b.Var)
+				}
+			}
+			if ok {
+				triples[pi] = match.Triple
+				probs[pi] = match.Prob
+				rec(depth+1, partial*match.Prob)
+			}
+			for _, v := range added {
+				delete(bindings, v)
+			}
+		}
+	}
+	rec(0, 1)
+	return "evaluated", sizes
+}
+
+func projected(bindings map[string]rdf.TermID, proj []string) map[string]rdf.TermID {
+	out := make(map[string]rdf.TermID, len(proj))
+	for _, v := range proj {
+		out[v] = bindings[v]
+	}
+	return out
+}

@@ -1,0 +1,949 @@
+// Package trinit is a Go implementation of TriniT, the system for
+// exploratory querying of extended knowledge graphs demonstrated in
+//
+//	M. Yahya, K. Berberich, M. Ramanath, G. Weikum:
+//	"Exploratory Querying of Extended Knowledge Graphs", PVLDB 9(13), 2016.
+//
+// TriniT addresses two pain points of querying knowledge graphs: users do
+// not know the KG's vocabulary and structure, and the KG itself is
+// incomplete. It extends the KG with token triples mined from text by Open
+// Information Extraction (the XKG), supports triple-pattern queries whose
+// slots may hold textual tokens, applies weighted query-relaxation rules,
+// ranks answers with a query-likelihood model, and explains every answer.
+//
+// The Engine is the entry point:
+//
+//	e := trinit.New(nil)
+//	e.AddKGFact("AlbertEinstein", "bornIn", "Ulm")
+//	e.ExtendFromDocuments([]trinit.Document{{ID: "d1", Text: "..."}})
+//	e.Freeze()
+//	e.MineRules(trinit.DefaultMiningConfig())
+//	res, err := e.Query("?x bornIn Germany LIMIT 5")
+package trinit
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"trinit/internal/dataset"
+	"trinit/internal/explain"
+	"trinit/internal/ned"
+	"trinit/internal/qa"
+	"trinit/internal/query"
+	"trinit/internal/rdf"
+	"trinit/internal/relax"
+	"trinit/internal/serial"
+	"trinit/internal/store"
+	"trinit/internal/suggest"
+	"trinit/internal/topk"
+	"trinit/internal/xkg"
+)
+
+// Options configure an Engine.
+type Options struct {
+	// K is the default number of answers per query (queries may lower
+	// it with LIMIT). Default 10.
+	K int
+	// MaxRelaxationDepth bounds rule applications per derivation
+	// (default 2).
+	MaxRelaxationDepth int
+	// MaxRewrites bounds the rewrite space per query (default 64).
+	MaxRewrites int
+	// MinRewriteWeight prunes derivations below this weight (default
+	// 0.05).
+	MinRewriteWeight float64
+	// MinTokenSimilarity is the threshold for textual token slots to
+	// match a term (default 0.34).
+	MinTokenSimilarity float64
+	// Exhaustive disables the incremental top-k optimisations; answers
+	// are identical, work is not. Meant for baselines and testing.
+	Exhaustive bool
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{}
+	if o != nil {
+		out = *o
+	}
+	if out.K <= 0 {
+		out.K = 10
+	}
+	if out.MaxRelaxationDepth <= 0 {
+		out.MaxRelaxationDepth = 2
+	}
+	if out.MaxRewrites <= 0 {
+		out.MaxRewrites = 64
+	}
+	if out.MinRewriteWeight <= 0 {
+		out.MinRewriteWeight = 0.05
+	}
+	return out
+}
+
+// Document is one text input to XKG construction.
+type Document struct {
+	// ID identifies the document in answer provenance.
+	ID string
+	// Text is the document body.
+	Text string
+}
+
+// ExtendConfig controls XKG construction from documents.
+type ExtendConfig struct {
+	// MinConfidence drops extractions below this extractor confidence.
+	MinConfidence float64
+	// MinRelationPairs applies ReVerb's lexical filter: relation
+	// phrases with fewer distinct argument pairs are dropped (<2
+	// disables).
+	MinRelationPairs int
+	// DisableEntityLinking keeps all argument phrases as raw tokens.
+	DisableEntityLinking bool
+}
+
+// DefaultExtendConfig mirrors xkg.DefaultOptions.
+func DefaultExtendConfig() ExtendConfig {
+	return ExtendConfig{MinConfidence: 0.3, MinRelationPairs: 1}
+}
+
+// ExtendStats reports what XKG construction did.
+type ExtendStats struct {
+	Documents      int
+	Sentences      int
+	Extractions    int
+	Kept           int
+	LinkedSubjects int
+	LinkedObjects  int
+	TriplesAdded   int
+}
+
+// MiningConfig controls relaxation-rule mining.
+type MiningConfig struct {
+	// MinSupport is the minimum args-intersection size (default 2).
+	MinSupport int
+	// MinWeight drops rules below this weight (default 0.1).
+	MinWeight float64
+	// MaxRules caps the mined rule count (0 = unbounded).
+	MaxRules int
+	// DisableInversion skips predicate-inversion rules.
+	DisableInversion bool
+	// ContainmentPredicates are used for composition rules (Figure 4
+	// rule 1 shape); default: locatedIn, partOf, memberOf.
+	ContainmentPredicates []string
+	// HornRules additionally mines AMIE-style chain rules
+	// p(x,y) ⇐ q(x,z) ∧ r(z,y), weighted by PCA confidence (§3 cites
+	// AMIE as a rule source).
+	HornRules bool
+	// Paraphrases additionally derives rules from a built-in
+	// PATTY-style paraphrase repository (§3 cites paraphrase
+	// repositories as a rule source).
+	Paraphrases bool
+	// Relatedness additionally derives rules from predicate-label
+	// similarity (§3 cites semantic relatedness measures).
+	Relatedness bool
+	// TypedCompositions additionally mines rules in the exact Figure 4
+	// rule 1 shape, with type constraints on both sides.
+	TypedCompositions bool
+	// RelatednessMinSim is the label-similarity threshold for
+	// Relatedness rules (default 0.5).
+	RelatednessMinSim float64
+}
+
+// DefaultMiningConfig returns the engine defaults.
+func DefaultMiningConfig() MiningConfig {
+	return MiningConfig{MinSupport: 2, MinWeight: 0.1}
+}
+
+// RuleSpec is a relaxation rule in textual form, as accepted by AddRule and
+// returned by MineRules: "?x hasAdvisor ?y => ?y hasStudent ?x".
+type RuleSpec struct {
+	ID     string
+	Rule   string
+	Weight float64
+	Origin string
+}
+
+// OperatorFunc is the public relaxation-operator API (§3): a function that
+// inspects the engine and contributes relaxation rules. Operators run when
+// RunOperators is called.
+type OperatorFunc func(e *Engine) []RuleSpec
+
+// Engine is a TriniT instance: an extended knowledge graph plus rules,
+// ranking and suggestion machinery.
+type Engine struct {
+	mu        sync.Mutex
+	opts      Options
+	st        *store.Store
+	rules     []*relax.Rule
+	operators []OperatorFunc
+	suggester *suggest.Suggester
+	evaluator *topk.Evaluator
+	translate *qa.Translator
+	frozen    bool
+}
+
+// New creates an empty engine. Pass nil for default options.
+func New(opts *Options) *Engine {
+	return &Engine{
+		opts: opts.withDefaults(),
+		st:   store.New(nil, nil),
+	}
+}
+
+// AddKGFact adds a curated KG fact between resources (confidence 1).
+func (e *Engine) AddKGFact(subject, predicate, object string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.frozen {
+		return fmt.Errorf("trinit: engine is frozen")
+	}
+	e.st.AddKG(rdf.Resource(subject), rdf.Resource(predicate), rdf.Resource(object))
+	return nil
+}
+
+// AddKGLiteral adds a curated KG fact whose object is a literal value.
+func (e *Engine) AddKGLiteral(subject, predicate, literal string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.frozen {
+		return fmt.Errorf("trinit: engine is frozen")
+	}
+	e.st.AddFact(rdf.Resource(subject), rdf.Resource(predicate), rdf.Literal(literal), rdf.SourceKG, 1, rdf.NoProv)
+	return nil
+}
+
+// AddTokenTriple adds an XKG token triple directly (subject and object are
+// resources when they name known entities — pass viaEntity true — and
+// token phrases otherwise).
+func (e *Engine) AddTokenTriple(subject, relation, object string, confidence float64, doc, sentence string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.frozen {
+		return fmt.Errorf("trinit: engine is frozen")
+	}
+	if confidence <= 0 || confidence > 1 {
+		return fmt.Errorf("trinit: confidence %v outside (0, 1]", confidence)
+	}
+	prov := rdf.NoProv
+	if doc != "" || sentence != "" {
+		prov = e.st.Prov().Add(rdf.Prov{Doc: doc, Sentence: sentence})
+	}
+	s := rdf.Term(rdf.Token(subject))
+	if _, ok := e.st.Dict().Lookup(rdf.Resource(subject)); ok {
+		s = rdf.Resource(subject)
+	}
+	o := rdf.Term(rdf.Token(object))
+	if _, ok := e.st.Dict().Lookup(rdf.Resource(object)); ok {
+		o = rdf.Resource(object)
+	}
+	e.st.AddFact(s, rdf.Token(relation), o, rdf.SourceXKG, confidence, prov)
+	return nil
+}
+
+// ExtendFromDocuments runs the Open IE pipeline (extraction, filtering,
+// entity linking) over the documents and adds the resulting token triples
+// to the XKG. Call after loading the KG and before Freeze.
+func (e *Engine) ExtendFromDocuments(docs []Document) (ExtendStats, error) {
+	return e.ExtendFromDocumentsWith(docs, DefaultExtendConfig())
+}
+
+// ExtendFromDocumentsWith is ExtendFromDocuments with explicit config.
+func (e *Engine) ExtendFromDocumentsWith(docs []Document, cfg ExtendConfig) (ExtendStats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.frozen {
+		return ExtendStats{}, fmt.Errorf("trinit: engine is frozen")
+	}
+	xdocs := make([]xkg.Document, len(docs))
+	for i, d := range docs {
+		xdocs[i] = xkg.Document{ID: d.ID, Text: d.Text}
+	}
+	var linker *ned.Linker
+	if !cfg.DisableEntityLinking {
+		linker = ned.NewLinker(e.st)
+	}
+	stats := xkg.Build(e.st, linker, xdocs, xkg.Options{
+		MinConf:      cfg.MinConfidence,
+		MinRelPairs:  cfg.MinRelationPairs,
+		LinkEntities: !cfg.DisableEntityLinking,
+	})
+	return ExtendStats{
+		Documents:      stats.Documents,
+		Sentences:      stats.Sentences,
+		Extractions:    stats.Extractions,
+		Kept:           stats.Kept,
+		LinkedSubjects: stats.LinkedSubj,
+		LinkedObjects:  stats.LinkedObj,
+		TriplesAdded:   stats.Added,
+	}, nil
+}
+
+// Freeze finalises the graph: indexes are built and the engine becomes
+// queryable. No facts can be added afterwards. Freeze is idempotent.
+func (e *Engine) Freeze() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.frozen {
+		return
+	}
+	e.st.Freeze()
+	e.suggester = suggest.New(e.st)
+	e.frozen = true
+}
+
+// Frozen reports whether Freeze has been called.
+func (e *Engine) Frozen() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.frozen
+}
+
+// AddRule registers a manual relaxation rule in textual form, e.g.
+//
+//	e.AddRule("r2", "?x hasAdvisor ?y => ?y hasStudent ?x", 1.0)
+func (e *Engine) AddRule(id, rule string, weight float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, err := relax.ParseRule(id, rule, weight, "manual")
+	if err != nil {
+		return err
+	}
+	e.rules = append(e.rules, r)
+	return nil
+}
+
+// MineRules mines relaxation rules from the XKG (predicate alignment,
+// inversion, and composition rules; §3) and registers them. It returns the
+// mined rules as specs. The engine must be frozen.
+func (e *Engine) MineRules(cfg MiningConfig) ([]RuleSpec, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.frozen {
+		return nil, fmt.Errorf("trinit: MineRules requires a frozen engine")
+	}
+	if cfg.MinSupport <= 0 {
+		cfg.MinSupport = 2
+	}
+	if cfg.MinWeight <= 0 {
+		cfg.MinWeight = 0.1
+	}
+	mopts := relax.MiningOptions{
+		MinSupport:     cfg.MinSupport,
+		MinWeight:      cfg.MinWeight,
+		MaxRules:       cfg.MaxRules,
+		IncludeInverse: !cfg.DisableInversion,
+	}
+	mined := relax.Mine(e.st, mopts)
+	containment := cfg.ContainmentPredicates
+	if len(containment) == 0 {
+		containment = []string{"locatedIn", "partOf", "memberOf"}
+	}
+	mined = append(mined, relax.MineCompositions(e.st, containment, mopts)...)
+	if cfg.HornRules {
+		horn := relax.DefaultHornOptions()
+		horn.MinSupport = cfg.MinSupport
+		horn.MaxRules = cfg.MaxRules
+		mined = append(mined, relax.MineHornRules(e.st, horn)...)
+	}
+	if cfg.TypedCompositions {
+		topts := relax.DefaultTypedCompositionOptions()
+		topts.MinSupport = cfg.MinSupport
+		topts.MinWeight = cfg.MinWeight
+		topts.Containment = containment
+		topts.MaxRules = cfg.MaxRules
+		mined = append(mined, relax.MineTypedCompositions(e.st, topts)...)
+	}
+	if cfg.Paraphrases {
+		para, err := (relax.ParaphraseOperator{}).Rules(e.st)
+		if err != nil {
+			return nil, err
+		}
+		mined = append(mined, para...)
+	}
+	if cfg.Relatedness {
+		rel, err := (relax.RelatednessOperator{MinSim: cfg.RelatednessMinSim, MaxRules: cfg.MaxRules}).Rules(e.st)
+		if err != nil {
+			return nil, err
+		}
+		mined = append(mined, rel...)
+	}
+	e.rules = append(e.rules, mined...)
+	specs := make([]RuleSpec, len(mined))
+	for i, r := range mined {
+		specs[i] = RuleSpec{ID: r.ID, Rule: r.String(), Weight: r.Weight, Origin: r.Origin}
+	}
+	return specs, nil
+}
+
+// AddOperator registers a relaxation operator (§3's plug-in API).
+func (e *Engine) AddOperator(op OperatorFunc) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.operators = append(e.operators, op)
+}
+
+// RunOperators invokes all registered operators and registers the rules
+// they produce.
+func (e *Engine) RunOperators() error {
+	// Operators run without the engine lock so that they may call back
+	// into the engine (Query, Rules, Stats, ...).
+	e.mu.Lock()
+	ops := append([]OperatorFunc(nil), e.operators...)
+	e.mu.Unlock()
+
+	var parsed []*relax.Rule
+	for _, op := range ops {
+		for _, spec := range op(e) {
+			origin := spec.Origin
+			if origin == "" {
+				origin = "operator"
+			}
+			r, err := relax.ParseRule(spec.ID, spec.Rule, spec.Weight, origin)
+			if err != nil {
+				return err
+			}
+			parsed = append(parsed, r)
+		}
+	}
+	e.mu.Lock()
+	e.rules = append(e.rules, parsed...)
+	e.mu.Unlock()
+	return nil
+}
+
+// Rules lists the currently registered rules.
+func (e *Engine) Rules() []RuleSpec {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]RuleSpec, len(e.rules))
+	for i, r := range e.rules {
+		out[i] = RuleSpec{ID: r.ID, Rule: r.String(), Weight: r.Weight, Origin: r.Origin}
+	}
+	return out
+}
+
+// RemoveRule deletes the rule(s) with the given ID; it reports whether any
+// rule was removed.
+func (e *Engine) RemoveRule(id string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	kept := e.rules[:0]
+	removed := false
+	for _, r := range e.rules {
+		if r.ID == id {
+			removed = true
+			continue
+		}
+		kept = append(kept, r)
+	}
+	e.rules = kept
+	return removed
+}
+
+// ClearRules removes all registered rules.
+func (e *Engine) ClearRules() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rules = nil
+}
+
+// Answer is one ranked query result.
+type Answer struct {
+	// Bindings maps projected variables to the display text of their
+	// bound terms (token phrases and literals are quoted).
+	Bindings map[string]string
+	// Score is the answer's query-likelihood score.
+	Score float64
+	// Explanation is the answer's provenance.
+	Explanation Explanation
+}
+
+// Explanation is the public form of an answer explanation (§5).
+type Explanation struct {
+	OriginalQuery  string
+	RewrittenQuery string
+	Weight         float64
+	KGTriples      []TripleEvidence
+	XKGTriples     []TripleEvidence
+	Rules          []RuleEvidence
+	// Text is the rendered multi-line explanation.
+	Text string
+}
+
+// TripleEvidence is one contributing triple.
+type TripleEvidence struct {
+	Triple     string
+	Pattern    string
+	Source     string // "KG" or "XKG"
+	Confidence float64
+	Prob       float64
+	Doc        string
+	Sentence   string
+}
+
+// RuleEvidence is one invoked relaxation rule.
+type RuleEvidence struct {
+	ID     string
+	Rule   string
+	Origin string
+	Weight float64
+}
+
+// Notice reports that a structural relaxation contributed to the answers.
+type Notice struct {
+	RuleID  string
+	Origin  string
+	Rule    string
+	Message string
+	Answers int
+}
+
+// Suggestion proposes replacing a textual token with a KG resource.
+type Suggestion struct {
+	Token    string
+	Resource string
+	Overlap  float64
+	Position string
+}
+
+// Completion is an auto-completion candidate.
+type Completion struct {
+	Text   string
+	Weight float64
+}
+
+// Metrics quantify the processing work of one query.
+type Metrics struct {
+	RewritesTotal     int
+	RewritesEvaluated int
+	RewritesSkipped   int
+	SortedAccesses    int
+	IndexScanned      int
+	PatternsMatched   int
+	JoinBranches      int
+	PrunedBranches    int
+}
+
+// TraceEntry is one internal processing step: a rewrite considered by the
+// top-k processor and what happened to it (§5: "TriniT can show internal
+// steps").
+type TraceEntry struct {
+	// Query is the rewritten query.
+	Query string
+	// Weight is the derivation weight.
+	Weight float64
+	// Rules lists the IDs of the rules applied in the derivation.
+	Rules []string
+	// Status is "evaluated", "skipped (weight bound)", "no matches", or
+	// "missing projection".
+	Status string
+	// PatternMatches holds per-pattern match-list sizes.
+	PatternMatches []int
+	// Answers counts answers created or improved by the rewrite.
+	Answers int
+}
+
+// Result is the outcome of one query.
+type Result struct {
+	// Query is the parsed, canonicalised query.
+	Query string
+	// Answers are the top-k results in descending score order.
+	Answers []Answer
+	// Notices report structural relaxations that contributed (§5).
+	Notices []Notice
+	// Suggestions propose canonical resources for textual tokens (§5).
+	Suggestions []Suggestion
+	// Metrics quantify the processing work.
+	Metrics Metrics
+	// Trace lists the internal processing steps, one per rewrite.
+	Trace []TraceEntry
+}
+
+// Query parses and evaluates a query with relaxation and top-k ranking.
+// The engine must be frozen.
+func (e *Engine) Query(text string) (*Result, error) {
+	q, err := query.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	// Queries are serialised: the evaluator's pattern-list cache is
+	// shared state. The store itself is immutable once frozen.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.frozen {
+		return nil, fmt.Errorf("trinit: Query requires a frozen engine (call Freeze)")
+	}
+	q.Projection = q.ProjectedVars()
+
+	exp := relax.NewExpander(e.rules)
+	exp.MaxDepth = e.opts.MaxRelaxationDepth
+	exp.MaxRewrites = e.opts.MaxRewrites
+	exp.MinWeight = e.opts.MinRewriteWeight
+	rewrites := exp.Expand(q)
+
+	if e.evaluator == nil {
+		mode := topk.Incremental
+		if e.opts.Exhaustive {
+			mode = topk.Exhaustive
+		}
+		// The evaluator persists across queries: its per-pattern index
+		// lists warm up like the precomputed posting lists of the
+		// original ElasticSearch backend.
+		e.evaluator = topk.New(e.st, topk.Options{
+			K:           e.opts.K,
+			Mode:        mode,
+			MinTokenSim: e.opts.MinTokenSimilarity,
+		})
+	}
+	answers, metrics := e.evaluator.Evaluate(q, rewrites)
+	var traces []TraceEntry
+	for _, t := range e.evaluator.LastTrace() {
+		traces = append(traces, TraceEntry{
+			Query:          t.Query,
+			Weight:         t.Weight,
+			Rules:          t.Rules,
+			Status:         t.Status,
+			PatternMatches: t.PatternMatches,
+			Answers:        t.Answers,
+		})
+	}
+
+	res := &Result{
+		Query: q.String(),
+		Trace: traces,
+		Metrics: Metrics{
+			RewritesTotal:     metrics.RewritesTotal,
+			RewritesEvaluated: metrics.RewritesEvaluated,
+			RewritesSkipped:   metrics.RewritesSkipped,
+			SortedAccesses:    metrics.SortedAccesses,
+			IndexScanned:      metrics.IndexScanned,
+			PatternsMatched:   metrics.PatternsMatched,
+			JoinBranches:      metrics.JoinBranches,
+			PrunedBranches:    metrics.PrunedBranches,
+		},
+	}
+	for _, a := range answers {
+		pub := Answer{
+			Bindings: make(map[string]string, len(a.Bindings)),
+			Score:    a.Score,
+		}
+		for v, id := range a.Bindings {
+			pub.Bindings[v] = e.st.Dict().Term(id).Text
+		}
+		ex := explain.Explain(e.st, q, a)
+		pub.Explanation = publicExplanation(ex)
+		res.Answers = append(res.Answers, pub)
+	}
+	for _, n := range suggest.RuleNotices(answers) {
+		res.Notices = append(res.Notices, Notice{
+			RuleID:  n.RuleID,
+			Origin:  n.Origin,
+			Rule:    n.Rule,
+			Message: n.Message,
+			Answers: n.Answers,
+		})
+	}
+	for _, s := range e.suggester.Suggest(q) {
+		res.Suggestions = append(res.Suggestions, Suggestion{
+			Token:    s.Token,
+			Resource: s.Resource,
+			Overlap:  s.Overlap,
+			Position: s.Position,
+		})
+	}
+	return res, nil
+}
+
+func publicExplanation(ex explain.Explanation) Explanation {
+	out := Explanation{
+		OriginalQuery:  ex.OriginalQuery,
+		RewrittenQuery: ex.RewrittenQuery,
+		Weight:         ex.Weight,
+		Text:           ex.String(),
+	}
+	conv := func(ts []explain.TripleInfo) []TripleEvidence {
+		out := make([]TripleEvidence, len(ts))
+		for i, t := range ts {
+			out[i] = TripleEvidence{
+				Triple:     t.Text,
+				Pattern:    t.Pattern,
+				Source:     t.Source.String(),
+				Confidence: t.Conf,
+				Prob:       t.Prob,
+				Doc:        t.Doc,
+				Sentence:   t.Sentence,
+			}
+		}
+		return out
+	}
+	out.KGTriples = conv(ex.KGTriples)
+	out.XKGTriples = conv(ex.XKGTriples)
+	for _, r := range ex.Rules {
+		out.Rules = append(out.Rules, RuleEvidence{ID: r.ID, Rule: r.Rule, Origin: r.Origin, Weight: r.Weight})
+	}
+	return out
+}
+
+// Complete returns auto-completions for a prefix typed into an S, P or O
+// field (§5). The engine must be frozen.
+func (e *Engine) Complete(prefix string, limit int) []Completion {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.frozen {
+		return nil
+	}
+	var out []Completion
+	for _, c := range e.suggester.Complete(prefix, limit) {
+		out = append(out, Completion{Text: c.Text, Weight: c.Weight})
+	}
+	return out
+}
+
+// Stats summarises the extended knowledge graph.
+type Stats struct {
+	Triples        int
+	KGTriples      int
+	XKGTriples     int
+	Terms          int
+	Resources      int
+	Literals       int
+	Tokens         int
+	Predicates     int
+	TokenPreds     int
+	ResourcePreds  int
+	ProvenanceRecs int
+	Rules          int
+}
+
+// Stats returns summary statistics of the engine's XKG.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.st.Stats()
+	return Stats{
+		Triples:        s.Triples,
+		KGTriples:      s.KGTriples,
+		XKGTriples:     s.XKGTriples,
+		Terms:          s.Terms,
+		Resources:      s.Resources,
+		Literals:       s.Literals,
+		Tokens:         s.Tokens,
+		Predicates:     s.Predicates,
+		TokenPreds:     s.TokenPreds,
+		ResourcePreds:  s.ResourcePreds,
+		ProvenanceRecs: s.ProvenanceRecs,
+		Rules:          len(e.rules),
+	}
+}
+
+// NewDemoEngine returns an engine preloaded with the paper's running
+// example: the Figure 1 KG, the Figure 3 XKG extension, and the Figure 4
+// relaxation rules. It is frozen and ready to query.
+func NewDemoEngine() *Engine {
+	d := dataset.NewDemo()
+	e := &Engine{
+		opts:  (*Options)(nil).withDefaults(),
+		st:    d.Store,
+		rules: d.Rules,
+	}
+	e.suggester = suggest.New(e.st)
+	e.frozen = true
+	return e
+}
+
+// DemoQuery is one of the paper's Figure 2 information needs.
+type DemoQuery struct {
+	User                   string
+	Need                   string
+	Query                  string
+	Want                   string
+	EmptyWithoutRelaxation bool
+}
+
+// DemoQueries returns the four Figure 2 queries (users A–D).
+func DemoQueries() []DemoQuery {
+	var out []DemoQuery
+	for _, q := range dataset.NewDemo().Queries {
+		out = append(out, DemoQuery{
+			User:                   q.User,
+			Need:                   q.Need,
+			Query:                  q.Query,
+			Want:                   q.Want,
+			EmptyWithoutRelaxation: q.EmptyWithoutRelaxation,
+		})
+	}
+	return out
+}
+
+// SyntheticConfig configures the synthetic world generator that stands in
+// for the paper's Yago2s + ClueWeb substrate (see DESIGN.md).
+type SyntheticConfig struct {
+	Seed         int64
+	People       int
+	Cities       int
+	Countries    int
+	Universities int
+	Fields       int
+	Prizes       int
+	Leagues      int
+}
+
+// DefaultSyntheticConfig returns the small default world.
+func DefaultSyntheticConfig() SyntheticConfig {
+	c := dataset.DefaultConfig()
+	return SyntheticConfig{
+		Seed: c.Seed, People: c.People, Cities: c.Cities,
+		Countries: c.Countries, Universities: c.Universities,
+		Fields: c.Fields, Prizes: c.Prizes, Leagues: c.Leagues,
+	}
+}
+
+// EvalQuery is one workload query with graded relevance judgments.
+type EvalQuery struct {
+	ID        string
+	Category  string
+	Text      string
+	Var       string
+	Judgments map[string]float64
+}
+
+// NewSyntheticEngine generates a synthetic world, builds the XKG from its
+// corpus, freezes the engine, registers the default manual rules plus
+// mined rules, and returns the engine together with a workload of
+// evaluation queries.
+func NewSyntheticEngine(cfg SyntheticConfig, numQueries int) (*Engine, []EvalQuery, error) {
+	dcfg := dataset.DefaultConfig()
+	if cfg.Seed != 0 {
+		dcfg.Seed = cfg.Seed
+	}
+	if cfg.People > 0 {
+		dcfg.People = cfg.People
+	}
+	if cfg.Cities > 0 {
+		dcfg.Cities = cfg.Cities
+	}
+	if cfg.Countries > 0 {
+		dcfg.Countries = cfg.Countries
+	}
+	if cfg.Universities > 0 {
+		dcfg.Universities = cfg.Universities
+	}
+	if cfg.Fields > 0 {
+		dcfg.Fields = cfg.Fields
+	}
+	if cfg.Prizes > 0 {
+		dcfg.Prizes = cfg.Prizes
+	}
+	if cfg.Leagues > 0 {
+		dcfg.Leagues = cfg.Leagues
+	}
+	world := dataset.Generate(dcfg)
+
+	e := New(nil)
+	world.PopulateKG(e.st)
+	docs := make([]Document, len(world.Docs()))
+	for i, d := range world.Docs() {
+		docs[i] = Document{ID: d.ID, Text: d.Text}
+	}
+	if _, err := e.ExtendFromDocuments(docs); err != nil {
+		return nil, nil, err
+	}
+	e.Freeze()
+	if err := e.AddRule("advisor-inv", "?x hasAdvisor ?y => ?y hasStudent ?x", 1.0); err != nil {
+		return nil, nil, err
+	}
+	if _, err := e.MineRules(DefaultMiningConfig()); err != nil {
+		return nil, nil, err
+	}
+
+	var queries []EvalQuery
+	for _, wq := range world.Workload(numQueries) {
+		j := make(map[string]float64, len(wq.Judgments))
+		for k, v := range wq.Judgments {
+			j[k] = v
+		}
+		queries = append(queries, EvalQuery{
+			ID: wq.ID, Category: wq.Category, Text: wq.Text, Var: wq.Var, Judgments: j,
+		})
+	}
+	sort.Slice(queries, func(i, j int) bool { return queries[i].ID < queries[j].ID })
+	return e, queries, nil
+}
+
+// Ask translates a natural-language question into an extended
+// triple-pattern query and evaluates it (§6: TriniT as a QA back-end).
+// It returns the result together with the generated query text. Questions
+// outside the template repertoire return an error; the caller can fall
+// back to the structured Query syntax.
+func (e *Engine) Ask(question string) (*Result, string, error) {
+	e.mu.Lock()
+	if !e.frozen {
+		e.mu.Unlock()
+		return nil, "", fmt.Errorf("trinit: Ask requires a frozen engine (call Freeze)")
+	}
+	if e.translate == nil {
+		e.translate = qa.NewTranslator(e.st)
+	}
+	tr := e.translate
+	e.mu.Unlock()
+
+	tl, err := tr.Translate(question)
+	if err != nil {
+		return nil, "", err
+	}
+	res, err := e.Query(tl.Query)
+	if err != nil {
+		return nil, tl.Query, err
+	}
+	return res, tl.Query, nil
+}
+
+// Save writes the engine's extended knowledge graph and relaxation rules
+// to w in the line-oriented TNT format (see internal/serial). A saved
+// engine can be restored with Load, skipping corpus re-extraction.
+func (e *Engine) Save(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := serial.WriteStore(w, e.st); err != nil {
+		return err
+	}
+	return serial.WriteRules(w, e.rules)
+}
+
+// Load restores an engine from a TNT stream written by Save (or authored
+// by hand). The returned engine is not frozen, so further facts and
+// documents may be added before calling Freeze.
+func Load(r io.Reader, opts *Options) (*Engine, error) {
+	e := New(opts)
+	dec, err := serial.Read(r, e.st)
+	if err != nil {
+		return nil, err
+	}
+	e.rules = dec.Rules
+	return e, nil
+}
+
+// SaveFile and LoadFile are path-based conveniences over Save and Load.
+func (e *Engine) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := e.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile restores an engine from a file written by SaveFile.
+func LoadFile(path string, opts *Options) (*Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f, opts)
+}

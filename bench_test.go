@@ -233,3 +233,93 @@ func BenchmarkE8ScoringAblation(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEngineQueryParallel exercises the lock-free read path: one
+// frozen engine, queries from all procs in parallel against the shared
+// match-list cache. Compare ops/s with BenchmarkEngineQuerySerialized
+// (the seed's behaviour, emulated with an external mutex) to see the QPS
+// scaling the concurrent pipeline buys.
+func BenchmarkEngineQueryParallel(b *testing.B) {
+	e := NewDemoEngine()
+	warmEngine(b, e)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if err := runDemoQuery(e, i); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkEngineQuerySerialized is the pre-refactor baseline: identical
+// traffic, but every query serialised behind one mutex, as the seed's
+// engine-wide lock did.
+func BenchmarkEngineQuerySerialized(b *testing.B) {
+	e := NewDemoEngine()
+	warmEngine(b, e)
+	var mu sync.Mutex
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			mu.Lock()
+			err := runDemoQuery(e, i)
+			mu.Unlock()
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
+var demoBenchQueries = []string{
+	"SELECT ?x WHERE { AlbertEinstein affiliation ?x . ?x member IvyLeague }",
+	"AlbertEinstein hasAdvisor ?x",
+	"?x bornIn Germany",
+	"?x bornIn ?y . ?y locatedIn ?z",
+}
+
+func runDemoQuery(e *Engine, i int) error {
+	_, err := e.Query(demoBenchQueries[i%len(demoBenchQueries)])
+	return err
+}
+
+func warmEngine(b *testing.B, e *Engine) {
+	b.Helper()
+	for i := range demoBenchQueries {
+		if err := runDemoQuery(e, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlannerSelectivityOrder and ...TextOrder compare join work
+// under the greedy selectivity planner versus query-text pattern order on
+// a multi-pattern workload query (the E5 instance). Beyond ns/op, run
+// TestPlannerReducesJoinWork / `trinit-bench` for the JoinBranches and
+// SortedAccesses deltas.
+func BenchmarkPlannerSelectivityOrder(b *testing.B) { benchPlanner(b, false) }
+
+// BenchmarkPlannerTextOrder is the NoPlan baseline counterpart.
+func BenchmarkPlannerTextOrder(b *testing.B) { benchPlanner(b, true) }
+
+func benchPlanner(b *testing.B, noPlan bool) {
+	inst := fullInstance()
+	q := query.MustParse("SELECT ?x WHERE { ?x ?p ?y . ?y locatedIn Northford . ?x affiliation ?u }")
+	q.Projection = q.ProjectedVars()
+	rewrites := relax.NewExpander(inst.Rules).Expand(q)
+	ev := topk.New(inst.Store, topk.Options{K: 10, NoPlan: noPlan})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ans, _ := ev.Evaluate(q, rewrites)
+		if len(ans) == 0 {
+			b.Fatal("no answers")
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module trinit
+
+go 1.24

@@ -8,6 +8,7 @@ package explain
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"trinit/internal/query"
@@ -22,6 +23,9 @@ type TripleInfo struct {
 	Text string
 	// Pattern is the rewritten-query pattern the triple matched.
 	Pattern string
+	// JoinStep is the 1-based position at which the query planner
+	// joined this pattern (selectivity order, not query-text order).
+	JoinStep int
 	// Source is KG or XKG.
 	Source rdf.Source
 	// Conf is the triple's confidence.
@@ -71,12 +75,22 @@ func Explain(st *store.Store, original *query.Query, a topk.Answer) Explanation 
 	for v, id := range a.Bindings {
 		ex.Bindings[v] = st.Dict().Term(id).String()
 	}
+	// joinStep maps pattern index -> 1-based position in the planner's
+	// join order, so explanations reflect how the answer was assembled.
+	joinStep := make(map[int]int, len(d.Plan))
+	for step, pi := range d.Plan {
+		joinStep[pi] = step + 1
+	}
 	for i, id := range d.Triples {
 		tr := st.Triple(id)
 		info := TripleInfo{
-			Text:   tr.Format(st.Dict()),
-			Source: tr.Source,
-			Conf:   tr.Conf,
+			Text:     tr.Format(st.Dict()),
+			Source:   tr.Source,
+			Conf:     tr.Conf,
+			JoinStep: i + 1,
+		}
+		if s, ok := joinStep[i]; ok {
+			info.JoinStep = s
 		}
 		if i < len(d.Rewrite.Query.Patterns) {
 			info.Pattern = d.Rewrite.Query.Patterns[i].String()
@@ -109,8 +123,13 @@ func Explain(st *store.Store, original *query.Query, a topk.Answer) Explanation 
 func (ex Explanation) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "answer (score %.4f):\n", ex.Score)
-	for v, t := range ex.Bindings {
-		fmt.Fprintf(&b, "  ?%s = %s\n", v, t)
+	vars := make([]string, 0, len(ex.Bindings))
+	for v := range ex.Bindings {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	for _, v := range vars {
+		fmt.Fprintf(&b, "  ?%s = %s\n", v, ex.Bindings[v])
 	}
 	if len(ex.Rules) > 0 {
 		fmt.Fprintf(&b, "relaxations invoked (derivation weight %.2f):\n", ex.Weight)

@@ -43,7 +43,9 @@ type Match struct {
 	Bindings []Binding
 }
 
-// Matcher evaluates single patterns against a frozen store.
+// Matcher evaluates single patterns against a frozen store. Once its
+// configuration fields are set it is safe for concurrent use: matching
+// only reads the frozen store and mutates no matcher state.
 type Matcher struct {
 	St *store.Store
 	// MinTokenSim is the minimum similarity for a textual token slot to
@@ -56,10 +58,6 @@ type Matcher struct {
 	// NoNormalize skips the per-pattern normalisation, ablating the
 	// idf-like selectivity effect (experiment E8).
 	NoNormalize bool
-
-	// accesses counts triples touched during matching; the E5
-	// experiment reports it as the posting-list access cost.
-	accesses int
 }
 
 // NewMatcher returns a matcher with default thresholds.
@@ -67,16 +65,20 @@ func NewMatcher(st *store.Store) *Matcher {
 	return &Matcher{St: st, MinTokenSim: 0.34}
 }
 
-// Accesses returns the number of posting-list entries touched so far.
-func (m *Matcher) Accesses() int { return m.accesses }
-
-// ResetAccesses clears the access counter.
-func (m *Matcher) ResetAccesses() { m.accesses = 0 }
-
 // MatchPattern returns all matches of the pattern, sorted by descending
-// probability (ties by triple ID). Token slots match approximately; the
-// match factor of a triple is the product of its token-slot similarities.
+// probability (ties by triple ID). Use MatchPatternCounted when the
+// posting-list access cost matters (the E5 experiment reports it).
 func (m *Matcher) MatchPattern(p query.Pattern) []Match {
+	out, _ := m.MatchPatternCounted(p)
+	return out
+}
+
+// MatchPatternCounted returns the matches together with the number of
+// posting-list entries touched, leaving per-call accounting to the
+// caller. It mutates no matcher state, so concurrent calls need no
+// coordination. Token slots match approximately; the match factor of a
+// triple is the product of its token-slot similarities.
+func (m *Matcher) MatchPatternCounted(p query.Pattern) ([]Match, int) {
 	// Resolve exactly-bound slots to term IDs; a bound resource or
 	// literal that is not in the dictionary can never match.
 	var ids [3]rdf.TermID // NoTerm = wildcard for the index scan
@@ -91,7 +93,7 @@ func (m *Matcher) MatchPattern(p query.Pattern) []Match {
 		default:
 			id, ok := m.St.Dict().Lookup(sl.Term)
 			if !ok {
-				return nil
+				return nil, 0
 			}
 			ids[i] = id
 		}
@@ -100,8 +102,9 @@ func (m *Matcher) MatchPattern(p query.Pattern) []Match {
 	cands := m.St.Match(ids[0], ids[1], ids[2])
 	out := make([]Match, 0, len(cands))
 	var mass float64
+	accesses := 0
 	for _, id := range cands {
-		m.accesses++
+		accesses++
 		tr := m.St.Triple(id)
 		parts := [3]rdf.TermID{tr.S, tr.P, tr.O}
 		matchFactor := 1.0
@@ -147,7 +150,7 @@ func (m *Matcher) MatchPattern(p query.Pattern) []Match {
 		}
 		return out[i].Triple < out[j].Triple
 	})
-	return out
+	return out, accesses
 }
 
 // bind computes variable bindings for a triple, enforcing that repeated
@@ -176,10 +179,8 @@ func bind(slots [3]query.Slot, parts [3]rdf.TermID) ([]Binding, bool) {
 }
 
 // Selectivity returns the number of triples matching the pattern, the
-// quantity behind the idf-like effect. It does not count accesses.
+// quantity behind the idf-like effect.
 func (m *Matcher) Selectivity(p query.Pattern) int {
-	saved := m.accesses
-	n := len(m.MatchPattern(p))
-	m.accesses = saved
-	return n
+	out, _ := m.MatchPatternCounted(p)
+	return len(out)
 }

@@ -172,21 +172,14 @@ func TestMinTokenSimThreshold(t *testing.T) {
 func TestAccessCounting(t *testing.T) {
 	st := demoStore()
 	m := NewMatcher(st)
-	if m.Accesses() != 0 {
-		t.Fatal("fresh matcher has accesses")
+	_, n := m.MatchPatternCounted(query.MustParse("?x ?p ?y").Patterns[0])
+	if n != 6 {
+		t.Fatalf("accesses = %d, want 6", n)
 	}
-	m.MatchPattern(query.MustParse("?x ?p ?y").Patterns[0])
-	if m.Accesses() != 6 {
-		t.Fatalf("accesses = %d, want 6", m.Accesses())
-	}
-	m.ResetAccesses()
-	if m.Accesses() != 0 {
-		t.Fatal("reset failed")
-	}
-	// Selectivity does not count accesses.
-	m.Selectivity(query.MustParse("?x ?p ?y").Patterns[0])
-	if m.Accesses() != 0 {
-		t.Fatalf("Selectivity counted accesses: %d", m.Accesses())
+	// A bound pattern touches only its index range.
+	_, n = m.MatchPatternCounted(query.MustParse("?x bornIn ?y").Patterns[0])
+	if n != 2 {
+		t.Fatalf("bound-pattern accesses = %d, want 2", n)
 	}
 }
 

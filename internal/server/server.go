@@ -14,7 +14,10 @@ import (
 	"trinit"
 )
 
-// Server wraps an engine with HTTP handlers.
+// Server wraps an engine with HTTP handlers. Handlers run concurrently —
+// one goroutine per request, as net/http does by default — since the
+// frozen engine's read path (Query, Ask, Complete, Stats) takes no
+// engine-wide lock; concurrent requests share the match-list cache.
 type Server struct {
 	engine *trinit.Engine
 	mux    *http.ServeMux
@@ -132,8 +135,19 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, comps)
 }
 
+// StatsResponse is the JSON shape of /api/stats: the XKG summary plus
+// query-pipeline (match-list cache and planner) statistics. Embedding
+// keeps the original flat field layout for existing clients.
+type StatsResponse struct {
+	trinit.Stats
+	Cache trinit.CacheStats `json:"cache"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.engine.Stats())
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Stats: s.engine.Stats(),
+		Cache: s.engine.CacheStats(),
+	})
 }
 
 // ruleRequest is the POST body of /api/rules.

@@ -198,40 +198,70 @@ func (st *Store) Match(s, p, o rdf.TermID) []ID {
 			return []ID{id}
 		}
 		return nil
-	case s != rdf.NoTerm && p != rdf.NoTerm:
-		return st.scan(st.spo, func(t rdf.Triple) int { return cmp2(t.S, s, t.P, p) })
-	case s != rdf.NoTerm && o != rdf.NoTerm:
-		return st.scan(st.osp, func(t rdf.Triple) int { return cmp2(t.O, o, t.S, s) })
-	case p != rdf.NoTerm && o != rdf.NoTerm:
-		return st.scan(st.pos, func(t rdf.Triple) int { return cmp2(t.P, p, t.O, o) })
-	case s != rdf.NoTerm:
-		return st.scan(st.spo, func(t rdf.Triple) int { return cmp1(t.S, s) })
-	case p != rdf.NoTerm:
-		return st.scan(st.pos, func(t rdf.Triple) int { return cmp1(t.P, p) })
-	case o != rdf.NoTerm:
-		return st.scan(st.osp, func(t rdf.Triple) int { return cmp1(t.O, o) })
-	default:
+	case s == rdf.NoTerm && p == rdf.NoTerm && o == rdf.NoTerm:
 		out := make([]ID, len(st.spo))
 		copy(out, st.spo)
 		return out
 	}
+	idx, cmp := st.indexFor(s, p, o)
+	return st.scan(idx, cmp)
+}
+
+// indexFor picks the permutation index and range comparator for a
+// partially bound pattern (at least one bound and one wildcard slot).
+// Match and Count share it, so their index choice cannot diverge.
+func (st *Store) indexFor(s, p, o rdf.TermID) ([]ID, func(rdf.Triple) int) {
+	switch {
+	case s != rdf.NoTerm && p != rdf.NoTerm:
+		return st.spo, func(t rdf.Triple) int { return cmp2(t.S, s, t.P, p) }
+	case s != rdf.NoTerm && o != rdf.NoTerm:
+		return st.osp, func(t rdf.Triple) int { return cmp2(t.O, o, t.S, s) }
+	case p != rdf.NoTerm && o != rdf.NoTerm:
+		return st.pos, func(t rdf.Triple) int { return cmp2(t.P, p, t.O, o) }
+	case s != rdf.NoTerm:
+		return st.spo, func(t rdf.Triple) int { return cmp1(t.S, s) }
+	case p != rdf.NoTerm:
+		return st.pos, func(t rdf.Triple) int { return cmp1(t.P, p) }
+	default:
+		return st.osp, func(t rdf.Triple) int { return cmp1(t.O, o) }
+	}
 }
 
 // Count returns the number of triples matching the pattern without
-// materialising them all (except in the unrestricted case).
+// materialising them: it binary-searches the same permutation index Match
+// would use and returns the range length. It is the selectivity source of
+// the query planner. Count requires a frozen store except in the fully
+// bound and fully unbound cases, which need no index.
 func (st *Store) Count(s, p, o rdf.TermID) int {
-	if s == rdf.NoTerm && p == rdf.NoTerm && o == rdf.NoTerm {
+	switch {
+	case s != rdf.NoTerm && p != rdf.NoTerm && o != rdf.NoTerm:
+		if _, ok := st.byKey[rdf.Key{S: s, P: p, O: o}]; ok {
+			return 1
+		}
+		return 0
+	case s == rdf.NoTerm && p == rdf.NoTerm && o == rdf.NoTerm:
 		return len(st.triples)
 	}
-	return len(st.Match(s, p, o))
+	if !st.frozen {
+		panic("store: Count before Freeze")
+	}
+	idx, cmp := st.indexFor(s, p, o)
+	lo, hi := st.searchRange(idx, cmp)
+	return hi - lo
 }
 
-// scan binary-searches the permutation index for the contiguous range where
-// cmp returns 0. cmp must return <0 / 0 / >0 for triples ordering before /
-// inside / after the wanted range.
+// searchRange binary-searches the permutation index for the contiguous
+// range where cmp returns 0. cmp must return <0 / 0 / >0 for triples
+// ordering before / inside / after the wanted range.
+func (st *Store) searchRange(idx []ID, cmp func(rdf.Triple) int) (lo, hi int) {
+	lo = sort.Search(len(idx), func(i int) bool { return cmp(st.triples[idx[i]]) >= 0 })
+	hi = sort.Search(len(idx), func(i int) bool { return cmp(st.triples[idx[i]]) > 0 })
+	return lo, hi
+}
+
+// scan materialises the index range found by searchRange.
 func (st *Store) scan(idx []ID, cmp func(rdf.Triple) int) []ID {
-	lo := sort.Search(len(idx), func(i int) bool { return cmp(st.triples[idx[i]]) >= 0 })
-	hi := sort.Search(len(idx), func(i int) bool { return cmp(st.triples[idx[i]]) > 0 })
+	lo, hi := st.searchRange(idx, cmp)
 	if lo >= hi {
 		return nil
 	}

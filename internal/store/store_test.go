@@ -372,3 +372,67 @@ func TestCountMatchesLenProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestCountAllBoundCombinations asserts Count == len(Match) for every one
+// of the 8 bound/unbound slot combinations, on present and absent terms,
+// exercising the non-materialising binary-search range count.
+func TestCountAllBoundCombinations(t *testing.T) {
+	st := figure1()
+	extend(st)
+	st.Freeze()
+
+	einstein := term(st, rdf.Resource("AlbertEinstein"))
+	bornIn := term(st, rdf.Resource("bornIn"))
+	ulm := term(st, rdf.Resource("Ulm"))
+	housedIn := term(st, rdf.Token("housed in"))
+	princeton := term(st, rdf.Resource("PrincetonUniversity"))
+	absent := rdf.TermID(st.Dict().Len() + 7)
+
+	subjects := []rdf.TermID{rdf.NoTerm, einstein, ulm, absent}
+	predicates := []rdf.TermID{rdf.NoTerm, bornIn, housedIn, absent}
+	objects := []rdf.TermID{rdf.NoTerm, ulm, princeton, absent}
+
+	combos := 0
+	seen := make(map[[3]bool]bool)
+	for _, s := range subjects {
+		for _, p := range predicates {
+			for _, o := range objects {
+				got := st.Count(s, p, o)
+				want := len(st.Match(s, p, o))
+				if got != want {
+					t.Errorf("Count(%d,%d,%d) = %d, want len(Match) = %d", s, p, o, got, want)
+				}
+				combos++
+				seen[[3]bool{s != rdf.NoTerm, p != rdf.NoTerm, o != rdf.NoTerm}] = true
+			}
+		}
+	}
+	if len(seen) != 8 {
+		t.Fatalf("covered %d of 8 bound/unbound combinations", len(seen))
+	}
+	// Sanity anchors: a known range and the two index-free fast paths.
+	if st.Count(rdf.NoTerm, bornIn, rdf.NoTerm) != 1 {
+		t.Errorf("Count(*, bornIn, *) = %d, want 1", st.Count(rdf.NoTerm, bornIn, rdf.NoTerm))
+	}
+	if st.Count(einstein, bornIn, ulm) != 1 {
+		t.Errorf("fully bound present fact: count != 1")
+	}
+	if st.Count(rdf.NoTerm, rdf.NoTerm, rdf.NoTerm) != st.Len() {
+		t.Errorf("unbounded count = %d, want %d", st.Count(rdf.NoTerm, rdf.NoTerm, rdf.NoTerm), st.Len())
+	}
+}
+
+// TestCountDoesNotRequireFreezeForTrivialCases covers the two patterns
+// answerable without permutation indexes.
+func TestCountDoesNotRequireFreezeForTrivialCases(t *testing.T) {
+	st := figure1()
+	if st.Count(rdf.NoTerm, rdf.NoTerm, rdf.NoTerm) != st.Len() {
+		t.Fatal("unfrozen unbounded count wrong")
+	}
+	einstein := term(st, rdf.Resource("AlbertEinstein"))
+	bornIn := term(st, rdf.Resource("bornIn"))
+	ulm := term(st, rdf.Resource("Ulm"))
+	if st.Count(einstein, bornIn, ulm) != 1 {
+		t.Fatal("unfrozen fully bound count wrong")
+	}
+}

@@ -1,0 +1,222 @@
+package topk
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"trinit/internal/score"
+)
+
+// DefaultCacheSize is the default match-list cache capacity (entries).
+const DefaultCacheSize = 4096
+
+// Cache is a concurrency-safe, engine-owned cache of score-sorted
+// per-pattern match lists, shared by all executors running against the
+// same frozen store. It is the in-memory analogue of the precomputed
+// triple-pattern index lists the original system stored in ElasticSearch,
+// lifted out of the evaluator so that queries can run concurrently.
+//
+// Builds are single-flight: when several executors need the same pattern
+// simultaneously, one builds while the others wait on the entry's ready
+// channel. A size cap with least-recently-used eviction bounds memory;
+// entries still being built are never evicted.
+type Cache struct {
+	mu      sync.RWMutex
+	max     int
+	entries map[string]*cacheEntry
+
+	// estMu guards the planner's selectivity-estimate side cache.
+	estMu     sync.RWMutex
+	estimates map[string]int
+
+	clock     atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	waits     atomic.Uint64
+
+	plans     atomic.Uint64
+	reordered atomic.Uint64
+}
+
+type cacheEntry struct {
+	// ready is closed once the build finished — successfully (matches
+	// and accesses populated) or by panicking (failed set).
+	ready    chan struct{}
+	matches  []score.Match
+	accesses int
+	// failed marks a build that panicked; waiters rebuild themselves
+	// so the original failure surfaces everywhere instead of hanging.
+	failed   bool
+	lastUsed atomic.Uint64
+}
+
+// NewCache returns a cache holding at most maxEntries match lists
+// (DefaultCacheSize when maxEntries <= 0).
+func NewCache(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheSize
+	}
+	return &Cache{
+		max:       maxEntries,
+		entries:   make(map[string]*cacheEntry),
+		estimates: make(map[string]int),
+	}
+}
+
+// get returns the match list for the pattern key, building it with build
+// at most once across all concurrent callers. It reports the number of
+// posting-list entries the call itself scanned (0 on a hit) and whether
+// this caller performed the build, so executors can meter their own work.
+func (c *Cache) get(key string, build func() ([]score.Match, int)) (matches []score.Match, accesses int, built bool) {
+	c.mu.RLock()
+	e := c.entries[key]
+	c.mu.RUnlock()
+	if e == nil {
+		c.mu.Lock()
+		if e = c.entries[key]; e == nil {
+			e = &cacheEntry{ready: make(chan struct{})}
+			c.entries[key] = e
+			c.mu.Unlock()
+			// If build panics, unpublish the entry and wake the
+			// waiters as failed before re-panicking — a stuck
+			// never-closed ready channel would otherwise hang
+			// every later lookup of this pattern.
+			defer func() {
+				if !e.failed {
+					return
+				}
+				c.mu.Lock()
+				if c.entries[key] == e {
+					delete(c.entries, key)
+				}
+				c.mu.Unlock()
+				close(e.ready)
+			}()
+			e.failed = true
+			e.matches, e.accesses = build()
+			e.failed = false
+			e.lastUsed.Store(c.clock.Add(1))
+			close(e.ready)
+			c.misses.Add(1)
+			c.evict()
+			return e.matches, e.accesses, true
+		}
+		c.mu.Unlock()
+	}
+	select {
+	case <-e.ready:
+	default:
+		c.waits.Add(1)
+		<-e.ready
+	}
+	if e.failed {
+		// The builder panicked; rebuild here so the same failure
+		// surfaces in this caller too (fail fast, never hang).
+		matches, accesses := build()
+		return matches, accesses, true
+	}
+	c.hits.Add(1)
+	e.lastUsed.Store(c.clock.Add(1))
+	return e.matches, 0, false
+}
+
+// evict removes least-recently-used ready entries once the cache exceeds
+// its cap. It drops to 90% of capacity in one pass, so the O(entries)
+// scan under the write lock amortises over many misses instead of
+// running on every miss of a full cache. In-flight builds are skipped:
+// their waiters hold no lock, and the entry becomes evictable once ready.
+func (c *Cache) evict() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) <= c.max {
+		return
+	}
+	target := c.max * 9 / 10
+	if target < 1 {
+		target = 1
+	}
+	type aged struct {
+		key      string
+		lastUsed uint64
+	}
+	ready := make([]aged, 0, len(c.entries))
+	for k, e := range c.entries {
+		select {
+		case <-e.ready:
+			ready = append(ready, aged{k, e.lastUsed.Load()})
+		default: // still building
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i].lastUsed < ready[j].lastUsed })
+	for _, a := range ready {
+		if len(c.entries) <= target {
+			break
+		}
+		delete(c.entries, a.key)
+		c.evictions.Add(1)
+	}
+}
+
+// estimate returns the planner's cached selectivity estimate for the
+// pattern key, computing it on first use. Estimates are tiny, so the side
+// map is simply reset when it outgrows the cache cap instead of tracking
+// recency.
+func (c *Cache) estimate(key string, compute func() int) int {
+	c.estMu.RLock()
+	v, ok := c.estimates[key]
+	c.estMu.RUnlock()
+	if ok {
+		return v
+	}
+	v = compute()
+	c.estMu.Lock()
+	if len(c.estimates) >= 4*c.max {
+		c.estimates = make(map[string]int)
+	}
+	c.estimates[key] = v
+	c.estMu.Unlock()
+	return v
+}
+
+// notePlan records one planner invocation and whether it changed the
+// pattern order, for the /stats endpoint.
+func (c *Cache) notePlan(reordered bool) {
+	c.plans.Add(1)
+	if reordered {
+		c.reordered.Add(1)
+	}
+}
+
+// CacheStats is a point-in-time snapshot of cache and planner activity.
+type CacheStats struct {
+	// Entries is the current number of cached match lists.
+	Entries int
+	// Hits and Misses count lookups served from / built into the cache.
+	Hits, Misses int
+	// Evictions counts entries dropped by the LRU size cap.
+	Evictions int
+	// SingleFlightWaits counts lookups that waited for a concurrent
+	// build of the same pattern instead of duplicating it.
+	SingleFlightWaits int
+	// PlansComputed counts planner invocations; PlansReordered counts
+	// those where selectivity ordering differed from query-text order.
+	PlansComputed, PlansReordered int
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.RLock()
+	n := len(c.entries)
+	c.mu.RUnlock()
+	return CacheStats{
+		Entries:           n,
+		Hits:              int(c.hits.Load()),
+		Misses:            int(c.misses.Load()),
+		Evictions:         int(c.evictions.Load()),
+		SingleFlightWaits: int(c.waits.Load()),
+		PlansComputed:     int(c.plans.Load()),
+		PlansReordered:    int(c.reordered.Load()),
+	}
+}

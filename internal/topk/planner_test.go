@@ -1,0 +1,168 @@
+package topk
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"trinit/internal/query"
+	"trinit/internal/rdf"
+	"trinit/internal/relax"
+	"trinit/internal/store"
+)
+
+// skewedStore builds a store where query-text pattern order is a bad join
+// order: predicate p has many triples, predicate q exactly one.
+func skewedStore(fanout int) *store.Store {
+	st := store.New(nil, nil)
+	for i := 0; i < fanout; i++ {
+		st.AddKG(rdf.Resource(fmt.Sprintf("S%03d", i)), rdf.Resource("p"), rdf.Resource(fmt.Sprintf("O%03d", i)))
+	}
+	st.AddKG(rdf.Resource("S000"), rdf.Resource("q"), rdf.Resource("Z"))
+	st.Freeze()
+	return st
+}
+
+// TestPlannerReducesJoinWork: with the unselective pattern first in query
+// text, selectivity ordering must shrink both the join branch space and
+// the sorted accesses, while answers stay identical.
+func TestPlannerReducesJoinWork(t *testing.T) {
+	st := skewedStore(40)
+	// Text order: huge ?x p ?y first, then the single-match ?x q Z.
+	q := query.MustParse("SELECT ?x ?y WHERE { ?x p ?y . ?x q Z }")
+	q.Projection = q.ProjectedVars()
+	rewrites := relax.NewExpander(nil).Expand(q)
+
+	planned, mp := New(st, Options{K: 10, Mode: Exhaustive}).Evaluate(q, rewrites)
+	textOrd, mt := New(st, Options{K: 10, Mode: Exhaustive, NoPlan: true}).Evaluate(q, rewrites)
+
+	if len(planned) != 1 || len(textOrd) != 1 {
+		t.Fatalf("answers: planned %d, text-order %d, want 1", len(planned), len(textOrd))
+	}
+	if math.Abs(planned[0].Score-textOrd[0].Score) > 1e-12 {
+		t.Fatalf("scores differ: %v vs %v", planned[0].Score, textOrd[0].Score)
+	}
+	for v, id := range planned[0].Bindings {
+		if textOrd[0].Bindings[v] != id {
+			t.Fatalf("binding %s differs", v)
+		}
+	}
+	if mp.JoinBranches >= mt.JoinBranches {
+		t.Errorf("planned JoinBranches = %d, not below text order %d", mp.JoinBranches, mt.JoinBranches)
+	}
+	if mp.SortedAccesses >= mt.SortedAccesses {
+		t.Errorf("planned SortedAccesses = %d, not below text order %d", mp.SortedAccesses, mt.SortedAccesses)
+	}
+}
+
+// TestPlannerEarlyAbortSkipsListBuilds: when the most selective pattern of
+// a rewrite has no matches, the other pattern lists must not be built.
+func TestPlannerEarlyAbortSkipsListBuilds(t *testing.T) {
+	st := skewedStore(40)
+	// ?x r Z matches nothing (no r predicate); ?x p ?y matches 40.
+	q := query.MustParse("SELECT ?x ?y WHERE { ?x p ?y . ?x r Z }")
+	q.Projection = q.ProjectedVars()
+	rewrites := relax.NewExpander(nil).Expand(q)
+
+	ev := New(st, Options{K: 10})
+	ans, m := ev.Evaluate(q, rewrites)
+	if len(ans) != 0 {
+		t.Fatalf("answers = %d, want 0", len(ans))
+	}
+	if m.PatternsMatched != 1 {
+		t.Errorf("built %d pattern lists, want 1 (early abort on the empty selective pattern)", m.PatternsMatched)
+	}
+	trace := ev.LastTrace()
+	if len(trace) != 1 || trace[0].Status != "no matches" {
+		t.Fatalf("trace = %+v", trace)
+	}
+	// The planner must have put the provably-empty pattern first.
+	if len(trace[0].Plan) == 0 || trace[0].Plan[0] != 1 {
+		t.Errorf("plan = %v, want the selective pattern (index 1) first", trace[0].Plan)
+	}
+}
+
+// TestPlanRecordedInTraceAndDerivation: the processed pattern order is
+// surfaced both in the rewrite trace and in answer derivations.
+func TestPlanRecordedInTraceAndDerivation(t *testing.T) {
+	st := skewedStore(12)
+	q := query.MustParse("SELECT ?x ?y WHERE { ?x p ?y . ?x q Z }")
+	q.Projection = q.ProjectedVars()
+	rewrites := relax.NewExpander(nil).Expand(q)
+	ev := New(st, Options{K: 10})
+	ans, _ := ev.Evaluate(q, rewrites)
+	if len(ans) != 1 {
+		t.Fatalf("answers = %d", len(ans))
+	}
+	wantOrder := []int{1, 0} // selective ?x q Z joins first
+	gotTrace := ev.LastTrace()[0].Plan
+	if len(gotTrace) != 2 || gotTrace[0] != wantOrder[0] || gotTrace[1] != wantOrder[1] {
+		t.Errorf("trace plan = %v, want %v", gotTrace, wantOrder)
+	}
+	gotDeriv := ans[0].Derivation.Plan
+	if len(gotDeriv) != 2 || gotDeriv[0] != wantOrder[0] || gotDeriv[1] != wantOrder[1] {
+		t.Errorf("derivation plan = %v, want %v", gotDeriv, wantOrder)
+	}
+}
+
+// TestEstimateSelectivity sanity-checks the index-derived estimates that
+// drive the planner.
+func TestEstimateSelectivity(t *testing.T) {
+	st := demoXKG()
+	est := func(qs string) int {
+		p := query.MustParse(qs).Patterns[0]
+		return estimateSelectivity(st, p, 0.34)
+	}
+	if got := est("?x bornIn ?y"); got != 1 {
+		t.Errorf("est(?x bornIn ?y) = %d, want 1", got)
+	}
+	if got := est("?x ?p ?y"); got != st.Len() {
+		t.Errorf("est(?x ?p ?y) = %d, want %d", got, st.Len())
+	}
+	if got := est("?x NoSuchResource ?y"); got != 0 {
+		t.Errorf("est over unknown resource = %d, want 0", got)
+	}
+	// A token slot refines through the inverted index: 'housed in'
+	// occurs in exactly one triple.
+	if got := est("?x 'housed in' ?y"); got < 1 || got > 2 {
+		t.Errorf("est(?x 'housed in' ?y) = %d, want a tight bound near 1", got)
+	}
+	if got := est("?x 'completely absent phrase qqq' ?y"); got != 0 {
+		t.Errorf("est over unknown token = %d, want 0", got)
+	}
+}
+
+// TestPlannerMatchesNoPlanOnWorkload: planning is a pure optimisation —
+// answers and scores must be identical with and without it across a mixed
+// workload, in both processing modes.
+func TestPlannerMatchesNoPlanOnWorkload(t *testing.T) {
+	st := demoXKG()
+	queries := []string{
+		"?x bornIn Germany",
+		"SELECT ?x WHERE { AlbertEinstein affiliation ?x . ?x member IvyLeague }",
+		"?x bornIn ?y . ?y locatedIn ?z",
+		"AlbertEinstein 'won nobel for' ?x",
+	}
+	for _, qs := range queries {
+		for _, mode := range []Mode{Incremental, Exhaustive} {
+			q := query.MustParse(qs)
+			q.Projection = q.ProjectedVars()
+			rewrites := relax.NewExpander(figure4()).Expand(q)
+			with, _ := New(st, Options{K: 5, Mode: mode}).Evaluate(q, rewrites)
+			without, _ := New(st, Options{K: 5, Mode: mode, NoPlan: true}).Evaluate(q, rewrites)
+			if len(with) != len(without) {
+				t.Fatalf("%s (mode %v): %d vs %d answers", qs, mode, len(with), len(without))
+			}
+			for i := range with {
+				if math.Abs(with[i].Score-without[i].Score) > 1e-12 {
+					t.Fatalf("%s (mode %v): answer %d score %v vs %v", qs, mode, i, with[i].Score, without[i].Score)
+				}
+				for v, id := range with[i].Bindings {
+					if without[i].Bindings[v] != id {
+						t.Fatalf("%s (mode %v): answer %d binding %s differs", qs, mode, i, v)
+					}
+				}
+			}
+		}
+	}
+}

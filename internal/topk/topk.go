@@ -55,6 +55,13 @@ type Options struct {
 	// pattern matcher.
 	UniformConf bool
 	NoNormalize bool
+	// NoPlan disables join planning entirely: match lists are built
+	// and joined in query-text pattern order. It is the naive cost
+	// baseline for planner measurements — note it is *below* the
+	// pre-planner behaviour, which already sorted the join order by
+	// exact list length after building every list. Answers are
+	// identical either way.
+	NoPlan bool
 }
 
 // Answer is one ranked result: a binding of the query's projected
@@ -79,6 +86,9 @@ type Derivation struct {
 	Triples []store.ID
 	// PatternProbs holds the per-pattern emission probabilities.
 	PatternProbs []float64
+	// Plan holds the pattern indices in the join order the planner
+	// chose (nil means query-text order). Shared, read-only.
+	Plan []int
 }
 
 // Metrics quantify the work done, for the E5 efficiency experiment.
@@ -120,34 +130,43 @@ type RewriteTrace struct {
 	// or "missing projection".
 	Status string
 	// PatternMatches holds the match-list length per pattern (only for
-	// evaluated rewrites).
+	// evaluated rewrites; patterns skipped by a planner early-abort
+	// stay 0).
 	PatternMatches []int
+	// Plan holds the pattern indices in the order the planner processed
+	// them (nil when the rewrite was not matched or planning is off).
+	Plan []int
 	// Answers counts answers created or improved by this rewrite.
 	Answers int
 }
 
-// Evaluator runs top-k processing against a frozen store. It keeps the
-// score-sorted per-pattern match lists it builds across queries — the
-// in-memory analogue of the precomputed triple-pattern index lists the
-// original system stored in ElasticSearch. An Evaluator is not safe for
-// concurrent use; create one per goroutine (they share the frozen store).
-type Evaluator struct {
+// Executor runs top-k processing for one query at a time against a frozen
+// store, fetching score-sorted per-pattern match lists from a shared
+// Cache. The executor itself carries only per-query state (the trace of
+// its latest Evaluate call), so an engine can keep a pool of executors
+// and run queries concurrently — all heavy state lives in the store and
+// the cache, both safe for concurrent readers. A single Executor must not
+// be shared by concurrent Evaluate calls.
+type Executor struct {
 	st      *store.Store
 	opts    Options
 	matcher *score.Matcher
-	// lists caches match lists by pattern text, persisting across
-	// Evaluate calls. Patterns shared between rewrites — and between
-	// queries — are matched once.
-	lists map[string][]score.Match
+	cache   *Cache
 	// lastTrace records the rewrite-by-rewrite processing steps of the
 	// most recent Evaluate call.
 	lastTrace []RewriteTrace
 }
 
-// New returns an evaluator. The store must be frozen.
-func New(st *store.Store, opts Options) *Evaluator {
+// NewExecutor returns an executor over a shared match-list cache. The
+// store must be frozen. Executors built over the same cache share match
+// lists and planner estimates; their matcher options must agree, since
+// cached lists are keyed by pattern text only.
+func NewExecutor(st *store.Store, cache *Cache, opts Options) *Executor {
 	if opts.K <= 0 {
 		opts.K = 10
+	}
+	if cache == nil {
+		cache = NewCache(0)
 	}
 	matcher := score.NewMatcher(st)
 	if opts.MinTokenSim > 0 {
@@ -155,23 +174,39 @@ func New(st *store.Store, opts Options) *Evaluator {
 	}
 	matcher.UniformConf = opts.UniformConf
 	matcher.NoNormalize = opts.NoNormalize
-	return &Evaluator{
+	return &Executor{
 		st:      st,
 		opts:    opts,
 		matcher: matcher,
-		lists:   make(map[string][]score.Match),
+		cache:   cache,
 	}
 }
 
+// Evaluator is an Executor bundled with a private match-list cache — the
+// original single-goroutine API, kept for baselines, experiments and
+// tests. The cache persists across Evaluate calls, warming up like the
+// precomputed posting lists of the original ElasticSearch backend.
+type Evaluator struct {
+	Executor
+}
+
+// New returns an evaluator with its own cache. The store must be frozen.
+func New(st *store.Store, opts Options) *Evaluator {
+	return &Evaluator{Executor: *NewExecutor(st, NewCache(0), opts)}
+}
+
+// Cache returns the executor's match-list cache.
+func (ev *Executor) Cache() *Cache { return ev.cache }
+
 // LastTrace returns the internal processing steps of the most recent
 // Evaluate call (§5: "TriniT can show internal steps").
-func (ev *Evaluator) LastTrace() []RewriteTrace {
+func (ev *Executor) LastTrace() []RewriteTrace {
 	return append([]RewriteTrace(nil), ev.lastTrace...)
 }
 
 // SetK changes the default answer count for subsequent Evaluate calls,
 // keeping the warmed pattern-list cache.
-func (ev *Evaluator) SetK(k int) {
+func (ev *Executor) SetK(k int) {
 	if k > 0 {
 		ev.opts.K = k
 	}
@@ -181,14 +216,12 @@ func (ev *Evaluator) SetK(k int) {
 // original query; the list must be sorted by descending weight, as
 // produced by relax.Expander) and returns the top-k answers sorted by
 // descending score, ties broken by binding key.
-func (ev *Evaluator) Evaluate(q *query.Query, rewrites []relax.Rewrite) ([]Answer, Metrics) {
+func (ev *Executor) Evaluate(q *query.Query, rewrites []relax.Rewrite) ([]Answer, Metrics) {
 	proj := q.ProjectedVars()
 	k := ev.opts.K
 	if q.Limit > 0 && q.Limit < k {
 		k = q.Limit
 	}
-
-	ev.matcher.ResetAccesses()
 
 	st := &state{
 		answers: make(map[string]*Answer),
@@ -223,12 +256,12 @@ func (ev *Evaluator) Evaluate(q *query.Query, rewrites []relax.Rewrite) ([]Answe
 		m.RewritesEvaluated++
 		rt := trace(rw)
 		before := st.writes
-		status, sizes := ev.evalRewrite(rw, proj, st, &m)
+		status, sizes, plan := ev.evalRewrite(rw, proj, st, &m)
 		rt.Status = status
 		rt.PatternMatches = sizes
+		rt.Plan = plan
 		rt.Answers = st.writes - before
 	}
-	m.IndexScanned = ev.matcher.Accesses()
 
 	out := make([]Answer, 0, len(st.answers))
 	for _, a := range st.answers {
@@ -320,8 +353,9 @@ func termIDString(id rdf.TermID) string {
 }
 
 // evalRewrite matches all patterns of one rewrite and joins them. It
-// returns a status string and per-pattern match counts for the trace.
-func (ev *Evaluator) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *Metrics) (string, []int) {
+// returns a status string, per-pattern match counts, and the processed
+// pattern order for the trace.
+func (ev *Executor) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *Metrics) (string, []int, []int) {
 	pats := rw.Query.Patterns
 	n := len(pats)
 
@@ -334,36 +368,60 @@ func (ev *Evaluator) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *
 	}
 	for _, v := range proj {
 		if !bound[v] {
-			return "missing projection", nil
+			return "missing projection", nil, nil
 		}
 	}
 
-	lists := make([][]score.Match, n)
-	order := make([]int, n)
-	sizes := make([]int, n)
-	for i, p := range pats {
-		key := p.String()
-		if cached, ok := ev.lists[key]; ok {
-			lists[i] = cached
-		} else {
-			lists[i] = ev.matcher.MatchPattern(p)
-			m.PatternsMatched++
-			ev.lists[key] = lists[i]
+	// Plan: build match lists in ascending estimated selectivity, so an
+	// empty pattern aborts the rewrite before its siblings' lists are
+	// materialised. NoPlan keeps query-text order as the baseline.
+	var buildOrder []int
+	if ev.opts.NoPlan {
+		buildOrder = make([]int, n)
+		for i := range buildOrder {
+			buildOrder[i] = i
 		}
-		sizes[i] = len(lists[i])
-		if len(lists[i]) == 0 {
-			return "no matches", sizes
-		}
-		order[i] = i
+	} else {
+		buildOrder, _ = ev.plan(pats)
 	}
-	// Join most selective patterns first.
-	sort.Slice(order, func(a, b int) bool {
-		la, lb := len(lists[order[a]]), len(lists[order[b]])
-		if la != lb {
-			return la < lb
+
+	// tracePlan is what surfaces in RewriteTrace.Plan and
+	// Derivation.Plan: nil with planning off (query-text order).
+	tracePlan := func(order []int) []int {
+		if ev.opts.NoPlan {
+			return nil
 		}
-		return order[a] < order[b]
-	})
+		return order
+	}
+
+	lists := make([][]score.Match, n)
+	sizes := make([]int, n)
+	for _, pi := range buildOrder {
+		p := pats[pi]
+		matches, accesses, built := ev.cache.get(p.String(), func() ([]score.Match, int) {
+			return ev.matcher.MatchPatternCounted(p)
+		})
+		if built {
+			m.PatternsMatched++
+			m.IndexScanned += accesses
+		}
+		lists[pi] = matches
+		sizes[pi] = len(matches)
+		if len(matches) == 0 {
+			return "no matches", sizes, tracePlan(buildOrder)
+		}
+	}
+
+	// Join order: the planner's estimate order, refined by the exact
+	// list lengths now known (stable, so equal lengths keep the planned
+	// order). NoPlan joins in query-text order.
+	order := buildOrder
+	if !ev.opts.NoPlan {
+		order = append([]int(nil), buildOrder...)
+		sort.SliceStable(order, func(a, b int) bool {
+			return len(lists[order[a]]) < len(lists[order[b]])
+		})
+	}
 
 	// suffixBound[i] = product of head probabilities of patterns i..n-1
 	// in join order: the best possible completion of a partial join.
@@ -399,6 +457,7 @@ func (ev *Evaluator) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *
 					Rewrite:      rw,
 					Triples:      append([]store.ID(nil), triples...),
 					PatternProbs: append([]float64(nil), probs...),
+					Plan:         tracePlan(order),
 				},
 			}
 			st.record(answerKey(ans.Bindings, proj), ans)
@@ -444,7 +503,7 @@ func (ev *Evaluator) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *
 		}
 	}
 	rec(0, 1)
-	return "evaluated", sizes
+	return "evaluated", sizes, tracePlan(order)
 }
 
 func projected(bindings map[string]rdf.TermID, proj []string) map[string]rdf.TermID {

@@ -61,6 +61,16 @@ type Options struct {
 	// Exhaustive disables the incremental top-k optimisations; answers
 	// are identical, work is not. Meant for baselines and testing.
 	Exhaustive bool
+	// MatchCacheSize caps the engine's shared match-list cache, in
+	// pattern entries (default 4096). Least-recently-used lists are
+	// evicted beyond the cap.
+	MatchCacheSize int
+	// NoPlanner disables join planning; match lists are built and
+	// joined in query-text pattern order (a naive baseline — even
+	// below the pre-planner engine, which sorted joins by exact list
+	// length). Answers are identical, work is not. Meant for
+	// baselines and testing.
+	NoPlanner bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -172,16 +182,31 @@ type OperatorFunc func(e *Engine) []RuleSpec
 
 // Engine is a TriniT instance: an extended knowledge graph plus rules,
 // ranking and suggestion machinery.
+//
+// Once frozen, an Engine is safe for concurrent use: Query, Ask, Complete
+// and Stats take no engine-wide lock — the store is immutable, match
+// lists live in a concurrency-safe shared cache, and per-query state sits
+// in pooled executors. Mutation APIs (AddRule, RemoveRule, MineRules, …)
+// serialise behind a write lock and publish the rule set copy-on-write,
+// so in-flight queries keep the snapshot they started with.
 type Engine struct {
-	mu        sync.Mutex
+	// mu guards the mutable engine state: rules (replaced wholesale,
+	// never appended in place), operators, suggester, translate and
+	// frozen. Read paths hold it only long enough to snapshot.
+	mu        sync.RWMutex
 	opts      Options
 	st        *store.Store
 	rules     []*relax.Rule
 	operators []OperatorFunc
 	suggester *suggest.Suggester
-	evaluator *topk.Evaluator
 	translate *qa.Translator
 	frozen    bool
+
+	// cache is the shared, concurrency-safe match-list cache; execs
+	// pools the per-query executors that run against it. Both are set
+	// when the engine freezes.
+	cache *topk.Cache
+	execs sync.Pool
 }
 
 // New creates an empty engine. Pass nil for default options.
@@ -280,6 +305,43 @@ func (e *Engine) ExtendFromDocumentsWith(docs []Document, cfg ExtendConfig) (Ext
 	}, nil
 }
 
+// initQueryPipeline wires the shared match-list cache and the executor
+// pool. Called once, when the engine freezes.
+func (e *Engine) initQueryPipeline() {
+	e.cache = topk.NewCache(e.opts.MatchCacheSize)
+	mode := topk.Incremental
+	if e.opts.Exhaustive {
+		mode = topk.Exhaustive
+	}
+	opts := topk.Options{
+		K:           e.opts.K,
+		Mode:        mode,
+		MinTokenSim: e.opts.MinTokenSimilarity,
+		NoPlan:      e.opts.NoPlanner,
+	}
+	st, cache := e.st, e.cache
+	e.execs.New = func() any { return topk.NewExecutor(st, cache, opts) }
+}
+
+// executor borrows a pooled executor, initialising the query pipeline
+// lazily for engines assembled without Freeze (package-internal tests).
+// The initialised check must happen under e.mu before touching the pool:
+// sync.Pool.New is written by initQueryPipeline, and an unsynchronised
+// Get would race with that write.
+func (e *Engine) executor() *topk.Executor {
+	e.mu.RLock()
+	initialised := e.cache != nil
+	e.mu.RUnlock()
+	if !initialised {
+		e.mu.Lock()
+		if e.cache == nil {
+			e.initQueryPipeline()
+		}
+		e.mu.Unlock()
+	}
+	return e.execs.Get().(*topk.Executor)
+}
+
 // Freeze finalises the graph: indexes are built and the engine becomes
 // queryable. No facts can be added afterwards. Freeze is idempotent.
 func (e *Engine) Freeze() {
@@ -290,13 +352,14 @@ func (e *Engine) Freeze() {
 	}
 	e.st.Freeze()
 	e.suggester = suggest.New(e.st)
+	e.initQueryPipeline()
 	e.frozen = true
 }
 
 // Frozen reports whether Freeze has been called.
 func (e *Engine) Frozen() bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.frozen
 }
 
@@ -304,14 +367,24 @@ func (e *Engine) Frozen() bool {
 //
 //	e.AddRule("r2", "?x hasAdvisor ?y => ?y hasStudent ?x", 1.0)
 func (e *Engine) AddRule(id, rule string, weight float64) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	r, err := relax.ParseRule(id, rule, weight, "manual")
 	if err != nil {
 		return err
 	}
-	e.rules = append(e.rules, r)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.appendRules(r)
 	return nil
+}
+
+// appendRules publishes a new rule-set snapshot. Callers hold e.mu. The
+// old slice is never mutated, so queries that snapshotted it race-free
+// keep a consistent rule set.
+func (e *Engine) appendRules(rs ...*relax.Rule) {
+	next := make([]*relax.Rule, 0, len(e.rules)+len(rs))
+	next = append(next, e.rules...)
+	next = append(next, rs...)
+	e.rules = next
 }
 
 // MineRules mines relaxation rules from the XKG (predicate alignment,
@@ -369,7 +442,7 @@ func (e *Engine) MineRules(cfg MiningConfig) ([]RuleSpec, error) {
 		}
 		mined = append(mined, rel...)
 	}
-	e.rules = append(e.rules, mined...)
+	e.appendRules(mined...)
 	specs := make([]RuleSpec, len(mined))
 	for i, r := range mined {
 		specs[i] = RuleSpec{ID: r.ID, Rule: r.String(), Weight: r.Weight, Origin: r.Origin}
@@ -408,17 +481,18 @@ func (e *Engine) RunOperators() error {
 		}
 	}
 	e.mu.Lock()
-	e.rules = append(e.rules, parsed...)
+	e.appendRules(parsed...)
 	e.mu.Unlock()
 	return nil
 }
 
 // Rules lists the currently registered rules.
 func (e *Engine) Rules() []RuleSpec {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	out := make([]RuleSpec, len(e.rules))
-	for i, r := range e.rules {
+	e.mu.RLock()
+	rules := e.rules
+	e.mu.RUnlock()
+	out := make([]RuleSpec, len(rules))
+	for i, r := range rules {
 		out[i] = RuleSpec{ID: r.ID, Rule: r.String(), Weight: r.Weight, Origin: r.Origin}
 	}
 	return out
@@ -429,7 +503,7 @@ func (e *Engine) Rules() []RuleSpec {
 func (e *Engine) RemoveRule(id string) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	kept := e.rules[:0]
+	kept := make([]*relax.Rule, 0, len(e.rules))
 	removed := false
 	for _, r := range e.rules {
 		if r.ID == id {
@@ -541,6 +615,10 @@ type TraceEntry struct {
 	Status string
 	// PatternMatches holds per-pattern match-list sizes.
 	PatternMatches []int
+	// Plan holds the pattern indices in the order the planner processed
+	// them (ascending estimated selectivity); nil when the rewrite was
+	// not matched.
+	Plan []int
 	// Answers counts answers created or improved by the rewrite.
 	Answers int
 }
@@ -563,52 +641,45 @@ type Result struct {
 
 // Query parses and evaluates a query with relaxation and top-k ranking.
 // The engine must be frozen.
+//
+// Query is safe for concurrent use: it holds no engine-wide lock during
+// evaluation. Each call snapshots the rule set, borrows an executor from
+// the pool, and runs it against the immutable store and the shared
+// match-list cache.
 func (e *Engine) Query(text string) (*Result, error) {
 	q, err := query.Parse(text)
 	if err != nil {
 		return nil, err
 	}
-	// Queries are serialised: the evaluator's pattern-list cache is
-	// shared state. The store itself is immutable once frozen.
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if !e.frozen {
+	e.mu.RLock()
+	frozen, rules, suggester := e.frozen, e.rules, e.suggester
+	e.mu.RUnlock()
+	if !frozen {
 		return nil, fmt.Errorf("trinit: Query requires a frozen engine (call Freeze)")
 	}
 	q.Projection = q.ProjectedVars()
 
-	exp := relax.NewExpander(e.rules)
+	exp := relax.NewExpander(rules)
 	exp.MaxDepth = e.opts.MaxRelaxationDepth
 	exp.MaxRewrites = e.opts.MaxRewrites
 	exp.MinWeight = e.opts.MinRewriteWeight
 	rewrites := exp.Expand(q)
 
-	if e.evaluator == nil {
-		mode := topk.Incremental
-		if e.opts.Exhaustive {
-			mode = topk.Exhaustive
-		}
-		// The evaluator persists across queries: its per-pattern index
-		// lists warm up like the precomputed posting lists of the
-		// original ElasticSearch backend.
-		e.evaluator = topk.New(e.st, topk.Options{
-			K:           e.opts.K,
-			Mode:        mode,
-			MinTokenSim: e.opts.MinTokenSimilarity,
-		})
-	}
-	answers, metrics := e.evaluator.Evaluate(q, rewrites)
+	ev := e.executor()
+	answers, metrics := ev.Evaluate(q, rewrites)
 	var traces []TraceEntry
-	for _, t := range e.evaluator.LastTrace() {
+	for _, t := range ev.LastTrace() {
 		traces = append(traces, TraceEntry{
 			Query:          t.Query,
 			Weight:         t.Weight,
 			Rules:          t.Rules,
 			Status:         t.Status,
 			PatternMatches: t.PatternMatches,
+			Plan:           t.Plan,
 			Answers:        t.Answers,
 		})
 	}
+	e.execs.Put(ev)
 
 	res := &Result{
 		Query: q.String(),
@@ -645,7 +716,7 @@ func (e *Engine) Query(text string) (*Result, error) {
 			Answers: n.Answers,
 		})
 	}
-	for _, s := range e.suggester.Suggest(q) {
+	for _, s := range suggester.Suggest(q) {
 		res.Suggestions = append(res.Suggestions, Suggestion{
 			Token:    s.Token,
 			Resource: s.Resource,
@@ -687,15 +758,17 @@ func publicExplanation(ex explain.Explanation) Explanation {
 }
 
 // Complete returns auto-completions for a prefix typed into an S, P or O
-// field (§5). The engine must be frozen.
+// field (§5). The engine must be frozen. Safe for concurrent use: the
+// suggester's trie is immutable once built.
 func (e *Engine) Complete(prefix string, limit int) []Completion {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if !e.frozen {
+	e.mu.RLock()
+	frozen, suggester := e.frozen, e.suggester
+	e.mu.RUnlock()
+	if !frozen {
 		return nil
 	}
 	var out []Completion
-	for _, c := range e.suggester.Complete(prefix, limit) {
+	for _, c := range suggester.Complete(prefix, limit) {
 		out = append(out, Completion{Text: c.Text, Weight: c.Weight})
 	}
 	return out
@@ -719,8 +792,8 @@ type Stats struct {
 
 // Stats returns summary statistics of the engine's XKG.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	s := e.st.Stats()
 	return Stats{
 		Triples:        s.Triples,
@@ -738,6 +811,23 @@ func (e *Engine) Stats() Stats {
 	}
 }
 
+// CacheStats reports the activity of the engine's shared match-list cache
+// and of the selectivity planner (§4 processing shared across queries).
+// See topk.CacheStats for the field documentation.
+type CacheStats = topk.CacheStats
+
+// CacheStats returns a snapshot of match-list cache and planner activity.
+// It is zero before Freeze.
+func (e *Engine) CacheStats() CacheStats {
+	e.mu.RLock()
+	cache := e.cache
+	e.mu.RUnlock()
+	if cache == nil {
+		return CacheStats{}
+	}
+	return cache.Stats()
+}
+
 // NewDemoEngine returns an engine preloaded with the paper's running
 // example: the Figure 1 KG, the Figure 3 XKG extension, and the Figure 4
 // relaxation rules. It is frozen and ready to query.
@@ -749,6 +839,7 @@ func NewDemoEngine() *Engine {
 		rules: d.Rules,
 	}
 	e.suggester = suggest.New(e.st)
+	e.initQueryPipeline()
 	e.frozen = true
 	return e
 }
@@ -878,16 +969,20 @@ func NewSyntheticEngine(cfg SyntheticConfig, numQueries int) (*Engine, []EvalQue
 // outside the template repertoire return an error; the caller can fall
 // back to the structured Query syntax.
 func (e *Engine) Ask(question string) (*Result, string, error) {
-	e.mu.Lock()
-	if !e.frozen {
-		e.mu.Unlock()
+	e.mu.RLock()
+	frozen, tr := e.frozen, e.translate
+	e.mu.RUnlock()
+	if !frozen {
 		return nil, "", fmt.Errorf("trinit: Ask requires a frozen engine (call Freeze)")
 	}
-	if e.translate == nil {
-		e.translate = qa.NewTranslator(e.st)
+	if tr == nil {
+		e.mu.Lock()
+		if e.translate == nil {
+			e.translate = qa.NewTranslator(e.st)
+		}
+		tr = e.translate
+		e.mu.Unlock()
 	}
-	tr := e.translate
-	e.mu.Unlock()
 
 	tl, err := tr.Translate(question)
 	if err != nil {
@@ -904,8 +999,8 @@ func (e *Engine) Ask(question string) (*Result, string, error) {
 // to w in the line-oriented TNT format (see internal/serial). A saved
 // engine can be restored with Load, skipping corpus re-extraction.
 func (e *Engine) Save(w io.Writer) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if err := serial.WriteStore(w, e.st); err != nil {
 		return err
 	}

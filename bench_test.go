@@ -304,17 +304,38 @@ func warmEngine(b *testing.B, e *Engine) {
 // a multi-pattern workload query (the E5 instance). Beyond ns/op, run
 // TestPlannerReducesJoinWork / `trinit-bench` for the JoinBranches and
 // SortedAccesses deltas.
-func BenchmarkPlannerSelectivityOrder(b *testing.B) { benchPlanner(b, false) }
+func BenchmarkPlannerSelectivityOrder(b *testing.B) {
+	benchJoinKernel(b, topk.Options{K: 10})
+}
 
 // BenchmarkPlannerTextOrder is the NoPlan baseline counterpart.
-func BenchmarkPlannerTextOrder(b *testing.B) { benchPlanner(b, true) }
+func BenchmarkPlannerTextOrder(b *testing.B) {
+	benchJoinKernel(b, topk.Options{K: 10, NoPlan: true})
+}
 
-func benchPlanner(b *testing.B, noPlan bool) {
+// BenchmarkJoinKernelScan, ...HashProbe and ...HashSemiJoin compare the
+// three join-kernel configurations on the worst-case three-pattern query
+// (an unbound-predicate pattern joined through two shared variables):
+// full-list scans enumerate hundreds of thousands of branches where the
+// hash kernel probes a few dozen buckets. Answers are identical.
+func BenchmarkJoinKernelScan(b *testing.B) {
+	benchJoinKernel(b, topk.Options{K: 10, NoHashJoin: true})
+}
+
+func BenchmarkJoinKernelHashProbe(b *testing.B) {
+	benchJoinKernel(b, topk.Options{K: 10, NoSemiJoin: true})
+}
+
+func BenchmarkJoinKernelHashSemiJoin(b *testing.B) {
+	benchJoinKernel(b, topk.Options{K: 10})
+}
+
+func benchJoinKernel(b *testing.B, opts topk.Options) {
 	inst := fullInstance()
 	q := query.MustParse("SELECT ?x WHERE { ?x ?p ?y . ?y locatedIn Northford . ?x affiliation ?u }")
 	q.Projection = q.ProjectedVars()
 	rewrites := relax.NewExpander(inst.Rules).Expand(q)
-	ev := topk.New(inst.Store, topk.Options{K: 10, NoPlan: noPlan})
+	ev := topk.New(inst.Store, opts)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ans, _ := ev.Evaluate(q, rewrites)

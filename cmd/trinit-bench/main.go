@@ -65,6 +65,7 @@ func main() {
 		ran = true
 		fmt.Println(experiments.FormatE5(experiments.RunE5(world(), min(*queries, 20), nil)))
 		fmt.Println(experiments.FormatE5Depth(experiments.RunE5Depth(world(), min(*queries, 20), nil)))
+		fmt.Println(experiments.FormatE5Kernels(experiments.RunE5Kernels(world(), min(*queries, 20), 10)))
 	}
 	if want("e6") {
 		ran = true

@@ -8,6 +8,9 @@ package rdf
 type Dict struct {
 	terms []Term // terms[0] is a placeholder for NoTerm
 	index map[Term]TermID
+	// kindCounts[k] counts interned terms of kind k, maintained by
+	// Intern so that per-kind statistics never rescan the dictionary.
+	kindCounts [3]int
 }
 
 // NewDict returns an empty dictionary.
@@ -27,7 +30,16 @@ func (d *Dict) Intern(t Term) TermID {
 	id := TermID(len(d.terms))
 	d.terms = append(d.terms, t)
 	d.index[t] = id
+	if int(t.Kind) < len(d.kindCounts) {
+		d.kindCounts[t.Kind]++
+	}
 	return id
+}
+
+// KindCounts returns the number of interned resource, literal and token
+// terms. It is O(1): the counts are maintained by Intern.
+func (d *Dict) KindCounts() (resources, literals, tokens int) {
+	return d.kindCounts[KindResource], d.kindCounts[KindLiteral], d.kindCounts[KindToken]
 }
 
 // InternResource interns a canonical-resource term.

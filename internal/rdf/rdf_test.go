@@ -225,3 +225,23 @@ func TestTripleFormat(t *testing.T) {
 		t.Errorf("Format = %q, want %q", got, want)
 	}
 }
+
+// TestDictKindCounts: per-kind counts are maintained incrementally by
+// Intern and deduplicate repeated terms.
+func TestDictKindCounts(t *testing.T) {
+	d := NewDict()
+	d.Intern(Resource("A"))
+	d.Intern(Resource("A")) // duplicate: not recounted
+	d.Intern(Resource("B"))
+	d.Intern(Literal("1900"))
+	d.Intern(Token("won nobel for"))
+	d.Intern(Token("lectured at"))
+	d.Intern(Token("won nobel for")) // duplicate
+	r, l, tok := d.KindCounts()
+	if r != 2 || l != 1 || tok != 2 {
+		t.Fatalf("KindCounts = (%d, %d, %d), want (2, 1, 2)", r, l, tok)
+	}
+	if d.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", d.Len())
+	}
+}

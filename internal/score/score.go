@@ -39,8 +39,24 @@ type Match struct {
 	Raw float64
 	// Prob is the normalised emission probability P(t | p).
 	Prob float64
-	// Bindings are the variable assignments this match induces.
+	// Bindings are the variable assignments this match induces. Every
+	// match in one MatchPattern result binds the same variables in the
+	// same order — slot order S, P, O with repeated variables
+	// deduplicated — so callers building per-variable indexes over a
+	// match list may resolve a variable's position once, on any entry,
+	// and read that position on every other entry.
 	Bindings []Binding
+}
+
+// BindingOf returns the term this match binds to variable v, or false when
+// the match does not bind v.
+func (m Match) BindingOf(v string) (rdf.TermID, bool) {
+	for _, b := range m.Bindings {
+		if b.Var == v {
+			return b.Term, true
+		}
+	}
+	return rdf.NoTerm, false
 }
 
 // Matcher evaluates single patterns against a frozen store. Once its

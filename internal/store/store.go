@@ -30,6 +30,11 @@ type Store struct {
 	spo, pos, osp []ID
 	frozen        bool
 
+	// Predicate statistics, precomputed by Freeze (the triple set is
+	// immutable afterwards, so one scan serves every later call).
+	predStats                 []PredicateStat
+	tokenPreds, resourcePreds int
+
 	tokens *tokenIndex
 
 	numKG, numXKG int
@@ -146,6 +151,14 @@ func (st *Store) Freeze() {
 	sort.Slice(st.pos, func(a, b int) bool { return st.lessPOS(st.pos[a], st.pos[b]) })
 	sort.Slice(st.osp, func(a, b int) bool { return st.lessOSP(st.osp[a], st.osp[b]) })
 	st.buildTokenIndex()
+	st.predStats = st.computePredicates()
+	for _, ps := range st.predStats {
+		if st.dict.Term(ps.Pred).Kind == rdf.KindToken {
+			st.tokenPreds++
+		} else {
+			st.resourcePreds++
+		}
+	}
 	st.frozen = true
 }
 
@@ -289,8 +302,17 @@ func cmp2(a1, b1, a2, b2 rdf.TermID) int {
 }
 
 // Predicates returns the distinct predicate terms in ascending TermID
-// order, with their triple counts.
+// order, with their triple counts. After Freeze the statistics are served
+// from the snapshot precomputed there instead of rescanning all triples.
 func (st *Store) Predicates() []PredicateStat {
+	if st.frozen {
+		return append([]PredicateStat(nil), st.predStats...)
+	}
+	return st.computePredicates()
+}
+
+// computePredicates scans the triples for per-predicate counts.
+func (st *Store) computePredicates() []PredicateStat {
 	counts := make(map[rdf.TermID]int)
 	for _, t := range st.triples {
 		counts[t.P]++
@@ -339,7 +361,11 @@ type Stats struct {
 	ProvenanceRecs int
 }
 
-// Stats computes summary statistics.
+// Stats computes summary statistics. After Freeze it is O(1): predicate
+// statistics come from the snapshot Freeze precomputed, and per-kind term
+// counts are maintained incrementally by the dictionary (so terms interned
+// after Freeze — e.g. by query-time components sharing the dictionary —
+// are still counted).
 func (st *Store) Stats() Stats {
 	s := Stats{
 		Triples:        len(st.triples),
@@ -348,24 +374,16 @@ func (st *Store) Stats() Stats {
 		Terms:          st.dict.Len(),
 		ProvenanceRecs: st.prov.Len(),
 	}
-	st.dict.All(func(_ rdf.TermID, t rdf.Term) bool {
-		switch t.Kind {
-		case rdf.KindResource:
-			s.Resources++
-		case rdf.KindLiteral:
-			s.Literals++
-		case rdf.KindToken:
-			s.Tokens++
-		}
-		return true
-	})
-	preds := make(map[rdf.TermID]bool)
-	for _, t := range st.triples {
-		preds[t.P] = true
+	s.Resources, s.Literals, s.Tokens = st.dict.KindCounts()
+	if st.frozen {
+		s.Predicates = len(st.predStats)
+		s.TokenPreds = st.tokenPreds
+		s.ResourcePreds = st.resourcePreds
+		return s
 	}
-	s.Predicates = len(preds)
-	for p := range preds {
-		if st.dict.Term(p).Kind == rdf.KindToken {
+	for _, ps := range st.computePredicates() {
+		s.Predicates++
+		if st.dict.Term(ps.Pred).Kind == rdf.KindToken {
 			s.TokenPreds++
 		} else {
 			s.ResourcePreds++

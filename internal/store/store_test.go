@@ -436,3 +436,41 @@ func TestCountDoesNotRequireFreezeForTrivialCases(t *testing.T) {
 		t.Fatal("unfrozen fully bound count wrong")
 	}
 }
+
+// TestStatsFrozenMatchesUnfrozen: Freeze precomputes predicate statistics;
+// the snapshot must agree exactly with the scan-based computation, and
+// terms interned into the shared dictionary after Freeze must still be
+// counted.
+func TestStatsFrozenMatchesUnfrozen(t *testing.T) {
+	st := figure1()
+	extend(st)
+	before := st.Stats()
+	beforePreds := st.Predicates()
+	st.Freeze()
+	after := st.Stats()
+	if before != after {
+		t.Fatalf("Stats changed across Freeze:\nbefore %+v\nafter  %+v", before, after)
+	}
+	afterPreds := st.Predicates()
+	if len(beforePreds) != len(afterPreds) {
+		t.Fatalf("Predicates: %d before Freeze, %d after", len(beforePreds), len(afterPreds))
+	}
+	for i := range beforePreds {
+		if beforePreds[i] != afterPreds[i] {
+			t.Fatalf("Predicates[%d]: %+v before Freeze, %+v after", i, beforePreds[i], afterPreds[i])
+		}
+	}
+	// The returned snapshot must be a copy: mutating it cannot corrupt
+	// later calls.
+	afterPreds[0].Count = -1
+	if st.Predicates()[0].Count == -1 {
+		t.Fatal("Predicates returned its internal snapshot")
+	}
+	// Post-freeze interning (query-time components share the dictionary)
+	// shows up in term counts without a dictionary rescan.
+	st.Dict().InternToken("fresh post-freeze token")
+	s := st.Stats()
+	if s.Tokens != after.Tokens+1 || s.Terms != after.Terms+1 {
+		t.Fatalf("post-freeze intern not counted: %+v vs %+v", s, after)
+	}
+}

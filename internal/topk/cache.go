@@ -41,10 +41,12 @@ type Cache struct {
 }
 
 type cacheEntry struct {
-	// ready is closed once the build finished — successfully (matches
-	// and accesses populated) or by panicking (failed set).
-	ready    chan struct{}
-	matches  []score.Match
+	// ready is closed once the build finished — successfully (list and
+	// accesses populated) or by panicking (failed set).
+	ready chan struct{}
+	// list is the score-sorted match list plus its per-variable hash
+	// indexes, built once here and shared read-only by every executor.
+	list     *patternList
 	accesses int
 	// failed marks a build that panicked; waiters rebuild themselves
 	// so the original failure surfaces everywhere instead of hanging.
@@ -65,11 +67,12 @@ func NewCache(maxEntries int) *Cache {
 	}
 }
 
-// get returns the match list for the pattern key, building it with build
-// at most once across all concurrent callers. It reports the number of
-// posting-list entries the call itself scanned (0 on a hit) and whether
-// this caller performed the build, so executors can meter their own work.
-func (c *Cache) get(key string, build func() ([]score.Match, int)) (matches []score.Match, accesses int, built bool) {
+// get returns the indexed match list for the pattern key, building it
+// (list, hash indexes) with build at most once across all concurrent
+// callers. It reports the number of posting-list entries the call itself
+// scanned (0 on a hit) and whether this caller performed the build, so
+// executors can meter their own work.
+func (c *Cache) get(key string, build func() ([]score.Match, int)) (list *patternList, accesses int, built bool) {
 	c.mu.RLock()
 	e := c.entries[key]
 	c.mu.RUnlock()
@@ -95,13 +98,14 @@ func (c *Cache) get(key string, build func() ([]score.Match, int)) (matches []sc
 				close(e.ready)
 			}()
 			e.failed = true
-			e.matches, e.accesses = build()
+			matches, accesses := build()
+			e.list, e.accesses = newPatternList(matches), accesses
 			e.failed = false
 			e.lastUsed.Store(c.clock.Add(1))
 			close(e.ready)
 			c.misses.Add(1)
 			c.evict()
-			return e.matches, e.accesses, true
+			return e.list, e.accesses, true
 		}
 		c.mu.Unlock()
 	}
@@ -115,11 +119,11 @@ func (c *Cache) get(key string, build func() ([]score.Match, int)) (matches []sc
 		// The builder panicked; rebuild here so the same failure
 		// surfaces in this caller too (fail fast, never hang).
 		matches, accesses := build()
-		return matches, accesses, true
+		return newPatternList(matches), accesses, true
 	}
 	c.hits.Add(1)
 	e.lastUsed.Store(c.clock.Add(1))
-	return e.matches, 0, false
+	return e.list, 0, false
 }
 
 // evict removes least-recently-used ready entries once the cache exceeds

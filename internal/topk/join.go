@@ -1,0 +1,235 @@
+package topk
+
+// This file implements the hash-indexed join kernel. Three pieces replace
+// the full-list scans of the original backtracking join:
+//
+//   - patternList: a cached match list plus per-variable hash indexes
+//     (buckets keyed by bound TermID), built once when the list enters the
+//     shared cache and reused by every rewrite, executor and query;
+//   - semiJoinReduce: a Yannakakis-style reduction pass that prunes each
+//     list to entries with at least one join partner in every neighbouring
+//     pattern before enumeration starts;
+//   - joinOrder: a connectivity-aware refinement of the planner's
+//     selectivity order, so the join prefix always shares a variable with
+//     the next pattern when the pattern graph allows it.
+//
+// All three preserve answers exactly: buckets enumerate precisely the
+// entries that pass the binding-consistency check for the probed variable,
+// in list order (descending probability), so the score-bound pruning
+// semantics of the incremental algorithm are unchanged; semi-join drops
+// only entries that can never take part in a complete consistent binding;
+// and pattern order never affects which complete bindings exist.
+
+import (
+	"trinit/internal/query"
+	"trinit/internal/rdf"
+	"trinit/internal/score"
+)
+
+// patternList is a score-sorted match list plus per-variable hash indexes,
+// stored in the shared cache next to the list itself.
+//
+// buckets[vi][t] holds the positions — ascending, which is descending
+// emission probability — of the matches binding variable vars[vi] to term
+// t. Probing a bucket therefore visits exactly the entries a full scan
+// would have accepted for that variable, in the same relative order.
+type patternList struct {
+	matches []score.Match
+	vars    []string
+	buckets []map[rdf.TermID][]int32
+}
+
+// newPatternList indexes a match list. The per-variable layout is uniform
+// across a list (see score.Match.Bindings), so variable positions are
+// resolved once, on the first entry.
+func newPatternList(matches []score.Match) *patternList {
+	pl := &patternList{matches: matches}
+	if len(matches) == 0 {
+		return pl
+	}
+	first := matches[0].Bindings
+	pl.vars = make([]string, len(first))
+	pl.buckets = make([]map[rdf.TermID][]int32, len(first))
+	for vi, b := range first {
+		pl.vars[vi] = b.Var
+		idx := make(map[rdf.TermID][]int32)
+		for i, m := range matches {
+			t := m.Bindings[vi].Term
+			idx[t] = append(idx[t], int32(i))
+		}
+		pl.buckets[vi] = idx
+	}
+	return pl
+}
+
+// varIndex returns the position of v in the list's uniform binding layout,
+// or -1 when the pattern does not bind v.
+func (pl *patternList) varIndex(v string) int {
+	for vi, name := range pl.vars {
+		if name == v {
+			return vi
+		}
+	}
+	return -1
+}
+
+// sharedVars returns the variable names two pattern lists have in common.
+func sharedVars(a, b *patternList) []string {
+	var out []string
+	for _, v := range a.vars {
+		if b.varIndex(v) >= 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// semiJoinMaxList bounds the size of lists the reduction pass will filter.
+// Longer lists are left unfiltered — the hash kernel never scans them (a
+// connected join order probes them through a bucket), so filtering would
+// cost more than it saves — but they still act as filter *sources* for
+// their neighbours through O(1) bucket-membership checks.
+const semiJoinMaxList = 4096
+
+// semiJoinReduce prunes every match list to the entries that have at least
+// one join partner in each neighbouring pattern (a neighbour is a pattern
+// sharing a variable). It runs a backward then a forward sweep over the
+// patterns: on acyclic pattern graphs — join trees — the two sweeps
+// achieve the full Yannakakis reduction with respect to per-variable
+// signatures; on cyclic graphs they remain a sound partial filter.
+//
+// Dropping is sound because a dropped entry binds some shared variable to
+// a term that no surviving entry of a neighbouring pattern binds, so no
+// complete consistent binding can ever include it. alive[i] is nil when
+// every entry of list i survived (or the list was too long to filter),
+// otherwise alive[i][p] reports whether match p survived; liveCount[i] and
+// headProb[i] are the surviving entry count and the highest surviving
+// probability (0 when the list was emptied). Dropped entries are counted
+// into m.SemiJoinDropped.
+func semiJoinReduce(lists []*patternList, m *Metrics) (alive [][]bool, liveCount []int, headProb []float64) {
+	n := len(lists)
+	alive = make([][]bool, n) // nil = all entries live
+	liveCount = make([]int, n)
+	for i, pl := range lists {
+		liveCount[i] = len(pl.matches)
+	}
+	isLive := func(si, p int) bool { return alive[si] == nil || alive[si][p] }
+
+	// filter drops entries of list ti without a partner among the live
+	// entries of list si, per shared variable. Partner existence is a
+	// bucket lookup in si's hash index, short-circuiting on the first
+	// live bucket entry.
+	filter := func(ti, si int) {
+		if liveCount[ti] == 0 || len(lists[ti].matches) > semiJoinMaxList {
+			return
+		}
+		for _, v := range sharedVars(lists[ti], lists[si]) {
+			tvi := lists[ti].varIndex(v)
+			svi := lists[si].varIndex(v)
+			buckets := lists[si].buckets[svi]
+			for p := range lists[ti].matches {
+				if !isLive(ti, p) {
+					continue
+				}
+				partner := false
+				for _, bp := range buckets[lists[ti].matches[p].Bindings[tvi].Term] {
+					if isLive(si, int(bp)) {
+						partner = true
+						break
+					}
+				}
+				if partner {
+					continue
+				}
+				if alive[ti] == nil {
+					alive[ti] = make([]bool, len(lists[ti].matches))
+					for q := range alive[ti] {
+						alive[ti][q] = true
+					}
+				}
+				alive[ti][p] = false
+				liveCount[ti]--
+				m.SemiJoinDropped++
+			}
+		}
+	}
+
+	// Backward sweep (each list filtered by all later ones), then forward
+	// (each filtered by all earlier, now-reduced ones).
+	for i := n - 2; i >= 0; i-- {
+		for j := i + 1; j < n; j++ {
+			filter(i, j)
+		}
+	}
+	for i := 1; i < n; i++ {
+		for j := 0; j < i; j++ {
+			filter(i, j)
+		}
+	}
+
+	headProb = make([]float64, n)
+	for i := range lists {
+		if alive[i] == nil {
+			if len(lists[i].matches) > 0 {
+				headProb[i] = lists[i].matches[0].Prob
+			}
+			continue
+		}
+		for p := range alive[i] {
+			if alive[i][p] {
+				headProb[i] = lists[i].matches[p].Prob
+				break
+			}
+		}
+	}
+	return alive, liveCount, headProb
+}
+
+// joinOrder refines a selectivity-sorted pattern order into the order the
+// join enumerates: starting from the first pattern of lenOrder (the
+// shortest list), it repeatedly appends the earliest pattern in lenOrder
+// that shares a variable with the prefix, falling back to the earliest
+// remaining pattern when none connects (a genuinely disconnected pattern
+// graph). A connected prefix lets the hash join probe an existing binding
+// at every depth instead of enumerating a Cartesian product.
+func joinOrder(pats []query.Pattern, lenOrder []int) []int {
+	n := len(lenOrder)
+	if n <= 2 {
+		return lenOrder
+	}
+	out := make([]int, 0, n)
+	used := make([]bool, n)
+	bound := make(map[string]bool)
+	take := func(pi int) {
+		out = append(out, pi)
+		used[pi] = true
+		for _, v := range pats[pi].Vars() {
+			bound[v] = true
+		}
+	}
+	take(lenOrder[0])
+	for len(out) < n {
+		pick := -1
+		for _, pi := range lenOrder {
+			if used[pi] {
+				continue
+			}
+			if pick < 0 {
+				pick = pi // fallback: earliest remaining
+			}
+			connected := false
+			for _, v := range pats[pi].Vars() {
+				if bound[v] {
+					connected = true
+					break
+				}
+			}
+			if connected {
+				pick = pi
+				break
+			}
+		}
+		take(pick)
+	}
+	return out
+}

@@ -22,7 +22,7 @@ package topk
 
 import (
 	"sort"
-	"strings"
+	"strconv"
 
 	"trinit/internal/query"
 	"trinit/internal/rdf"
@@ -62,6 +62,17 @@ type Options struct {
 	// exact list length after building every list. Answers are
 	// identical either way.
 	NoPlan bool
+	// NoHashJoin disables the hash-indexed join kernel: candidate
+	// enumeration falls back to scanning every entry of every match
+	// list, joined in exact-list-length order, and the semi-join
+	// reduction pass is skipped — the kernel as it was before hash
+	// indexing. Answers are identical either way; it is the cost
+	// baseline for kernel measurements.
+	NoHashJoin bool
+	// NoSemiJoin keeps hash-index probing but skips the semi-join
+	// reduction pass, isolating the two effects for ablations. Answers
+	// are identical either way.
+	NoSemiJoin bool
 }
 
 // Answer is one ranked result: a binding of the query's projected
@@ -115,6 +126,13 @@ type Metrics struct {
 	JoinBranches int
 	// PrunedBranches counts join branches cut by the score bound.
 	PrunedBranches int
+	// HashProbes counts hash-index bucket lookups the join kernel issued
+	// in place of full match-list scans: at each depth with a variable
+	// already bound by the prefix, one probe replaces a scan.
+	HashProbes int
+	// SemiJoinDropped counts match-list entries pruned by the semi-join
+	// reduction pass before join enumeration started.
+	SemiJoinDropped int
 }
 
 // RewriteTrace records what happened to one rewrite during processing —
@@ -127,7 +145,7 @@ type RewriteTrace struct {
 	// Rules lists the IDs of the applied rules.
 	Rules []string
 	// Status is "evaluated", "skipped (weight bound)", "no matches",
-	// or "missing projection".
+	// "no matches (semi-join)", or "missing projection".
 	Status string
 	// PatternMatches holds the match-list length per pattern (only for
 	// evaluated rewrites; patterns skipped by a planner early-abort
@@ -136,6 +154,10 @@ type RewriteTrace struct {
 	// Plan holds the pattern indices in the order the planner processed
 	// them (nil when the rewrite was not matched or planning is off).
 	Plan []int
+	// SemiJoinKept holds the per-pattern number of match-list entries
+	// that survived the semi-join reduction pass, in pattern order (nil
+	// when the pass did not run).
+	SemiJoinKept []int
 	// Answers counts answers created or improved by this rewrite.
 	Answers int
 }
@@ -223,11 +245,7 @@ func (ev *Executor) Evaluate(q *query.Query, rewrites []relax.Rewrite) ([]Answer
 		k = q.Limit
 	}
 
-	st := &state{
-		answers: make(map[string]*Answer),
-		k:       k,
-		dirty:   true,
-	}
+	st := newState(k)
 	var m Metrics
 	m.RewritesTotal = len(rewrites)
 	ev.lastTrace = ev.lastTrace[:0]
@@ -245,8 +263,12 @@ func (ev *Executor) Evaluate(q *query.Query, rewrites []relax.Rewrite) ([]Answer
 	}
 
 	for ri, rw := range rewrites {
-		if ev.opts.Mode == Incremental && len(st.answers) >= k && rw.Weight <= st.threshold() {
-			// No later rewrite can contribute: weights descend.
+		if ev.opts.Mode == Incremental && len(st.answers) >= k && rw.Weight < st.threshold() {
+			// No later rewrite can contribute: weights descend. The
+			// bound is strict so that rewrites able to *tie* the
+			// k-th score still run — ties are broken deterministically
+			// by binding key, so dropping a tied answer exhaustive
+			// mode would have kept could change the result set.
 			m.RewritesSkipped = len(rewrites) - ri
 			for _, skipped := range rewrites[ri:] {
 				trace(skipped).Status = "skipped (weight bound)"
@@ -256,57 +278,75 @@ func (ev *Executor) Evaluate(q *query.Query, rewrites []relax.Rewrite) ([]Answer
 		m.RewritesEvaluated++
 		rt := trace(rw)
 		before := st.writes
-		status, sizes, plan := ev.evalRewrite(rw, proj, st, &m)
-		rt.Status = status
-		rt.PatternMatches = sizes
-		rt.Plan = plan
+		ev.evalRewrite(rw, proj, st, &m, rt)
 		rt.Answers = st.writes - before
 	}
 
-	out := make([]Answer, 0, len(st.answers))
-	for _, a := range st.answers {
-		out = append(out, *a)
+	// Rank by descending score, ties by binding key. The map key IS the
+	// answer key, so no keys are re-derived during sorting.
+	type ranked struct {
+		key string
+		a   *Answer
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+	rs := make([]ranked, 0, len(st.answers))
+	for key, a := range st.answers {
+		rs = append(rs, ranked{key, a})
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].a.Score != rs[j].a.Score {
+			return rs[i].a.Score > rs[j].a.Score
 		}
-		return answerKey(out[i].Bindings, proj) < answerKey(out[j].Bindings, proj)
+		return rs[i].key < rs[j].key
 	})
-	if len(out) > k {
-		out = out[:k]
+	if len(rs) > k {
+		rs = rs[:k]
+	}
+	out := make([]Answer, len(rs))
+	for i, r := range rs {
+		out[i] = *r.a
 	}
 	return out, m
 }
 
-// state tracks discovered answers and the k-th score threshold.
+// state tracks discovered answers and the k-th score threshold. The
+// threshold is maintained incrementally: top is a min-heap over the scores
+// of the current best k answers, so every answer write costs O(log k) and
+// every threshold read is O(1) — the seed resorted all answer scores on
+// every read after a write.
 type state struct {
 	answers map[string]*Answer
 	k       int
-	dirty   bool
-	cached  float64
+	// top is the min-heap of the best min(k, len(answers)) answers; pos
+	// maps an answer key to its heap index.
+	top []heapEntry
+	pos map[string]int
+	// keyBuf is the reusable scratch buffer answer keys are built in.
+	keyBuf []byte
 	// writes counts answers created or improved, for tracing.
 	writes int
+}
+
+type heapEntry struct {
+	key   string
+	score float64
+}
+
+func newState(k int) *state {
+	return &state{
+		answers: make(map[string]*Answer),
+		k:       k,
+		top:     make([]heapEntry, 0, k),
+		pos:     make(map[string]int, k),
+	}
 }
 
 // threshold returns the current k-th best answer score, or 0 when fewer
 // than k answers exist.
 func (s *state) threshold() float64 {
-	if !s.dirty {
-		return s.cached
-	}
-	s.dirty = false
-	if len(s.answers) < s.k {
-		s.cached = 0
+	if len(s.top) < s.k {
 		return 0
 	}
-	scores := make([]float64, 0, len(s.answers))
-	for _, a := range s.answers {
-		scores = append(scores, a.Score)
-	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
-	s.cached = scores[s.k-1]
-	return s.cached
+	return s.top[0].score
 }
 
 func (s *state) record(key string, a Answer) {
@@ -314,48 +354,91 @@ func (s *state) record(key string, a Answer) {
 		// Max-over-derivations semantics (§4).
 		if a.Score > cur.Score {
 			*cur = a
-			s.dirty = true
 			s.writes++
+			s.bump(key, a.Score)
 		}
 		return
 	}
 	cp := a
 	s.answers[key] = &cp
-	s.dirty = true
 	s.writes++
+	s.bump(key, a.Score)
 }
 
-func answerKey(b map[string]rdf.TermID, proj []string) string {
-	var sb strings.Builder
+// bump inserts key into the top-k heap or raises its score in place.
+// Scores only ever increase (max-over-derivations), so an in-heap update
+// sifts towards the leaves only.
+func (s *state) bump(key string, score float64) {
+	if i, ok := s.pos[key]; ok {
+		s.top[i].score = score
+		s.siftDown(i)
+		return
+	}
+	if len(s.top) < s.k {
+		s.top = append(s.top, heapEntry{key, score})
+		s.pos[key] = len(s.top) - 1
+		s.siftUp(len(s.top) - 1)
+		return
+	}
+	if score <= s.top[0].score {
+		return
+	}
+	delete(s.pos, s.top[0].key)
+	s.top[0] = heapEntry{key, score}
+	s.pos[key] = 0
+	s.siftDown(0)
+}
+
+func (s *state) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if s.top[p].score <= s.top[i].score {
+			return
+		}
+		s.swap(i, p)
+		i = p
+	}
+}
+
+func (s *state) siftDown(i int) {
+	for {
+		small := i
+		if l := 2*i + 1; l < len(s.top) && s.top[l].score < s.top[small].score {
+			small = l
+		}
+		if r := 2*i + 2; r < len(s.top) && s.top[r].score < s.top[small].score {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		s.swap(i, small)
+		i = small
+	}
+}
+
+func (s *state) swap(i, j int) {
+	s.top[i], s.top[j] = s.top[j], s.top[i]
+	s.pos[s.top[i].key] = i
+	s.pos[s.top[j].key] = j
+}
+
+// appendAnswerKey appends the canonical key of a binding over the
+// projected variables to buf, reusing its capacity across branches.
+func appendAnswerKey(buf []byte, b map[string]rdf.TermID, proj []string) []byte {
 	for _, v := range proj {
-		sb.WriteString(v)
-		sb.WriteByte('=')
-		id := b[v]
-		sb.WriteString(termIDString(id))
-		sb.WriteByte(';')
+		buf = append(buf, v...)
+		buf = append(buf, '=')
+		buf = strconv.AppendUint(buf, uint64(b[v]), 10)
+		buf = append(buf, ';')
 	}
-	return sb.String()
+	return buf
 }
 
-func termIDString(id rdf.TermID) string {
-	const digits = "0123456789"
-	if id == 0 {
-		return "0"
-	}
-	var buf [10]byte
-	i := len(buf)
-	for id > 0 {
-		i--
-		buf[i] = digits[id%10]
-		id /= 10
-	}
-	return string(buf[i:])
-}
-
-// evalRewrite matches all patterns of one rewrite and joins them. It
-// returns a status string, per-pattern match counts, and the processed
-// pattern order for the trace.
-func (ev *Executor) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *Metrics) (string, []int, []int) {
+// evalRewrite matches all patterns of one rewrite and joins them, filling
+// rt with the status, per-pattern match counts, processed pattern order
+// and semi-join survivor counts.
+func (ev *Executor) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *Metrics, rt *RewriteTrace) {
 	pats := rw.Query.Patterns
 	n := len(pats)
 
@@ -368,7 +451,8 @@ func (ev *Executor) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *M
 	}
 	for _, v := range proj {
 		if !bound[v] {
-			return "missing projection", nil, nil
+			rt.Status = "missing projection"
+			return
 		}
 	}
 
@@ -394,46 +478,73 @@ func (ev *Executor) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *M
 		return order
 	}
 
-	lists := make([][]score.Match, n)
+	lists := make([]*patternList, n)
 	sizes := make([]int, n)
 	for _, pi := range buildOrder {
 		p := pats[pi]
-		matches, accesses, built := ev.cache.get(p.String(), func() ([]score.Match, int) {
+		pl, accesses, built := ev.cache.get(p.String(), func() ([]score.Match, int) {
 			return ev.matcher.MatchPatternCounted(p)
 		})
 		if built {
 			m.PatternsMatched++
 			m.IndexScanned += accesses
 		}
-		lists[pi] = matches
-		sizes[pi] = len(matches)
-		if len(matches) == 0 {
-			return "no matches", sizes, tracePlan(buildOrder)
+		lists[pi] = pl
+		sizes[pi] = len(pl.matches)
+		if len(pl.matches) == 0 {
+			rt.Status, rt.PatternMatches, rt.Plan = "no matches", sizes, tracePlan(buildOrder)
+			return
 		}
 	}
 
 	// Join order: the planner's estimate order, refined by the exact
 	// list lengths now known (stable, so equal lengths keep the planned
-	// order). NoPlan joins in query-text order.
+	// order), then — for the hash kernel — reordered so every pattern
+	// shares a variable with the already-joined prefix where the pattern
+	// graph allows it. NoPlan joins in query-text order.
 	order := buildOrder
 	if !ev.opts.NoPlan {
 		order = append([]int(nil), buildOrder...)
 		sort.SliceStable(order, func(a, b int) bool {
-			return len(lists[order[a]]) < len(lists[order[b]])
+			return len(lists[order[a]].matches) < len(lists[order[b]].matches)
 		})
+		if !ev.opts.NoHashJoin {
+			order = joinOrder(pats, order)
+		}
+	}
+
+	// Semi-join reduction: prune entries with no join partner in some
+	// neighbouring pattern before enumeration. An emptied list proves
+	// the rewrite can produce no complete binding.
+	var alive [][]bool
+	liveHead := func(pi int) float64 { return lists[pi].matches[0].Prob }
+	if !ev.opts.NoHashJoin && !ev.opts.NoSemiJoin && n > 1 {
+		reduced, liveCount, headProb := semiJoinReduce(lists, m)
+		alive = reduced
+		liveHead = func(pi int) float64 { return headProb[pi] }
+		rt.SemiJoinKept = liveCount
+		for _, c := range liveCount {
+			if c == 0 {
+				rt.Status, rt.PatternMatches, rt.Plan = "no matches (semi-join)", sizes, tracePlan(order)
+				return
+			}
+		}
 	}
 
 	// suffixBound[i] = product of head probabilities of patterns i..n-1
 	// in join order: the best possible completion of a partial join.
+	// After semi-join reduction the head is the best *surviving* entry,
+	// still an upper bound on any completion.
 	suffixBound := make([]float64, n+1)
 	suffixBound[n] = 1
 	for i := n - 1; i >= 0; i-- {
-		suffixBound[i] = suffixBound[i+1] * lists[order[i]][0].Prob
+		suffixBound[i] = suffixBound[i+1] * liveHead(order[i])
 	}
 
 	bindings := make(map[string]rdf.TermID)
 	triples := make([]store.ID, n)
 	probs := make([]float64, n)
+	addedScratch := make([][]string, n)
 
 	var rec func(depth int, partial float64)
 	rec = func(depth int, partial float64) {
@@ -460,26 +571,63 @@ func (ev *Executor) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *M
 					Plan:         tracePlan(order),
 				},
 			}
-			st.record(answerKey(ans.Bindings, proj), ans)
+			st.keyBuf = appendAnswerKey(st.keyBuf[:0], bindings, proj)
+			st.record(string(st.keyBuf), ans)
 			return
 		}
 		pi := order[depth]
-		for _, match := range lists[pi] {
+		pl := lists[pi]
+		// Candidate enumeration: when a variable of this pattern is
+		// already bound by the prefix, probe its hash bucket — the
+		// smallest one, if several variables are bound — instead of
+		// scanning the whole list. Buckets hold positions in list
+		// order (descending probability), so the score-bound pruning
+		// below behaves exactly as it would mid-scan.
+		var cand []int32
+		probe := false
+		if !ev.opts.NoHashJoin {
+			for vi, v := range pl.vars {
+				if t, ok := bindings[v]; ok {
+					b := pl.buckets[vi][t]
+					if !probe || len(b) < len(cand) {
+						cand, probe = b, true
+					}
+				}
+			}
+		}
+		limit := len(pl.matches)
+		if probe {
+			m.HashProbes++
+			limit = len(cand)
+		}
+		for ci := 0; ci < limit; ci++ {
+			p := ci
+			if probe {
+				p = int(cand[ci])
+			}
+			if alive != nil && alive[pi] != nil && !alive[pi][p] {
+				continue
+			}
+			match := pl.matches[p]
 			// Reading the next entry of the score-sorted list is
 			// one sorted access.
 			m.SortedAccesses++
 			if ev.opts.Mode == Incremental && len(st.answers) >= st.k {
 				bound := rw.Weight * partial * match.Prob * suffixBound[depth+1]
-				if bound <= st.threshold() {
+				if bound < st.threshold() {
 					// Matches are sorted by descending
 					// probability: all remaining are worse.
+					// Strictly worse only — a branch that can
+					// still tie the k-th score must run so the
+					// deterministic tie-break over the full tied
+					// set matches exhaustive mode byte for byte.
 					m.PrunedBranches++
 					break
 				}
 			}
 			m.JoinBranches++
 			// Check binding consistency and extend.
-			var added []string
+			added := addedScratch[depth][:0]
 			ok := true
 			for _, b := range match.Bindings {
 				if cur, exists := bindings[b.Var]; exists {
@@ -500,10 +648,11 @@ func (ev *Executor) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *M
 			for _, v := range added {
 				delete(bindings, v)
 			}
+			addedScratch[depth] = added[:0]
 		}
 	}
 	rec(0, 1)
-	return "evaluated", sizes, tracePlan(order)
+	rt.Status, rt.PatternMatches, rt.Plan = "evaluated", sizes, tracePlan(order)
 }
 
 func projected(bindings map[string]rdf.TermID, proj []string) map[string]rdf.TermID {

@@ -71,6 +71,16 @@ type Options struct {
 	// length). Answers are identical, work is not. Meant for
 	// baselines and testing.
 	NoPlanner bool
+	// NoHashJoin disables the hash-indexed join kernel: joins fall back
+	// to scanning every entry of every match list in exact-list-length
+	// order, without semi-join reduction (the pre-hash-join kernel).
+	// Answers are identical, work is not. Meant for baselines and
+	// testing.
+	NoHashJoin bool
+	// NoSemiJoin keeps hash-index probing but disables the semi-join
+	// reduction pass. Answers are identical, work is not. Meant for
+	// ablations.
+	NoSemiJoin bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -318,6 +328,8 @@ func (e *Engine) initQueryPipeline() {
 		Mode:        mode,
 		MinTokenSim: e.opts.MinTokenSimilarity,
 		NoPlan:      e.opts.NoPlanner,
+		NoHashJoin:  e.opts.NoHashJoin,
+		NoSemiJoin:  e.opts.NoSemiJoin,
 	}
 	st, cache := e.st, e.cache
 	e.execs.New = func() any { return topk.NewExecutor(st, cache, opts) }
@@ -588,7 +600,8 @@ type Completion struct {
 	Weight float64
 }
 
-// Metrics quantify the processing work of one query.
+// Metrics quantify the processing work of one query. See topk.Metrics for
+// the per-field documentation.
 type Metrics struct {
 	RewritesTotal     int
 	RewritesEvaluated int
@@ -598,6 +611,12 @@ type Metrics struct {
 	PatternsMatched   int
 	JoinBranches      int
 	PrunedBranches    int
+	// HashProbes counts hash-index bucket lookups the join kernel issued
+	// in place of full match-list scans.
+	HashProbes int
+	// SemiJoinDropped counts match-list entries pruned by the semi-join
+	// reduction pass before join enumeration.
+	SemiJoinDropped int
 }
 
 // TraceEntry is one internal processing step: a rewrite considered by the
@@ -616,9 +635,13 @@ type TraceEntry struct {
 	// PatternMatches holds per-pattern match-list sizes.
 	PatternMatches []int
 	// Plan holds the pattern indices in the order the planner processed
-	// them (ascending estimated selectivity); nil when the rewrite was
-	// not matched.
+	// them (ascending estimated selectivity, refined by join-graph
+	// connectivity); nil when the rewrite was not matched.
 	Plan []int
+	// SemiJoinKept holds the per-pattern number of match-list entries
+	// surviving the semi-join reduction pass, in pattern order (nil when
+	// the pass did not run).
+	SemiJoinKept []int
 	// Answers counts answers created or improved by the rewrite.
 	Answers int
 }
@@ -676,6 +699,7 @@ func (e *Engine) Query(text string) (*Result, error) {
 			Status:         t.Status,
 			PatternMatches: t.PatternMatches,
 			Plan:           t.Plan,
+			SemiJoinKept:   t.SemiJoinKept,
 			Answers:        t.Answers,
 		})
 	}
@@ -693,6 +717,8 @@ func (e *Engine) Query(text string) (*Result, error) {
 			PatternsMatched:   metrics.PatternsMatched,
 			JoinBranches:      metrics.JoinBranches,
 			PrunedBranches:    metrics.PrunedBranches,
+			HashProbes:        metrics.HashProbes,
+			SemiJoinDropped:   metrics.SemiJoinDropped,
 		},
 	}
 	for _, a := range answers {

@@ -19,6 +19,7 @@ import (
 	"trinit/internal/query"
 	"trinit/internal/rdf"
 	"trinit/internal/relax"
+	"trinit/internal/score"
 	"trinit/internal/topk"
 )
 
@@ -341,6 +342,29 @@ func benchJoinKernel(b *testing.B, opts topk.Options) {
 		ans, _ := ev.Evaluate(q, rewrites)
 		if len(ans) == 0 {
 			b.Fatal("no answers")
+		}
+	}
+}
+
+// BenchmarkMatcherTokenResolved and ...TokenScan compare match-list
+// building for an unbounded token-predicate pattern — the worst case for
+// the scan baseline, which walks the whole store and similarity-tests
+// every triple, where the resolved matcher touches only the candidate
+// ranges surfaced by the inverted token index. Lists are byte-identical.
+func BenchmarkMatcherTokenResolved(b *testing.B) { benchMatcher(b, false) }
+
+// BenchmarkMatcherTokenScan is the NoTokenIndex baseline counterpart.
+func BenchmarkMatcherTokenScan(b *testing.B) { benchMatcher(b, true) }
+
+func benchMatcher(b *testing.B, noTokenIndex bool) {
+	inst := fullInstance()
+	m := score.NewMatcher(inst.Store)
+	m.NoTokenIndex = noTokenIndex
+	p := query.MustParse("?x 'worked at' ?u").Patterns[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(m.MatchPattern(p)) == 0 {
+			b.Fatal("no matches")
 		}
 	}
 }

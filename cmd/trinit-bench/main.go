@@ -4,10 +4,15 @@
 //
 // Usage:
 //
-//	trinit-bench [-exp all|e1|...|e8] [-scale small|bench] [-queries 70] [-seed 1]
+//	trinit-bench [-exp all|e1|...|e8] [-scale small|bench] [-queries 70] [-seed 1] [-json BENCH_3.json]
+//
+// With -json, the E5 efficiency metrics (main table, join-kernel ablation,
+// token-matching ablation, each with ns/op) are additionally written as a
+// machine-readable artifact, so CI runs accumulate a perf trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,11 +23,26 @@ import (
 	"trinit/internal/experiments"
 )
 
+// benchArtifact is the JSON shape written by -json.
+type benchArtifact struct {
+	Schema       string                    `json:"schema"`
+	Scale        string                    `json:"scale"`
+	Queries      int                       `json:"queries"`
+	Seed         int64                     `json:"seed"`
+	E5           []experiments.E5Row       `json:"e5"`
+	E5Kernels    []experiments.E5KernelRow `json:"e5_kernels"`
+	E5TokenMatch []experiments.E5TokenRow  `json:"e5_token_match"`
+	// TokenMatchIndexScanRatio is baseline/resolved mean IndexScanned on
+	// the token-pattern workload — the list-building reduction factor.
+	TokenMatchIndexScanRatio float64 `json:"token_match_index_scan_ratio"`
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, e1..e8")
 	scale := flag.String("scale", "small", "world scale: small or bench")
 	queries := flag.Int("queries", 70, "workload size (paper: 70)")
 	seed := flag.Int64("seed", 1, "world seed")
+	jsonPath := flag.String("json", "", "write E5 metrics to this file as JSON (requires e5 to run)")
 	flag.Parse()
 
 	cfg := dataset.DefaultConfig()
@@ -45,6 +65,7 @@ func main() {
 	}
 
 	ran := false
+	jsonWritten := false
 	if want("e1") {
 		ran = true
 		fmt.Println(experiments.FormatE1(experiments.RunE1(world(), *queries, 10)))
@@ -63,9 +84,39 @@ func main() {
 	}
 	if want("e5") {
 		ran = true
-		fmt.Println(experiments.FormatE5(experiments.RunE5(world(), min(*queries, 20), nil)))
-		fmt.Println(experiments.FormatE5Depth(experiments.RunE5Depth(world(), min(*queries, 20), nil)))
-		fmt.Println(experiments.FormatE5Kernels(experiments.RunE5Kernels(world(), min(*queries, 20), 10)))
+		// E5 caps the workload at 20 queries; the artifact records the
+		// effective size so runs stay comparable across -queries values.
+		e5Queries := min(*queries, 20)
+		e5 := experiments.RunE5(world(), e5Queries, nil)
+		fmt.Println(experiments.FormatE5(e5))
+		fmt.Println(experiments.FormatE5Depth(experiments.RunE5Depth(world(), e5Queries, nil)))
+		kernels := experiments.RunE5Kernels(world(), e5Queries, 10)
+		fmt.Println(experiments.FormatE5Kernels(kernels))
+		tokens := experiments.RunE5TokenMatch(world(), e5Queries, 10)
+		fmt.Println(experiments.FormatE5TokenMatch(tokens))
+		if *jsonPath != "" {
+			art := benchArtifact{
+				Schema:                   "trinit-bench/e5/v1",
+				Scale:                    *scale,
+				Queries:                  e5Queries,
+				Seed:                     *seed,
+				E5:                       e5,
+				E5Kernels:                kernels,
+				E5TokenMatch:             tokens,
+				TokenMatchIndexScanRatio: experiments.TokenMatchIndexScanRatio(tokens),
+			}
+			data, err := json.MarshalIndent(art, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "trinit-bench: marshal %s: %v\n", *jsonPath, err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "trinit-bench: write %s: %v\n", *jsonPath, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n\n", *jsonPath)
+			jsonWritten = true
+		}
 	}
 	if want("e6") {
 		ran = true
@@ -81,6 +132,10 @@ func main() {
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "trinit-bench: unknown experiment %q (use all, e1..e8)\n", *exp)
+		os.Exit(2)
+	}
+	if *jsonPath != "" && !jsonWritten {
+		fmt.Fprintf(os.Stderr, "trinit-bench: -json requires e5 to run (got -exp %s); no artifact written\n", *exp)
 		os.Exit(2)
 	}
 }

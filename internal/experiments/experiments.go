@@ -373,17 +373,19 @@ func FormatE4(r E4Result) string {
 
 // E5Row is one (k, mode) measurement averaged over the workload.
 type E5Row struct {
-	K                  int
-	Mode               string
-	MeanMillis         float64
-	MeanAccesses       float64 // sorted accesses into per-pattern lists
-	MeanIndexScanned   float64 // posting entries touched building lists
-	MeanRewritesEval   float64
-	MeanRewritesSkip   float64
-	MeanJoinBranches   float64
-	MeanPrunedBranches float64
-	MeanHashProbes     float64 // hash-index probes replacing list scans
-	MeanSemiDropped    float64 // entries pruned by semi-join reduction
+	K                  int     `json:"k"`
+	Mode               string  `json:"mode"`
+	MeanMillis         float64 `json:"mean_millis"`
+	MeanAccesses       float64 `json:"mean_sorted_accesses"` // sorted accesses into per-pattern lists
+	MeanIndexScanned   float64 `json:"mean_index_scanned"`   // posting entries touched building lists
+	MeanRewritesEval   float64 `json:"mean_rewrites_evaluated"`
+	MeanRewritesSkip   float64 `json:"mean_rewrites_skipped"`
+	MeanJoinBranches   float64 `json:"mean_join_branches"`
+	MeanPrunedBranches float64 `json:"mean_pruned_branches"`
+	MeanHashProbes     float64 `json:"mean_hash_probes"`      // hash-index probes replacing list scans
+	MeanSemiDropped    float64 `json:"mean_semijoin_dropped"` // entries pruned by semi-join reduction
+	MeanTokenRes       float64 `json:"mean_token_resolutions"`
+	MeanScanFallbacks  float64 `json:"mean_scan_fallbacks"`
 }
 
 // RunE5 measures processing cost across k for both modes on the full
@@ -397,7 +399,7 @@ func RunE5(w *dataset.World, numQueries int, ks []int) []E5Row {
 	var rows []E5Row
 	for _, k := range ks {
 		for _, mode := range []topk.Mode{topk.Incremental, topk.Exhaustive} {
-			var ms, acc, scan, rev, rsk, jb, pb, hp, sd float64
+			var ms, acc, scan, rev, rsk, jb, pb, hp, sd, tr, sf float64
 			n := 0
 			for _, wq := range workload {
 				start := time.Now()
@@ -414,6 +416,8 @@ func RunE5(w *dataset.World, numQueries int, ks []int) []E5Row {
 				pb += float64(m.PrunedBranches)
 				hp += float64(m.HashProbes)
 				sd += float64(m.SemiJoinDropped)
+				tr += float64(m.TokenResolutions)
+				sf += float64(m.ScanFallbacks)
 				n++
 			}
 			if n == 0 {
@@ -434,6 +438,8 @@ func RunE5(w *dataset.World, numQueries int, ks []int) []E5Row {
 				MeanPrunedBranches: pb / float64(n),
 				MeanHashProbes:     hp / float64(n),
 				MeanSemiDropped:    sd / float64(n),
+				MeanTokenRes:       tr / float64(n),
+				MeanScanFallbacks:  sf / float64(n),
 			})
 		}
 	}
@@ -456,12 +462,13 @@ func FormatE5(rows []E5Row) string {
 
 // E5KernelRow is one join-kernel configuration measured over the workload.
 type E5KernelRow struct {
-	Kernel           string
-	MeanMillis       float64
-	MeanAccesses     float64
-	MeanJoinBranches float64
-	MeanHashProbes   float64
-	MeanSemiDropped  float64
+	Kernel           string  `json:"kernel"`
+	MeanMillis       float64 `json:"mean_millis"`
+	NsPerOp          float64 `json:"ns_per_op"`
+	MeanAccesses     float64 `json:"mean_sorted_accesses"`
+	MeanJoinBranches float64 `json:"mean_join_branches"`
+	MeanHashProbes   float64 `json:"mean_hash_probes"`
+	MeanSemiDropped  float64 `json:"mean_semijoin_dropped"`
 }
 
 // RunE5Kernels compares join-kernel configurations on the full system:
@@ -502,6 +509,7 @@ func RunE5Kernels(w *dataset.World, numQueries, k int) []E5KernelRow {
 		rows = append(rows, E5KernelRow{
 			Kernel:           cfg.name,
 			MeanMillis:       ms / float64(n),
+			NsPerOp:          ms / float64(n) * 1e6,
 			MeanAccesses:     acc / float64(n),
 			MeanJoinBranches: jb / float64(n),
 			MeanHashProbes:   hp / float64(n),

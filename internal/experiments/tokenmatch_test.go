@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestE5TokenMatchAblation pins the PR's headline acceptance criterion: on
+// the token-pattern workload, token-resolved list building touches at
+// least 5x fewer posting-list entries than the NoTokenIndex scan baseline,
+// while both produce identical answers (pinned separately by the root
+// differential suites).
+func TestE5TokenMatchAblation(t *testing.T) {
+	w := smallWorld()
+	rows := RunE5TokenMatch(w, 0, 10)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	resolved, scan := rows[0], rows[1]
+	if resolved.Config != "token-resolved" || scan.Config != "scan (NoTokenIndex)" {
+		t.Fatalf("unexpected configs: %q, %q", resolved.Config, scan.Config)
+	}
+	if resolved.MeanTokenResolutions == 0 {
+		t.Error("token-resolved config performed no token resolutions")
+	}
+	if scan.MeanTokenResolutions != 0 {
+		t.Errorf("scan baseline performed %v token resolutions, want 0", scan.MeanTokenResolutions)
+	}
+	if scan.MeanScanFallbacks == 0 {
+		t.Error("scan baseline reported no scan fallbacks on token patterns")
+	}
+	ratio := TokenMatchIndexScanRatio(rows)
+	if ratio < 5 {
+		t.Errorf("IndexScanned reduction = %.2fx, want >= 5x (resolved %.1f vs scan %.1f)",
+			ratio, resolved.MeanIndexScanned, scan.MeanIndexScanned)
+	}
+	out := FormatE5TokenMatch(rows)
+	if !strings.Contains(out, "list-building reduction") {
+		t.Error("FormatE5TokenMatch missing the reduction line")
+	}
+}
+
+// TestTokenPatternWorkloadShape: the workload mixes unbounded token
+// predicates (the scan worst case) with bound-object and join queries.
+func TestTokenPatternWorkloadShape(t *testing.T) {
+	w := smallWorld()
+	qs := TokenPatternWorkload(w, 0)
+	if len(qs) < 6 {
+		t.Fatalf("workload too small: %d queries", len(qs))
+	}
+	unbounded := 0
+	for _, q := range qs {
+		if strings.HasPrefix(q.Text, "?x '") && strings.Contains(q.Text, "' ?") {
+			unbounded++
+		}
+	}
+	if unbounded < 3 {
+		t.Errorf("only %d unbounded token-predicate queries, want >= 3", unbounded)
+	}
+	if got := TokenPatternWorkload(w, 5); len(got) != 5 {
+		t.Errorf("truncation to 5 returned %d", len(got))
+	}
+}

@@ -15,6 +15,16 @@
 //
 // Relaxation-weight attenuation and the max-over-derivations semantics are
 // applied by the top-k processor on top of these per-pattern probabilities.
+//
+// Match lists are built token-resolved: each textual token slot is first
+// resolved to its candidate terms through the store's inverted token index
+// (store.MatchToken), and only the permutation-index ranges of the
+// candidate combinations are scanned — instead of materialising the
+// wildcard range and similarity-testing every triple. Candidate
+// similarities use the same text.Similarity at the same MinTokenSim, so
+// the resulting match lists are byte-identical to the scan path's; the
+// scan path remains as the fallback for unbounded candidate cross-products
+// and as the measured NoTokenIndex baseline.
 package score
 
 import (
@@ -59,6 +69,25 @@ func (m Match) BindingOf(v string) (rdf.TermID, bool) {
 	return rdf.NoTerm, false
 }
 
+// MatchStats reports the work one MatchPatternCounted call performed.
+type MatchStats struct {
+	// IndexScanned counts posting-list entries touched while building the
+	// match list: every entry of the wildcard range on the scan path, or
+	// only the entries of the candidate-combination ranges on the
+	// token-resolved path. Inverted-index postings read during token
+	// resolution are not counted here; TokenResolutions meters those.
+	IndexScanned int
+	// TokenResolutions counts token slots resolved through the inverted
+	// token index.
+	TokenResolutions int
+	// ScanFallback reports that a pattern with token slots was matched by
+	// the legacy wildcard scan — because token resolution was disabled
+	// (NoTokenIndex, MinTokenSim <= 0), the candidate cross-product
+	// exceeded maxTokenCombos, or the candidate ranges were no smaller
+	// than the wildcard range.
+	ScanFallback bool
+}
+
 // Matcher evaluates single patterns against a frozen store. Once its
 // configuration fields are set it is safe for concurrent use: matching
 // only reads the frozen store and mutates no matcher state.
@@ -74,6 +103,17 @@ type Matcher struct {
 	// NoNormalize skips the per-pattern normalisation, ablating the
 	// idf-like selectivity effect (experiment E8).
 	NoNormalize bool
+	// NoTokenIndex forces the legacy wildcard-scan path for token slots,
+	// ablating inverted-index candidate resolution. Match lists are
+	// byte-identical either way; only the list-building work differs.
+	NoTokenIndex bool
+	// Resolver, when set, replaces direct store.MatchToken calls for
+	// token-slot resolution. Implementations must return exactly
+	// store.MatchToken(tok, store.MaskAny, minSim, 0) — the hook exists
+	// so an engine can share one cached resolution between the planner's
+	// selectivity estimate and the matcher. The returned slice is treated
+	// as read-only and may be shared across goroutines.
+	Resolver func(tok string, minSim float64) []store.ScoredTerm
 }
 
 // NewMatcher returns a matcher with default thresholds.
@@ -81,75 +121,249 @@ func NewMatcher(st *store.Store) *Matcher {
 	return &Matcher{St: st, MinTokenSim: 0.34}
 }
 
+// compiledPattern is a pattern with its bound slots resolved against the
+// dictionary and its token slots tokenized once, so per-candidate work
+// never re-tokenizes the query side.
+type compiledPattern struct {
+	slots [3]query.Slot
+	// ids holds the term ID of each exactly-bound slot; NoTerm acts as a
+	// wildcard for the index scan (variables and token slots).
+	ids [3]rdf.TermID
+	// tokText and tokSets hold the surface text and precomputed content
+	// token set of each textual token slot (tokSets[i] == nil for
+	// non-token slots; a token slot with empty text stays a wildcard,
+	// matching the scan path's behaviour).
+	tokText  [3]string
+	tokSets  [3]text.TokenSet
+	hasToken bool
+}
+
+// compile resolves the pattern's bound slots. ok is false when a bound
+// resource or literal is not in the dictionary, in which case the pattern
+// can never match.
+func (m *Matcher) compile(p query.Pattern) (cp compiledPattern, ok bool) {
+	cp.slots = [3]query.Slot{p.S, p.P, p.O}
+	for i, sl := range cp.slots {
+		switch {
+		case sl.IsVar():
+			// wildcard
+		case sl.Term.Kind == rdf.KindToken:
+			if sl.Term.Text == "" {
+				continue // wildcard, as on the scan path
+			}
+			cp.tokText[i] = sl.Term.Text
+			cp.tokSets[i] = text.NewTokenSet(sl.Term.Text)
+			cp.hasToken = true
+		default:
+			id, found := m.St.Dict().Lookup(sl.Term)
+			if !found {
+				return cp, false
+			}
+			cp.ids[i] = id
+		}
+	}
+	return cp, true
+}
+
 // MatchPattern returns all matches of the pattern, sorted by descending
 // probability (ties by triple ID). Use MatchPatternCounted when the
-// posting-list access cost matters (the E5 experiment reports it).
+// list-building cost matters (the E5 experiment reports it).
 func (m *Matcher) MatchPattern(p query.Pattern) []Match {
 	out, _ := m.MatchPatternCounted(p)
 	return out
 }
 
-// MatchPatternCounted returns the matches together with the number of
-// posting-list entries touched, leaving per-call accounting to the
-// caller. It mutates no matcher state, so concurrent calls need no
-// coordination. Token slots match approximately; the match factor of a
-// triple is the product of its token-slot similarities.
-func (m *Matcher) MatchPatternCounted(p query.Pattern) ([]Match, int) {
-	// Resolve exactly-bound slots to term IDs; a bound resource or
-	// literal that is not in the dictionary can never match.
-	var ids [3]rdf.TermID // NoTerm = wildcard for the index scan
-	var tokenText [3]string
-	slots := [3]query.Slot{p.S, p.P, p.O}
-	for i, sl := range slots {
-		switch {
-		case sl.IsVar():
-			// wildcard
-		case sl.Term.Kind == rdf.KindToken:
-			tokenText[i] = sl.Term.Text
-		default:
-			id, ok := m.St.Dict().Lookup(sl.Term)
-			if !ok {
-				return nil, 0
-			}
-			ids[i] = id
+// MatchPatternCounted returns the matches together with statistics on the
+// list-building work, leaving per-call accounting to the caller. It
+// mutates no matcher state, so concurrent calls need no coordination.
+// Token slots match approximately; the match factor of a triple is the
+// product of its token-slot similarities.
+func (m *Matcher) MatchPatternCounted(p query.Pattern) ([]Match, MatchStats) {
+	var stats MatchStats
+	cp, ok := m.compile(p)
+	if !ok {
+		return nil, stats
+	}
+	if ranges, empty, resolved := m.resolveCombos(&cp, &stats); resolved {
+		if empty {
+			return nil, stats
 		}
+		var out []Match
+		for _, r := range ranges {
+			for _, id := range r.ids {
+				stats.IndexScanned++
+				m.appendMatch(&out, &cp, id, r.factor)
+			}
+		}
+		return m.finish(out), stats
+	}
+	stats.ScanFallback = cp.hasToken
+	return m.finish(m.gatherScan(&cp, &stats)), stats
+}
+
+// appendMatch scores one candidate triple and appends it unless a repeated
+// variable binds inconsistently.
+func (m *Matcher) appendMatch(out *[]Match, cp *compiledPattern, id store.ID, factor float64) {
+	tr := m.St.Triple(id)
+	bindings, ok := bind(cp.slots, [3]rdf.TermID{tr.S, tr.P, tr.O})
+	if !ok {
+		return
+	}
+	conf := tr.Conf
+	if m.UniformConf {
+		conf = 1
+	}
+	*out = append(*out, Match{Triple: id, Raw: conf * factor, Bindings: bindings})
+}
+
+// gatherScan is the legacy list-building path: materialise the wildcard
+// index range and similarity-test every candidate triple. It remains the
+// fallback for patterns token resolution cannot bound, and the measured
+// NoTokenIndex baseline.
+func (m *Matcher) gatherScan(cp *compiledPattern, stats *MatchStats) []Match {
+	cands := m.St.Match(cp.ids[0], cp.ids[1], cp.ids[2])
+	out := make([]Match, 0, len(cands))
+	for _, id := range cands {
+		stats.IndexScanned++
+		tr := m.St.Triple(id)
+		factor, ok := m.tokenFactor(cp, [3]rdf.TermID{tr.S, tr.P, tr.O})
+		if !ok {
+			continue
+		}
+		m.appendMatch(&out, cp, id, factor)
+	}
+	return out
+}
+
+// tokenFactor computes the product of the pattern's token-slot
+// similarities against the triple's terms, in slot order, reporting
+// ok=false when any slot falls below MinTokenSim. It is the single copy
+// of the scan path's similarity filter, shared by list building and
+// Selectivity so the two can never diverge.
+func (m *Matcher) tokenFactor(cp *compiledPattern, parts [3]rdf.TermID) (factor float64, ok bool) {
+	factor = 1.0
+	for i := range cp.slots {
+		if cp.tokSets[i] == nil {
+			continue
+		}
+		sim := text.SimilaritySets(cp.tokSets[i], m.St.TermTokenSet(parts[i]))
+		if sim < m.MinTokenSim {
+			return 0, false
+		}
+		factor *= sim
+	}
+	return factor, true
+}
+
+// maxTokenCombos bounds the cross-product of candidate terms across the
+// token slots of one pattern. Beyond it, enumerating per-combination index
+// ranges risks costing more than one wildcard scan, so the matcher falls
+// back to the scan path — worst cases never regress.
+const maxTokenCombos = 512
+
+// comboRange is the permutation-index range of one candidate combination,
+// with the combination's token match factor (the product of the chosen
+// candidates' similarities, multiplied in slot order exactly as the scan
+// path does).
+type comboRange struct {
+	ids    []store.ID
+	factor float64
+}
+
+// resolveCombos resolves each token slot to candidate terms via the
+// inverted token index and enumerates the candidate combinations as
+// zero-copy permutation-index ranges. Each combination binds every token
+// slot to a distinct term, so the ranges are disjoint and no triple is
+// visited twice.
+//
+// resolved is false when the pattern must use the scan path: it has no
+// token slots, resolution is disabled (NoTokenIndex, or MinTokenSim <= 0,
+// where zero-similarity matches exist that the index cannot enumerate),
+// the cross-product exceeds maxTokenCombos, or the combined ranges are no
+// smaller than the wildcard range one scan would touch. empty reports a
+// pattern proven matchless during resolution (a token slot with no
+// candidate at MinTokenSim — MatchToken is complete for positive
+// similarities, so nothing can match).
+func (m *Matcher) resolveCombos(cp *compiledPattern, stats *MatchStats) (ranges []comboRange, empty, resolved bool) {
+	if !cp.hasToken || m.NoTokenIndex || m.MinTokenSim <= 0 {
+		return nil, false, false
+	}
+	// Resolve every token slot before enforcing the combo cap: a slot
+	// with no candidate proves the pattern matchless, and that
+	// short-circuit must win over the cap (resolutions are cheap and
+	// cached; the fallback scan they avert is not).
+	var cands [3][]store.ScoredTerm
+	combos := 1
+	for i := range cp.slots {
+		if cp.tokSets[i] == nil {
+			continue
+		}
+		c := m.resolveToken(cp.tokText[i])
+		stats.TokenResolutions++
+		if len(c) == 0 {
+			return nil, true, true
+		}
+		cands[i] = c
+		combos *= len(c)
+	}
+	if combos > maxTokenCombos {
+		return nil, false, false
 	}
 
-	cands := m.St.Match(ids[0], ids[1], ids[2])
-	out := make([]Match, 0, len(cands))
+	ranges = make([]comboRange, 0, combos)
+	total := 0
+	var walk func(slot int, probe [3]rdf.TermID, factor float64)
+	walk = func(slot int, probe [3]rdf.TermID, factor float64) {
+		if slot == 3 {
+			ids := m.St.Match(probe[0], probe[1], probe[2])
+			if len(ids) > 0 {
+				ranges = append(ranges, comboRange{ids: ids, factor: factor})
+				total += len(ids)
+			}
+			return
+		}
+		if cands[slot] == nil {
+			walk(slot+1, probe, factor)
+			return
+		}
+		for _, c := range cands[slot] {
+			probe[slot] = c.Term
+			walk(slot+1, probe, factor*c.Sim)
+		}
+	}
+	walk(0, cp.ids, 1)
+
+	if total >= m.St.Count(cp.ids[0], cp.ids[1], cp.ids[2]) {
+		// The candidate ranges cover at least the wildcard range the
+		// scan path would touch (the extreme case: every token slot's
+		// candidates span the whole store) — scanning is cheaper, since
+		// the ranges above were only binary searches but materialising
+		// them would now do strictly more work than one scan.
+		return nil, false, false
+	}
+	return ranges, false, true
+}
+
+// resolveToken resolves one token slot to its candidate terms.
+func (m *Matcher) resolveToken(tok string) []store.ScoredTerm {
+	if m.Resolver != nil {
+		return m.Resolver(tok, m.MinTokenSim)
+	}
+	return m.St.MatchToken(tok, store.MaskAny, m.MinTokenSim, 0)
+}
+
+// finish normalises and sorts a gathered match list. The match mass is
+// accumulated in ascending triple-ID order — a canonical order shared by
+// the token-resolved and scan paths, so both sum the same floats in the
+// same sequence and produce bit-identical probabilities.
+func (m *Matcher) finish(out []Match) []Match {
+	if len(out) == 0 {
+		return out
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Triple < out[j].Triple })
 	var mass float64
-	accesses := 0
-	for _, id := range cands {
-		accesses++
-		tr := m.St.Triple(id)
-		parts := [3]rdf.TermID{tr.S, tr.P, tr.O}
-		matchFactor := 1.0
-		ok := true
-		for i := range slots {
-			if tokenText[i] == "" {
-				continue
-			}
-			sim := text.Similarity(tokenText[i], m.St.Dict().Term(parts[i]).Text)
-			if sim < m.MinTokenSim {
-				ok = false
-				break
-			}
-			matchFactor *= sim
-		}
-		if !ok {
-			continue
-		}
-		bindings, ok := bind(slots, parts)
-		if !ok {
-			continue
-		}
-		conf := tr.Conf
-		if m.UniformConf {
-			conf = 1
-		}
-		raw := conf * matchFactor
-		mass += raw
-		out = append(out, Match{Triple: id, Raw: raw, Bindings: bindings})
+	for i := range out {
+		mass += out[i].Raw
 	}
 	if m.NoNormalize {
 		for i := range out {
@@ -160,13 +374,9 @@ func (m *Matcher) MatchPatternCounted(p query.Pattern) ([]Match, int) {
 			out[i].Prob = out[i].Raw / mass
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Prob != out[j].Prob {
-			return out[i].Prob > out[j].Prob
-		}
-		return out[i].Triple < out[j].Triple
-	})
-	return out, accesses
+	// Stable on a triple-ID-sorted list: ties by ascending triple ID.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Prob > out[j].Prob })
+	return out
 }
 
 // bind computes variable bindings for a triple, enforcing that repeated
@@ -194,9 +404,79 @@ func bind(slots [3]query.Slot, parts [3]rdf.TermID) ([]Binding, bool) {
 	return out, true
 }
 
+// consistentParts reports whether repeated variables bind to equal terms —
+// bind's consistency check without allocating the binding list.
+func consistentParts(slots [3]query.Slot, parts [3]rdf.TermID) bool {
+	for i := 0; i < 3; i++ {
+		if !slots[i].IsVar() {
+			continue
+		}
+		for j := i + 1; j < 3; j++ {
+			if slots[j].IsVar() && slots[j].Var == slots[i].Var && parts[i] != parts[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// hasRepeatedVar reports whether the same variable occupies two slots.
+func hasRepeatedVar(slots [3]query.Slot) bool {
+	for i := 0; i < 3; i++ {
+		if !slots[i].IsVar() {
+			continue
+		}
+		for j := i + 1; j < 3; j++ {
+			if slots[j].IsVar() && slots[j].Var == slots[i].Var {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Selectivity returns the number of triples matching the pattern, the
-// quantity behind the idf-like effect.
+// quantity behind the idf-like effect. It never materialises or scores a
+// match list: patterns without token slots or repeated variables are
+// answered by a permutation-index range count, token patterns by summing
+// the candidate-combination range counts, and only the scan fallback
+// walks candidates — counting, not building.
 func (m *Matcher) Selectivity(p query.Pattern) int {
-	out, _ := m.MatchPatternCounted(p)
-	return len(out)
+	cp, ok := m.compile(p)
+	if !ok {
+		return 0
+	}
+	repeated := hasRepeatedVar(cp.slots)
+	if !cp.hasToken && !repeated {
+		return m.St.Count(cp.ids[0], cp.ids[1], cp.ids[2])
+	}
+	var stats MatchStats
+	if ranges, empty, resolved := m.resolveCombos(&cp, &stats); resolved {
+		if empty {
+			return 0
+		}
+		n := 0
+		for _, r := range ranges {
+			if !repeated {
+				n += len(r.ids)
+				continue
+			}
+			for _, id := range r.ids {
+				tr := m.St.Triple(id)
+				if consistentParts(cp.slots, [3]rdf.TermID{tr.S, tr.P, tr.O}) {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	n := 0
+	for _, id := range m.St.Match(cp.ids[0], cp.ids[1], cp.ids[2]) {
+		tr := m.St.Triple(id)
+		parts := [3]rdf.TermID{tr.S, tr.P, tr.O}
+		if _, ok := m.tokenFactor(&cp, parts); ok && consistentParts(cp.slots, parts) {
+			n++
+		}
+	}
+	return n
 }

@@ -1,7 +1,9 @@
 package score
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"trinit/internal/query"
@@ -172,14 +174,26 @@ func TestMinTokenSimThreshold(t *testing.T) {
 func TestAccessCounting(t *testing.T) {
 	st := demoStore()
 	m := NewMatcher(st)
-	_, n := m.MatchPatternCounted(query.MustParse("?x ?p ?y").Patterns[0])
-	if n != 6 {
-		t.Fatalf("accesses = %d, want 6", n)
+	_, stats := m.MatchPatternCounted(query.MustParse("?x ?p ?y").Patterns[0])
+	if stats.IndexScanned != 6 {
+		t.Fatalf("accesses = %d, want 6", stats.IndexScanned)
 	}
 	// A bound pattern touches only its index range.
-	_, n = m.MatchPatternCounted(query.MustParse("?x bornIn ?y").Patterns[0])
-	if n != 2 {
-		t.Fatalf("bound-pattern accesses = %d, want 2", n)
+	_, stats = m.MatchPatternCounted(query.MustParse("?x bornIn ?y").Patterns[0])
+	if stats.IndexScanned != 2 {
+		t.Fatalf("bound-pattern accesses = %d, want 2", stats.IndexScanned)
+	}
+	// A token pattern resolves its slot through the inverted index and
+	// touches only the candidate ranges, not the wildcard range.
+	_, stats = m.MatchPatternCounted(query.MustParse("?x 'lectured at' ?y").Patterns[0])
+	if stats.TokenResolutions != 1 {
+		t.Fatalf("token resolutions = %d, want 1", stats.TokenResolutions)
+	}
+	if stats.ScanFallback {
+		t.Fatal("token pattern unexpectedly fell back to the scan path")
+	}
+	if stats.IndexScanned >= 6 {
+		t.Fatalf("token pattern touched %d entries, want fewer than the full store (6)", stats.IndexScanned)
 	}
 }
 
@@ -203,5 +217,82 @@ func TestDeterministicOrder(t *testing.T) {
 				t.Fatal("non-deterministic match order")
 			}
 		}
+	}
+}
+
+// TestTokenResolvedMatchesScanByteIdentical: on the demo store, every
+// token-pattern shape must produce the same rendered match list on the
+// token-resolved and the NoTokenIndex scan path (probabilities compared
+// exactly via %.17g).
+func TestTokenResolvedMatchesScanByteIdentical(t *testing.T) {
+	st := demoStore()
+	resolved := NewMatcher(st)
+	scan := NewMatcher(st)
+	scan.NoTokenIndex = true
+	render := func(ms []Match) string {
+		var b strings.Builder
+		for _, m := range ms {
+			fmt.Fprintf(&b, "t%d raw=%.17g prob=%.17g %v\n", m.Triple, m.Raw, m.Prob, m.Bindings)
+		}
+		return b.String()
+	}
+	for _, qs := range []string{
+		"?x 'lectured at' ?y",
+		"?x 'born in' ?y",
+		"AlbertEinstein 'won nobel for' ?x",
+		"?x 'lectured at' ?x",        // repeated variable
+		"?x 'of' ?y",                 // all-stopword phrase
+		"?x 'zzz unknown phrase' ?y", // unknown token
+		"?x 'won nobel for' 'photoelectric effect discovery'", // two token slots
+	} {
+		p := query.MustParse(qs).Patterns[0]
+		rm, _ := resolved.MatchPatternCounted(p)
+		sm, _ := scan.MatchPatternCounted(p)
+		if got, want := render(rm), render(sm); got != want {
+			t.Errorf("%s: lists differ\n--- token-resolved\n%s--- scan\n%s", qs, got, want)
+		}
+	}
+}
+
+// TestSelectivityTokenPatterns: Selectivity must equal the match-list
+// length for token patterns and repeated-variable patterns on both paths.
+func TestSelectivityTokenPatterns(t *testing.T) {
+	st := demoStore()
+	for _, noIndex := range []bool{false, true} {
+		m := NewMatcher(st)
+		m.NoTokenIndex = noIndex
+		for _, qs := range []string{
+			"?x 'lectured at' ?y",
+			"?x 'lectured at' ?x",
+			"?x ?p ?x",
+			"?x 'zzz unknown phrase' ?y",
+			"AlbertEinstein 'won nobel for' ?x",
+		} {
+			p := query.MustParse(qs).Patterns[0]
+			if got, want := m.Selectivity(p), len(m.MatchPattern(p)); got != want {
+				t.Errorf("NoTokenIndex=%v %s: Selectivity = %d, matches = %d", noIndex, qs, got, want)
+			}
+		}
+	}
+}
+
+// TestMinTokenSimZeroFallsBackToScan: with a zero threshold,
+// zero-similarity matches exist that the inverted index cannot enumerate,
+// so the matcher must take the scan path (and still agree with it).
+func TestMinTokenSimZeroFallsBackToScan(t *testing.T) {
+	st := demoStore()
+	m := NewMatcher(st)
+	m.MinTokenSim = 0
+	p := query.MustParse("?x 'lectured at' ?y").Patterns[0]
+	ms, stats := m.MatchPatternCounted(p)
+	if !stats.ScanFallback {
+		t.Error("MinTokenSim=0 did not fall back to the scan path")
+	}
+	if stats.TokenResolutions != 0 {
+		t.Errorf("resolutions = %d, want 0", stats.TokenResolutions)
+	}
+	// Zero-similarity triples survive the threshold with Raw = 0.
+	if len(ms) != 6 {
+		t.Errorf("matches = %d, want all 6 store triples", len(ms))
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"trinit/internal/rdf"
+	"trinit/internal/text"
 )
 
 // Store is an immutable-after-Freeze triple store over the XKG.
@@ -27,8 +28,14 @@ type Store struct {
 	byKey   map[rdf.Key]ID
 
 	// Permutation indexes, built by Freeze.
-	spo, pos, osp []ID
+	spo, pos, osp permIndex
 	frozen        bool
+
+	// termSets[id] is the content-token set of term id's surface text,
+	// precomputed by Freeze for every term interned at that point, so that
+	// phrase-similarity scoring against dictionary terms never re-tokenizes
+	// the dictionary side.
+	termSets []text.TokenSet
 
 	// Predicate statistics, precomputed by Freeze (the triple set is
 	// immutable afterwards, so one scan serves every later call).
@@ -134,23 +141,70 @@ func (st *Store) Contains(s, p, o rdf.TermID) bool {
 	return ok
 }
 
-// Freeze builds the permutation and token indexes. After Freeze the store
-// is immutable and safe for concurrent reads. Freeze is idempotent.
+// permIndex is one permutation index in columnar struct-of-arrays form:
+// ids holds the triple IDs in permutation order, and k1/k2 mirror the two
+// leading key columns of that order, so range binary searches compare
+// against contiguous []TermID arrays instead of chasing triples[ids[i]]
+// through a comparator closure. The third key column never participates in
+// a search — fully bound patterns resolve through the byKey hash — so it
+// is not materialised.
+type permIndex struct {
+	ids    []ID
+	k1, k2 []rdf.TermID
+}
+
+// searchRange binary-searches the columnar keys for the half-open
+// [lo, hi) range where k1 equals a — and, when both is set, k2 equals b.
+func (ix *permIndex) searchRange(a, b rdf.TermID, both bool) (lo, hi int) {
+	n := len(ix.ids)
+	if both {
+		lo = sort.Search(n, func(i int) bool {
+			return ix.k1[i] > a || (ix.k1[i] == a && ix.k2[i] >= b)
+		})
+		hi = sort.Search(n, func(i int) bool {
+			return ix.k1[i] > a || (ix.k1[i] == a && ix.k2[i] > b)
+		})
+		return lo, hi
+	}
+	lo = sort.Search(n, func(i int) bool { return ix.k1[i] >= a })
+	hi = sort.Search(n, func(i int) bool { return ix.k1[i] > a })
+	return lo, hi
+}
+
+// buildPermIndex sorts the triple IDs with less and materialises the two
+// leading key columns selected by keys.
+func (st *Store) buildPermIndex(less func(a, b ID) bool, keys func(t rdf.Triple) (rdf.TermID, rdf.TermID)) permIndex {
+	n := len(st.triples)
+	ix := permIndex{
+		ids: make([]ID, n),
+		k1:  make([]rdf.TermID, n),
+		k2:  make([]rdf.TermID, n),
+	}
+	for i := range ix.ids {
+		ix.ids[i] = ID(i)
+	}
+	sort.Slice(ix.ids, func(a, b int) bool { return less(ix.ids[a], ix.ids[b]) })
+	for i, id := range ix.ids {
+		ix.k1[i], ix.k2[i] = keys(st.triples[id])
+	}
+	return ix
+}
+
+// Freeze builds the permutation and token indexes, the per-term token
+// sets, and the predicate statistics. After Freeze the store is immutable
+// and safe for concurrent reads. Freeze is idempotent.
 func (st *Store) Freeze() {
 	if st.frozen {
 		return
 	}
-	n := len(st.triples)
-	st.spo = make([]ID, n)
-	st.pos = make([]ID, n)
-	st.osp = make([]ID, n)
-	for i := 0; i < n; i++ {
-		st.spo[i], st.pos[i], st.osp[i] = ID(i), ID(i), ID(i)
-	}
-	sort.Slice(st.spo, func(a, b int) bool { return st.lessSPO(st.spo[a], st.spo[b]) })
-	sort.Slice(st.pos, func(a, b int) bool { return st.lessPOS(st.pos[a], st.pos[b]) })
-	sort.Slice(st.osp, func(a, b int) bool { return st.lessOSP(st.osp[a], st.osp[b]) })
+	st.spo = st.buildPermIndex(st.lessSPO, func(t rdf.Triple) (rdf.TermID, rdf.TermID) { return t.S, t.P })
+	st.pos = st.buildPermIndex(st.lessPOS, func(t rdf.Triple) (rdf.TermID, rdf.TermID) { return t.P, t.O })
+	st.osp = st.buildPermIndex(st.lessOSP, func(t rdf.Triple) (rdf.TermID, rdf.TermID) { return t.O, t.S })
 	st.buildTokenIndex()
+	st.termSets = make([]text.TokenSet, st.dict.Len()+1)
+	for id := 1; id < len(st.termSets); id++ {
+		st.termSets[id] = text.NewTokenSet(st.dict.Term(rdf.TermID(id)).Text)
+	}
 	st.predStats = st.computePredicates()
 	for _, ps := range st.predStats {
 		if st.dict.Term(ps.Pred).Kind == rdf.KindToken {
@@ -160,6 +214,17 @@ func (st *Store) Freeze() {
 		}
 	}
 	st.frozen = true
+}
+
+// TermTokenSet returns the content-token set of the term's surface text.
+// For terms interned before Freeze it is the set precomputed there (shared,
+// read-only); terms interned afterwards — query-time components share the
+// dictionary — are tokenized on the fly.
+func (st *Store) TermTokenSet(id rdf.TermID) text.TokenSet {
+	if int(id) < len(st.termSets) {
+		return st.termSets[id]
+	}
+	return text.NewTokenSet(st.dict.Term(id).Text)
 }
 
 // Frozen reports whether Freeze has been called.
@@ -201,6 +266,11 @@ func (st *Store) lessOSP(a, b ID) bool {
 // Match returns the IDs of all triples matching the pattern, where NoTerm
 // in a slot acts as a wildcard. The result is in index order of the chosen
 // permutation, which is deterministic. Match requires a frozen store.
+//
+// Except in the fully bound case, the returned slice is a zero-copy view
+// into the frozen permutation index — the store is immutable after Freeze,
+// so it stays valid and concurrent-read-safe indefinitely — and callers
+// must not modify it.
 func (st *Store) Match(s, p, o rdf.TermID) []ID {
 	if !st.frozen {
 		panic("store: Match before Freeze")
@@ -212,32 +282,61 @@ func (st *Store) Match(s, p, o rdf.TermID) []ID {
 		}
 		return nil
 	case s == rdf.NoTerm && p == rdf.NoTerm && o == rdf.NoTerm:
-		out := make([]ID, len(st.spo))
-		copy(out, st.spo)
-		return out
+		return st.spo.ids
 	}
-	idx, cmp := st.indexFor(s, p, o)
-	return st.scan(idx, cmp)
+	ix, lo, hi := st.rangeFor(s, p, o)
+	if lo >= hi {
+		return nil
+	}
+	return ix.ids[lo:hi]
 }
 
-// indexFor picks the permutation index and range comparator for a
-// partially bound pattern (at least one bound and one wildcard slot).
-// Match and Count share it, so their index choice cannot diverge.
-func (st *Store) indexFor(s, p, o rdf.TermID) ([]ID, func(rdf.Triple) int) {
+// MatchEach calls fn for every matching triple ID, in the same
+// deterministic order Match returns, without materialising a result slice.
+// fn returning false stops the iteration. MatchEach requires a frozen
+// store.
+func (st *Store) MatchEach(s, p, o rdf.TermID, fn func(ID) bool) {
+	if !st.frozen {
+		panic("store: MatchEach before Freeze")
+	}
+	if s != rdf.NoTerm && p != rdf.NoTerm && o != rdf.NoTerm {
+		if id, ok := st.byKey[rdf.Key{S: s, P: p, O: o}]; ok {
+			fn(id)
+		}
+		return
+	}
+	for _, id := range st.Match(s, p, o) {
+		if !fn(id) {
+			return
+		}
+	}
+}
+
+// rangeFor picks the permutation index and the key range for a partially
+// bound pattern (at least one bound and one wildcard slot). Match, Count
+// and MatchEach share it, so their index choice cannot diverge.
+func (st *Store) rangeFor(s, p, o rdf.TermID) (ix *permIndex, lo, hi int) {
 	switch {
 	case s != rdf.NoTerm && p != rdf.NoTerm:
-		return st.spo, func(t rdf.Triple) int { return cmp2(t.S, s, t.P, p) }
+		ix = &st.spo
+		lo, hi = ix.searchRange(s, p, true)
 	case s != rdf.NoTerm && o != rdf.NoTerm:
-		return st.osp, func(t rdf.Triple) int { return cmp2(t.O, o, t.S, s) }
+		ix = &st.osp
+		lo, hi = ix.searchRange(o, s, true)
 	case p != rdf.NoTerm && o != rdf.NoTerm:
-		return st.pos, func(t rdf.Triple) int { return cmp2(t.P, p, t.O, o) }
+		ix = &st.pos
+		lo, hi = ix.searchRange(p, o, true)
 	case s != rdf.NoTerm:
-		return st.spo, func(t rdf.Triple) int { return cmp1(t.S, s) }
+		ix = &st.spo
+		lo, hi = ix.searchRange(s, rdf.NoTerm, false)
 	case p != rdf.NoTerm:
-		return st.pos, func(t rdf.Triple) int { return cmp1(t.P, p) }
+		ix = &st.pos
+		lo, hi = ix.searchRange(p, rdf.NoTerm, false)
 	default:
-		return st.osp, func(t rdf.Triple) int { return cmp1(t.O, o) }
+		ix = &st.osp
+		lo, hi = ix.searchRange(o, rdf.NoTerm, false)
 	}
+	return ix, lo, hi
 }
 
 // Count returns the number of triples matching the pattern without
@@ -258,47 +357,8 @@ func (st *Store) Count(s, p, o rdf.TermID) int {
 	if !st.frozen {
 		panic("store: Count before Freeze")
 	}
-	idx, cmp := st.indexFor(s, p, o)
-	lo, hi := st.searchRange(idx, cmp)
+	_, lo, hi := st.rangeFor(s, p, o)
 	return hi - lo
-}
-
-// searchRange binary-searches the permutation index for the contiguous
-// range where cmp returns 0. cmp must return <0 / 0 / >0 for triples
-// ordering before / inside / after the wanted range.
-func (st *Store) searchRange(idx []ID, cmp func(rdf.Triple) int) (lo, hi int) {
-	lo = sort.Search(len(idx), func(i int) bool { return cmp(st.triples[idx[i]]) >= 0 })
-	hi = sort.Search(len(idx), func(i int) bool { return cmp(st.triples[idx[i]]) > 0 })
-	return lo, hi
-}
-
-// scan materialises the index range found by searchRange.
-func (st *Store) scan(idx []ID, cmp func(rdf.Triple) int) []ID {
-	lo, hi := st.searchRange(idx, cmp)
-	if lo >= hi {
-		return nil
-	}
-	out := make([]ID, hi-lo)
-	copy(out, idx[lo:hi])
-	return out
-}
-
-func cmp1(a, b rdf.TermID) int {
-	switch {
-	case a < b:
-		return -1
-	case a > b:
-		return 1
-	default:
-		return 0
-	}
-}
-
-func cmp2(a1, b1, a2, b2 rdf.TermID) int {
-	if c := cmp1(a1, b1); c != 0 {
-		return c
-	}
-	return cmp1(a2, b2)
 }
 
 // Predicates returns the distinct predicate terms in ascending TermID
@@ -336,13 +396,15 @@ type PredicateStat struct {
 }
 
 // Args returns the set of (subject, object) pairs connected by predicate p,
-// the args(p) of the paper's rule-mining weight formula.
+// the args(p) of the paper's rule-mining weight formula. It streams the
+// index range through MatchEach, so no intermediate ID slice is built.
 func (st *Store) Args(p rdf.TermID) map[[2]rdf.TermID]bool {
-	out := make(map[[2]rdf.TermID]bool)
-	for _, id := range st.Match(rdf.NoTerm, p, rdf.NoTerm) {
+	out := make(map[[2]rdf.TermID]bool, st.Count(rdf.NoTerm, p, rdf.NoTerm))
+	st.MatchEach(rdf.NoTerm, p, rdf.NoTerm, func(id ID) bool {
 		t := st.triples[id]
 		out[[2]rdf.TermID{t.S, t.O}] = true
-	}
+		return true
+	})
 	return out
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"trinit/internal/rdf"
+	"trinit/internal/text"
 )
 
 // figure1 builds the sample knowledge graph of Figure 1.
@@ -472,5 +473,105 @@ func TestStatsFrozenMatchesUnfrozen(t *testing.T) {
 	s := st.Stats()
 	if s.Tokens != after.Tokens+1 || s.Terms != after.Terms+1 {
 		t.Fatalf("post-freeze intern not counted: %+v vs %+v", s, after)
+	}
+}
+
+// TestMatchEachAgreesWithMatch: the streaming iterator must visit exactly
+// the IDs Match returns, in the same order, for every slot combination,
+// and honour early termination.
+func TestMatchEachAgreesWithMatch(t *testing.T) {
+	st := figure1()
+	extend(st)
+	st.Freeze()
+	ae := term(st, rdf.Resource("AlbertEinstein"))
+	born := term(st, rdf.Resource("bornIn"))
+	ulm := term(st, rdf.Resource("Ulm"))
+	for _, tc := range [][3]rdf.TermID{
+		{rdf.NoTerm, rdf.NoTerm, rdf.NoTerm},
+		{ae, rdf.NoTerm, rdf.NoTerm},
+		{rdf.NoTerm, born, rdf.NoTerm},
+		{rdf.NoTerm, rdf.NoTerm, ulm},
+		{ae, born, rdf.NoTerm},
+		{ae, rdf.NoTerm, ulm},
+		{rdf.NoTerm, born, ulm},
+		{ae, born, ulm},
+	} {
+		want := st.Match(tc[0], tc[1], tc[2])
+		var got []ID
+		st.MatchEach(tc[0], tc[1], tc[2], func(id ID) bool {
+			got = append(got, id)
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("MatchEach(%v) visited %d IDs, Match returned %d", tc, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("MatchEach(%v) order differs at %d: %d vs %d", tc, i, got[i], want[i])
+			}
+		}
+	}
+	// Early termination stops after the first ID.
+	visited := 0
+	st.MatchEach(rdf.NoTerm, rdf.NoTerm, rdf.NoTerm, func(ID) bool {
+		visited++
+		return false
+	})
+	if visited != 1 {
+		t.Fatalf("early-terminated MatchEach visited %d IDs, want 1", visited)
+	}
+}
+
+// TestMatchZeroCopyViewsStayConsistent: partially bound and unbound
+// matches are views into the frozen index; repeated calls must return
+// identical contents (the store is immutable, so views never go stale).
+func TestMatchZeroCopyViewsStayConsistent(t *testing.T) {
+	st := figure1()
+	extend(st)
+	st.Freeze()
+	born := term(st, rdf.Resource("bornIn"))
+	a := st.Match(rdf.NoTerm, born, rdf.NoTerm)
+	b := st.Match(rdf.NoTerm, born, rdf.NoTerm)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("inconsistent view lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("views differ at %d", i)
+		}
+	}
+	if &a[0] != &b[0] {
+		t.Error("partially bound Match materialised a copy; want a zero-copy view")
+	}
+	all1 := st.Match(rdf.NoTerm, rdf.NoTerm, rdf.NoTerm)
+	all2 := st.Match(rdf.NoTerm, rdf.NoTerm, rdf.NoTerm)
+	if &all1[0] != &all2[0] {
+		t.Error("unbound Match materialised a copy; want a zero-copy view")
+	}
+}
+
+// TestTermTokenSet: Freeze precomputes per-term token sets identical to
+// on-the-fly tokenization, and terms interned after Freeze still resolve.
+func TestTermTokenSet(t *testing.T) {
+	st := figure1()
+	extend(st)
+	st.Freeze()
+	st.Dict().All(func(id rdf.TermID, tm rdf.Term) bool {
+		got := st.TermTokenSet(id)
+		want := text.NewTokenSet(tm.Text)
+		if len(got) != len(want) {
+			t.Fatalf("term %q: set size %d, want %d", tm.Text, len(got), len(want))
+		}
+		for w := range want {
+			if !got[w] {
+				t.Fatalf("term %q: set missing %q", tm.Text, w)
+			}
+		}
+		return true
+	})
+	// Post-freeze interning falls back to on-the-fly tokenization.
+	late := st.Dict().InternToken("freshly interned phrase")
+	if got := st.TermTokenSet(late); !got["freshly"] || !got["interned"] || !got["phrase"] {
+		t.Fatalf("post-freeze TermTokenSet = %v", got)
 	}
 }

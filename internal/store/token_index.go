@@ -73,6 +73,13 @@ type ScoredTerm struct {
 // surface text is similar to it. Results are restricted to kinds in mask,
 // filtered at minSim, sorted by descending similarity (ties by TermID), and
 // truncated to limit (0 = no limit).
+//
+// MatchToken is complete with respect to Similarity: a term scores
+// above 0 exactly when its content-token set intersects the query's, the
+// inverted index is keyed by precisely those content tokens (including the
+// all-stopword fallback of text.ContentTokens, on both the indexing and
+// the lookup side), and candidate similarities come from the term sets
+// precomputed at Freeze — so no positive-similarity term is ever missed.
 func (st *Store) MatchToken(tok string, mask KindMask, minSim float64, limit int) []ScoredTerm {
 	if !st.frozen {
 		panic("store: MatchToken before Freeze")
@@ -83,13 +90,14 @@ func (st *Store) MatchToken(tok string, mask KindMask, minSim float64, limit int
 			cands[id] = true
 		}
 	}
+	qset := text.NewTokenSet(tok)
 	out := make([]ScoredTerm, 0, len(cands))
 	for id := range cands {
 		term := st.dict.Term(id)
 		if !mask.has(term.Kind) {
 			continue
 		}
-		sim := text.Similarity(tok, term.Text)
+		sim := text.SimilaritySets(qset, st.TermTokenSet(id))
 		if sim < minSim || sim == 0 {
 			continue
 		}

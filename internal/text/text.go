@@ -136,9 +136,26 @@ func Overlap(a, b TokenSet) float64 {
 // matched against an XKG token phrase or a resource label: the mean of
 // Jaccard and overlap coefficients. It is 1 for identical normalised
 // phrases, and 0 for disjoint ones.
+//
+// Similarity tokenizes both sides on every call. Hot loops that compare
+// one query phrase against many dictionary terms should build the token
+// sets once and use SimilaritySets (or SimilarityToSet when only one side
+// is precomputed); all three compute the identical score.
 func Similarity(query, phrase string) float64 {
-	a, b := NewTokenSet(query), NewTokenSet(phrase)
+	return SimilaritySets(NewTokenSet(query), NewTokenSet(phrase))
+}
+
+// SimilaritySets is Similarity over precomputed token sets, for callers
+// that hold both sides already normalised (e.g. the store's per-term sets
+// built at Freeze against a pattern's per-slot query sets).
+func SimilaritySets(a, b TokenSet) float64 {
 	return (Jaccard(a, b) + Overlap(a, b)) / 2
+}
+
+// SimilarityToSet is Similarity with a precomputed query-side set, for
+// loops that score one query phrase against many raw phrases.
+func SimilarityToSet(query TokenSet, phrase string) float64 {
+	return SimilaritySets(query, NewTokenSet(phrase))
 }
 
 // Stem reduces a token to a crude stem by suffix stripping, sufficient to

@@ -302,3 +302,27 @@ func TestStemSimilarity(t *testing.T) {
 		t.Errorf("StemSimilarity(unrelated) = %v, want 0", got)
 	}
 }
+
+// TestSimilaritySetVariantsAgree: the precomputed-set forms must compute
+// the identical score as the string form, bit for bit, since the matcher
+// relies on this to keep token-resolved and scan match lists byte-equal.
+func TestSimilaritySetVariantsAgree(t *testing.T) {
+	pairs := [][2]string{
+		{"worked at", "lectured at Princeton"},
+		{"won nobel for", "won Nobel for"},
+		{"the of", "of"},
+		{"", "anything"},
+		{"AlbertEinstein", "albert einstein"},
+		{"photoelectric effect", "discovery of the photoelectric effect"},
+	}
+	for _, p := range pairs {
+		want := Similarity(p[0], p[1])
+		a, b := NewTokenSet(p[0]), NewTokenSet(p[1])
+		if got := SimilaritySets(a, b); got != want {
+			t.Errorf("SimilaritySets(%q, %q) = %v, Similarity = %v", p[0], p[1], got, want)
+		}
+		if got := SimilarityToSet(a, p[1]); got != want {
+			t.Errorf("SimilarityToSet(%q, %q) = %v, Similarity = %v", p[0], p[1], got, want)
+		}
+	}
+}

@@ -2,10 +2,12 @@ package topk
 
 import (
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"trinit/internal/score"
+	"trinit/internal/store"
 )
 
 // DefaultCacheSize is the default match-list cache capacity (entries).
@@ -30,6 +32,13 @@ type Cache struct {
 	estMu     sync.RWMutex
 	estimates map[string]int
 
+	// resMu guards the token-resolution side cache, shared between the
+	// planner's selectivity estimates and the matcher's token-resolved
+	// list building so each textual token is resolved through the
+	// inverted index once per engine, not once per consumer.
+	resMu       sync.RWMutex
+	resolutions map[string][]store.ScoredTerm
+
 	clock     atomic.Uint64
 	hits      atomic.Uint64
 	misses    atomic.Uint64
@@ -38,16 +47,17 @@ type Cache struct {
 
 	plans     atomic.Uint64
 	reordered atomic.Uint64
+	tokenRes  atomic.Uint64
 }
 
 type cacheEntry struct {
 	// ready is closed once the build finished — successfully (list and
-	// accesses populated) or by panicking (failed set).
+	// stats populated) or by panicking (failed set).
 	ready chan struct{}
 	// list is the score-sorted match list plus its per-variable hash
 	// indexes, built once here and shared read-only by every executor.
-	list     *patternList
-	accesses int
+	list  *patternList
+	stats score.MatchStats
 	// failed marks a build that panicked; waiters rebuild themselves
 	// so the original failure surfaces everywhere instead of hanging.
 	failed   bool
@@ -61,18 +71,19 @@ func NewCache(maxEntries int) *Cache {
 		maxEntries = DefaultCacheSize
 	}
 	return &Cache{
-		max:       maxEntries,
-		entries:   make(map[string]*cacheEntry),
-		estimates: make(map[string]int),
+		max:         maxEntries,
+		entries:     make(map[string]*cacheEntry),
+		estimates:   make(map[string]int),
+		resolutions: make(map[string][]store.ScoredTerm),
 	}
 }
 
 // get returns the indexed match list for the pattern key, building it
 // (list, hash indexes) with build at most once across all concurrent
-// callers. It reports the number of posting-list entries the call itself
-// scanned (0 on a hit) and whether this caller performed the build, so
+// callers. It reports the list-building statistics of the call itself
+// (zero on a hit) and whether this caller performed the build, so
 // executors can meter their own work.
-func (c *Cache) get(key string, build func() ([]score.Match, int)) (list *patternList, accesses int, built bool) {
+func (c *Cache) get(key string, build func() ([]score.Match, score.MatchStats)) (list *patternList, stats score.MatchStats, built bool) {
 	c.mu.RLock()
 	e := c.entries[key]
 	c.mu.RUnlock()
@@ -98,14 +109,14 @@ func (c *Cache) get(key string, build func() ([]score.Match, int)) (list *patter
 				close(e.ready)
 			}()
 			e.failed = true
-			matches, accesses := build()
-			e.list, e.accesses = newPatternList(matches), accesses
+			matches, stats := build()
+			e.list, e.stats = newPatternList(matches), stats
 			e.failed = false
 			e.lastUsed.Store(c.clock.Add(1))
 			close(e.ready)
 			c.misses.Add(1)
 			c.evict()
-			return e.list, e.accesses, true
+			return e.list, e.stats, true
 		}
 		c.mu.Unlock()
 	}
@@ -118,12 +129,12 @@ func (c *Cache) get(key string, build func() ([]score.Match, int)) (list *patter
 	if e.failed {
 		// The builder panicked; rebuild here so the same failure
 		// surfaces in this caller too (fail fast, never hang).
-		matches, accesses := build()
-		return newPatternList(matches), accesses, true
+		matches, stats := build()
+		return newPatternList(matches), stats, true
 	}
 	c.hits.Add(1)
 	e.lastUsed.Store(c.clock.Add(1))
-	return e.list, 0, false
+	return e.list, score.MatchStats{}, false
 }
 
 // evict removes least-recently-used ready entries once the cache exceeds
@@ -184,6 +195,33 @@ func (c *Cache) estimate(key string, compute func() int) int {
 	return v
 }
 
+// tokenResolver returns the shared token-resolution function wired into
+// every executor's matcher and into the planner: one inverted-index
+// resolution per distinct (token, threshold) pair, reused by all
+// consumers. The cached slices are read-only by the score.Matcher.Resolver
+// contract, so concurrent readers need no copies. Like the estimate map,
+// the side cache is reset wholesale when it outgrows the cap.
+func (c *Cache) tokenResolver(st *store.Store) func(tok string, minSim float64) []store.ScoredTerm {
+	return func(tok string, minSim float64) []store.ScoredTerm {
+		key := strconv.FormatFloat(minSim, 'g', -1, 64) + "\x00" + tok
+		c.resMu.RLock()
+		v, ok := c.resolutions[key]
+		c.resMu.RUnlock()
+		if ok {
+			return v
+		}
+		v = st.MatchToken(tok, store.MaskAny, minSim, 0)
+		c.tokenRes.Add(1)
+		c.resMu.Lock()
+		if len(c.resolutions) >= 4*c.max {
+			c.resolutions = make(map[string][]store.ScoredTerm)
+		}
+		c.resolutions[key] = v
+		c.resMu.Unlock()
+		return v
+	}
+}
+
 // notePlan records one planner invocation and whether it changed the
 // pattern order, for the /stats endpoint.
 func (c *Cache) notePlan(reordered bool) {
@@ -207,6 +245,10 @@ type CacheStats struct {
 	// PlansComputed counts planner invocations; PlansReordered counts
 	// those where selectivity ordering differed from query-text order.
 	PlansComputed, PlansReordered int
+	// TokenResolutions counts distinct token resolutions built into the
+	// shared side cache (planner estimates and matcher list builds
+	// sharing a resolution count once).
+	TokenResolutions int
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -222,5 +264,6 @@ func (c *Cache) Stats() CacheStats {
 		SingleFlightWaits: int(c.waits.Load()),
 		PlansComputed:     int(c.plans.Load()),
 		PlansReordered:    int(c.reordered.Load()),
+		TokenResolutions:  int(c.tokenRes.Load()),
 	}
 }

@@ -129,15 +129,17 @@ func TestCacheBuildPanicDoesNotPoison(t *testing.T) {
 				t.Fatal("build panic did not propagate")
 			}
 		}()
-		c.get("k", func() ([]score.Match, int) { panic("boom") })
+		c.get("k", func() ([]score.Match, score.MatchStats) { panic("boom") })
 	}()
 	done := make(chan int)
 	go func() {
-		_, accesses, built := c.get("k", func() ([]score.Match, int) { return nil, 3 })
+		_, stats, built := c.get("k", func() ([]score.Match, score.MatchStats) {
+			return nil, score.MatchStats{IndexScanned: 3}
+		})
 		if !built {
 			t.Error("post-panic get did not rebuild")
 		}
-		done <- accesses
+		done <- stats.IndexScanned
 	}()
 	select {
 	case accesses := <-done:

@@ -27,7 +27,16 @@ const maxTokenCandidates = 24
 // Bound resource/literal slots contribute an exact permutation-index range
 // count; token slots are refined by summing range counts over the token's
 // inverted-index candidates. 0 means the pattern provably has no matches.
-func estimateSelectivity(st *store.Store, p query.Pattern, minTokenSim float64) int {
+// resolve supplies the candidate terms of a token slot — the same shared
+// resolution the matcher consumes, so planning never re-runs an
+// inverted-index lookup the list build will need anyway (nil falls back to
+// direct store.MatchToken calls).
+func estimateSelectivity(st *store.Store, p query.Pattern, minTokenSim float64, resolve func(tok string, minSim float64) []store.ScoredTerm) int {
+	if resolve == nil {
+		resolve = func(tok string, minSim float64) []store.ScoredTerm {
+			return st.MatchToken(tok, store.MaskAny, minSim, 0)
+		}
+	}
 	var ids [3]rdf.TermID
 	var toks [3]string
 	slots := [3]query.Slot{p.S, p.P, p.O}
@@ -53,7 +62,7 @@ func estimateSelectivity(st *store.Store, p query.Pattern, minTokenSim float64) 
 		if tok == "" {
 			continue
 		}
-		cands := st.MatchToken(tok, store.MaskAny, minTokenSim, maxTokenCandidates+1)
+		cands := resolve(tok, minTokenSim)
 		if len(cands) == 0 {
 			return 0
 		}
@@ -88,7 +97,7 @@ func (ex *Executor) plan(pats []query.Pattern) (order []int, reordered bool) {
 	for i, p := range pats {
 		pat := p
 		est[i] = ex.cache.estimate("est\x00"+pat.String(), func() int {
-			return estimateSelectivity(ex.st, pat, ex.matcher.MinTokenSim)
+			return estimateSelectivity(ex.st, pat, ex.matcher.MinTokenSim, ex.matcher.Resolver)
 		})
 	}
 	sort.SliceStable(order, func(a, b int) bool { return est[order[a]] < est[order[b]] })

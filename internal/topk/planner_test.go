@@ -113,7 +113,7 @@ func TestEstimateSelectivity(t *testing.T) {
 	st := demoXKG()
 	est := func(qs string) int {
 		p := query.MustParse(qs).Patterns[0]
-		return estimateSelectivity(st, p, 0.34)
+		return estimateSelectivity(st, p, 0.34, nil)
 	}
 	if got := est("?x bornIn ?y"); got != 1 {
 		t.Errorf("est(?x bornIn ?y) = %d, want 1", got)

@@ -73,6 +73,13 @@ type Options struct {
 	// reduction pass, isolating the two effects for ablations. Answers
 	// are identical either way.
 	NoSemiJoin bool
+	// NoTokenIndex disables inverted-index token resolution in the
+	// pattern matcher: token slots are matched by scanning the wildcard
+	// permutation range and similarity-testing every triple — list
+	// building as it was before token resolution. Match lists and
+	// answers are byte-identical either way; it is the cost baseline for
+	// list-building measurements.
+	NoTokenIndex bool
 }
 
 // Answer is one ranked result: a binding of the query's projected
@@ -133,6 +140,15 @@ type Metrics struct {
 	// SemiJoinDropped counts match-list entries pruned by the semi-join
 	// reduction pass before join enumeration started.
 	SemiJoinDropped int
+	// TokenResolutions counts token slots resolved through the inverted
+	// token index while building match lists (cache hits across rewrites
+	// do not count, mirroring IndexScanned).
+	TokenResolutions int
+	// ScanFallbacks counts token-slot patterns whose lists were built by
+	// the legacy wildcard scan instead of token resolution — always, under
+	// NoTokenIndex, and otherwise only when the candidate cross-product
+	// exceeded the matcher's cutoff or scanning was provably cheaper.
+	ScanFallbacks int
 }
 
 // RewriteTrace records what happened to one rewrite during processing —
@@ -196,6 +212,11 @@ func NewExecutor(st *store.Store, cache *Cache, opts Options) *Executor {
 	}
 	matcher.UniformConf = opts.UniformConf
 	matcher.NoNormalize = opts.NoNormalize
+	matcher.NoTokenIndex = opts.NoTokenIndex
+	// Token resolutions are shared through the cache: the planner's
+	// selectivity estimates and the matcher's list builds reuse one
+	// inverted-index lookup per distinct token.
+	matcher.Resolver = cache.tokenResolver(st)
 	return &Executor{
 		st:      st,
 		opts:    opts,
@@ -482,12 +503,16 @@ func (ev *Executor) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *M
 	sizes := make([]int, n)
 	for _, pi := range buildOrder {
 		p := pats[pi]
-		pl, accesses, built := ev.cache.get(p.String(), func() ([]score.Match, int) {
+		pl, stats, built := ev.cache.get(p.String(), func() ([]score.Match, score.MatchStats) {
 			return ev.matcher.MatchPatternCounted(p)
 		})
 		if built {
 			m.PatternsMatched++
-			m.IndexScanned += accesses
+			m.IndexScanned += stats.IndexScanned
+			m.TokenResolutions += stats.TokenResolutions
+			if stats.ScanFallback {
+				m.ScanFallbacks++
+			}
 		}
 		lists[pi] = pl
 		sizes[pi] = len(pl.matches)

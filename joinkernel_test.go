@@ -61,6 +61,8 @@ func TestKernelDifferentialOnFullWorkload(t *testing.T) {
 		{"incremental+hash", topk.Options{K: 10, Mode: topk.Incremental, NoSemiJoin: true}},
 		{"incremental+legacy", topk.Options{K: 10, Mode: topk.Incremental, NoHashJoin: true}},
 		{"incremental+noplan", topk.Options{K: 10, Mode: topk.Incremental, NoPlan: true}},
+		{"incremental+notokenindex", topk.Options{K: 10, Mode: topk.Incremental, NoTokenIndex: true}},
+		{"exhaustive+notokenindex", topk.Options{K: 10, Mode: topk.Exhaustive, NoTokenIndex: true}},
 	}
 	for _, wq := range workload {
 		q, err := query.Parse(wq.Text)

@@ -81,6 +81,12 @@ type Options struct {
 	// reduction pass. Answers are identical, work is not. Meant for
 	// ablations.
 	NoSemiJoin bool
+	// NoTokenIndex disables inverted-index token resolution in the
+	// pattern matcher: textual token slots fall back to scanning the
+	// wildcard permutation range and similarity-testing every triple
+	// (the pre-token-resolution list builder). Answers are identical,
+	// work is not. Meant for baselines and testing.
+	NoTokenIndex bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -324,12 +330,13 @@ func (e *Engine) initQueryPipeline() {
 		mode = topk.Exhaustive
 	}
 	opts := topk.Options{
-		K:           e.opts.K,
-		Mode:        mode,
-		MinTokenSim: e.opts.MinTokenSimilarity,
-		NoPlan:      e.opts.NoPlanner,
-		NoHashJoin:  e.opts.NoHashJoin,
-		NoSemiJoin:  e.opts.NoSemiJoin,
+		K:            e.opts.K,
+		Mode:         mode,
+		MinTokenSim:  e.opts.MinTokenSimilarity,
+		NoPlan:       e.opts.NoPlanner,
+		NoHashJoin:   e.opts.NoHashJoin,
+		NoSemiJoin:   e.opts.NoSemiJoin,
+		NoTokenIndex: e.opts.NoTokenIndex,
 	}
 	st, cache := e.st, e.cache
 	e.execs.New = func() any { return topk.NewExecutor(st, cache, opts) }
@@ -617,6 +624,12 @@ type Metrics struct {
 	// SemiJoinDropped counts match-list entries pruned by the semi-join
 	// reduction pass before join enumeration.
 	SemiJoinDropped int
+	// TokenResolutions counts token slots resolved through the inverted
+	// token index while building match lists.
+	TokenResolutions int
+	// ScanFallbacks counts token-slot patterns whose match lists were
+	// built by the legacy wildcard scan instead of token resolution.
+	ScanFallbacks int
 }
 
 // TraceEntry is one internal processing step: a rewrite considered by the
@@ -719,6 +732,8 @@ func (e *Engine) Query(text string) (*Result, error) {
 			PrunedBranches:    metrics.PrunedBranches,
 			HashProbes:        metrics.HashProbes,
 			SemiJoinDropped:   metrics.SemiJoinDropped,
+			TokenResolutions:  metrics.TokenResolutions,
+			ScanFallbacks:     metrics.ScanFallbacks,
 		},
 	}
 	for _, a := range answers {

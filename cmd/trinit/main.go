@@ -20,10 +20,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -81,7 +83,7 @@ func runREPL(engine *trinit.Engine, in io.Reader, out io.Writer) {
 			return
 		case line == ".help":
 			fmt.Fprintln(out, "queries: triple patterns, e.g.  AlbertEinstein affiliation ?x ; ?x member IvyLeague")
-			fmt.Fprintln(out, "commands: .ask <question> .stats .rules .rule <id> <w> <rule> .complete <prefix> .explain <n> .trace .save <path> .quit")
+			fmt.Fprintln(out, "commands: .ask <question> .watch <query> .stats .rules .rule <id> <w> <rule> .complete <prefix> .explain <n> .trace .save <path> .quit")
 		case line == ".stats":
 			s := engine.Stats()
 			fmt.Fprintf(out, "triples=%d (KG %d, XKG %d) terms=%d predicates=%d (%d token) rules=%d\n",
@@ -115,6 +117,24 @@ func runREPL(engine *trinit.Engine, in io.Reader, out io.Writer) {
 				fmt.Fprintf(out, "  w=%.2f %-24s answers=%d matches=%v rules=%v\n     %s\n",
 					tr.Weight, tr.Status, tr.Answers, tr.PatternMatches, tr.Rules, tr.Query)
 			}
+		case strings.HasPrefix(line, ".watch "):
+			// Progressive output: provisional answers print the moment
+			// the incremental processor admits them into its top-k,
+			// before the final ranking is known.
+			qtext := strings.TrimSpace(strings.TrimPrefix(line, ".watch"))
+			res, err := engine.QueryStream(context.Background(), qtext, func(ev trinit.AnswerEvent) error {
+				if ev.Type == trinit.EventProvisional {
+					fmt.Fprintf(out, "  ~ %-50s score %.4f\n", bindingsLine(ev.Answer.Bindings), ev.Answer.Score)
+				}
+				return nil
+			})
+			if err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+				break
+			}
+			fmt.Fprintln(out, "final ranking:")
+			last = res
+			printResult(out, res)
 		case strings.HasPrefix(line, ".ask "):
 			question := strings.TrimSpace(strings.TrimPrefix(line, ".ask"))
 			res, translated, err := engine.Ask(question)
@@ -163,7 +183,25 @@ func runREPL(engine *trinit.Engine, in io.Reader, out io.Writer) {
 	}
 }
 
+// bindingsLine renders bindings with sorted variable names, so output
+// is deterministic across runs (map iteration order is not).
+func bindingsLine(b map[string]string) string {
+	vars := make([]string, 0, len(b))
+	for v := range b {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	parts := make([]string, len(vars))
+	for i, v := range vars {
+		parts[i] = fmt.Sprintf("?%s = %s", v, b[v])
+	}
+	return strings.Join(parts, ", ")
+}
+
 func printResult(out io.Writer, res *trinit.Result) {
+	if res.Partial {
+		fmt.Fprintln(out, "(partial result: the query was cut short before completion)")
+	}
 	for _, n := range res.Notices {
 		fmt.Fprintf(out, "note: %s\n", n.Message)
 	}
@@ -176,11 +214,7 @@ func printResult(out io.Writer, res *trinit.Result) {
 		return
 	}
 	for i, a := range res.Answers {
-		var parts []string
-		for v, t := range a.Bindings {
-			parts = append(parts, fmt.Sprintf("?%s = %s", v, t))
-		}
-		fmt.Fprintf(out, "%2d. %-50s score %.4f\n", i+1, strings.Join(parts, ", "), a.Score)
+		fmt.Fprintf(out, "%2d. %-50s score %.4f\n", i+1, bindingsLine(a.Bindings), a.Score)
 	}
 	fmt.Fprintf(out, "(%d rewrites considered, %d evaluated, %d accesses, %d join branches, %d hash probes, %d semi-join drops, %d index entries scanned, %d token resolutions, %d scan fallbacks; .explain <n> for provenance)\n",
 		res.Metrics.RewritesTotal, res.Metrics.RewritesEvaluated, res.Metrics.SortedAccesses,

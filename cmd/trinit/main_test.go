@@ -45,6 +45,23 @@ func TestREPLHelpStatsRules(t *testing.T) {
 	}
 }
 
+func TestREPLWatchStreamsProgressively(t *testing.T) {
+	out := session(t, ".watch AlbertEinstein hasAdvisor ?x\n.quit\n")
+	if !strings.Contains(out, "~") {
+		t.Errorf("no provisional line in watch output:\n%s", out)
+	}
+	if !strings.Contains(out, "final ranking:") {
+		t.Errorf("no final ranking in watch output:\n%s", out)
+	}
+	if !strings.Contains(out, "AlfredKleiner") {
+		t.Errorf("watch missed the answer:\n%s", out)
+	}
+	idx := strings.Index(out, "~")
+	if fin := strings.Index(out, "final ranking:"); fin >= 0 && idx >= 0 && fin < idx {
+		t.Errorf("final ranking printed before provisional answers:\n%s", out)
+	}
+}
+
 func TestREPLAddRuleAndUse(t *testing.T) {
 	out := session(t, ".rule basedin 0.9 ?x basedIn ?y => ?x 'housed in' ?y\nIAS basedIn ?x\n.quit\n")
 	if !strings.Contains(out, "rule added") {

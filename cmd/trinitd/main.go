@@ -12,11 +12,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"trinit"
 	"trinit/internal/server"
@@ -28,6 +33,7 @@ func main() {
 	people := flag.Int("people", 120, "synthetic world size (people)")
 	seed := flag.Int64("seed", 1, "synthetic world seed")
 	load := flag.String("load", "", "serve a saved XKG (.tnt file) instead of demo/synthetic data")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout for in-flight requests")
 	flag.Parse()
 
 	var engine *trinit.Engine
@@ -56,8 +62,38 @@ func main() {
 	s := engine.Stats()
 	log.Printf("trinitd: serving XKG with %d triples (%d KG + %d XKG), %d rules on %s",
 		s.Triples, s.KGTriples, s.XKGTriples, s.Rules, *addr)
-	if err := http.ListenAndServe(*addr, server.New(engine)); err != nil {
-		fmt.Fprintf(os.Stderr, "trinitd: %v\n", err)
-		os.Exit(1)
+
+	// Request handlers pass r.Context() into QueryContext, so draining
+	// a shutdown also cancels any query still joining when the drain
+	// deadline closes the connection. WriteTimeout stays generous: the
+	// SSE endpoint holds a response open for the lifetime of a query.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(engine),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "trinitd: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills hard
+		log.Printf("trinitd: shutting down (draining up to %v)", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("trinitd: drain incomplete: %v", err)
+			_ = srv.Close()
+		}
 	}
 }

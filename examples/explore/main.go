@@ -1,9 +1,11 @@
 // Explore: the exploratory-session features of the §5 demo — auto-
 // completion while typing, token → resource query suggestions, structural
-// relaxation notices, and user-defined relaxation rules.
+// relaxation notices, user-defined relaxation rules, and streaming
+// top-k answers as the incremental processor admits them.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,9 +29,10 @@ func main() {
 
 	// 2. A user types a textual token where a canonical predicate
 	// exists. TriniT answers AND suggests the canonical formulation.
+	ctx := context.Background()
 	q := "?x 'worked at' ?y LIMIT 3"
 	fmt.Printf("\n== token query: %s\n", q)
-	res, err := engine.Query(q)
+	res, err := engine.QueryContext(ctx, q)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +50,7 @@ func main() {
 	if len(people) > 0 {
 		q = people[0].Text + " hasAdvisor ?x"
 		fmt.Printf("\n== mismatched-direction query: %s\n", q)
-		res, err = engine.Query(q)
+		res, err = engine.QueryContext(ctx, q)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -68,7 +71,7 @@ func main() {
 	if err := engine.AddRule("user-visited", "?x visitedCity ?y => ?x 'visited' ?y", 0.6); err != nil {
 		log.Fatal(err)
 	}
-	res, err = engine.Query("?x visitedCity ?y LIMIT 3")
+	res, err = engine.QueryContext(ctx, "?x visitedCity ?y LIMIT 3")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,6 +80,30 @@ func main() {
 	}
 	for i, a := range res.Answers {
 		fmt.Printf("   %d. ?x=%s ?y=%s (score %.3f)\n", i+1, a.Bindings["x"], a.Bindings["y"], a.Score)
+	}
+
+	// 5. Streaming: provisional answers surface the moment the
+	// incremental processor admits them into its running top-k — the
+	// interactive feel of the demo, without waiting for the final
+	// ranking (the HTTP server exposes the same stream as Server-Sent
+	// Events on /api/query/stream).
+	q = "?x 'worked at' ?y LIMIT 3"
+	fmt.Printf("\n== streaming query: %s\n", q)
+	_, err = engine.QueryStream(ctx, q, func(ev trinit.AnswerEvent) error {
+		switch ev.Type {
+		case trinit.EventProvisional:
+			fmt.Printf("   ~ provisional: ?x=%s ?y=%s (score %.3f)\n",
+				ev.Answer.Bindings["x"], ev.Answer.Bindings["y"], ev.Answer.Score)
+		case trinit.EventAnswer:
+			fmt.Printf("   %d. ?x=%s ?y=%s (score %.3f)\n",
+				ev.Rank, ev.Answer.Bindings["x"], ev.Answer.Bindings["y"], ev.Answer.Score)
+		case trinit.EventDone:
+			fmt.Printf("   done (%d join branches)\n", ev.Metrics.JoinBranches)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Println("\nTip: run cmd/trinitd for the browser version of this session.")
 }

@@ -1,10 +1,13 @@
 // Quickstart: build a small extended knowledge graph from scratch with the
-// public API, extend it with text, mine relaxation rules, and query it.
+// public API, extend it with text, mine relaxation rules, and query it
+// through the request-scoped API (context, per-query options).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"trinit"
 )
@@ -56,13 +59,24 @@ func main() {
 	}
 	fmt.Printf("registered %d manual + %d mined relaxation rules\n\n", 2, len(mined))
 
-	// 4. Query. All three §1 pain points in one session.
+	// 4. Query. All three §1 pain points in one session. Queries are
+	// request-scoped: the context bounds each one (cancellation and the
+	// WithTimeout deadline both produce a partial result plus
+	// trinit.ErrCanceled), and per-query options — here a lean
+	// high-QPS shape: top-3, no trace, explanations on demand — never
+	// touch the engine's configuration.
+	ctx := context.Background()
 	for _, q := range []string{
 		"AlbertEinstein hasAdvisor ?x",                                            // wrong direction: relaxation inverts it
 		"AlbertEinstein 'won nobel for' ?x",                                       // no KG predicate: the XKG answers
 		"SELECT ?x WHERE { AlbertEinstein affiliation ?x . ?x member IvyLeague }", // incomplete KG: join via XKG
 	} {
-		res, err := e.Query(q)
+		res, err := e.QueryContext(ctx, q,
+			trinit.WithK(3),
+			trinit.WithTimeout(2*time.Second),
+			trinit.WithoutTrace(),
+			trinit.WithoutExplanations(),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -74,5 +88,19 @@ func main() {
 			fmt.Printf("  note: %s\n", n.Message)
 		}
 		fmt.Println()
+	}
+
+	// 5. Explanations render lazily: only the answer the user expands
+	// pays the rendering cost.
+	res, err := e.QueryContext(ctx, "AlbertEinstein hasAdvisor ?x", trinit.WithoutExplanations())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(res.Answers) > 0 {
+		ex, err := res.Explain(0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("explanation on demand:\n%s", ex.Text)
 	}
 }

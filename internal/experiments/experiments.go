@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -97,8 +98,7 @@ func (inst *Instance) RunQueryOpts(text, projVar string, opts topk.Options) ([]s
 		ev = topk.New(inst.Store, opts)
 		inst.evaluators[key] = ev
 	}
-	ev.SetK(opts.K)
-	answers, m := ev.Evaluate(q, rewrites)
+	answers, m, _ := ev.Run(context.Background(), q, rewrites, topk.RunConfig{K: opts.K})
 	ranked := make([]string, 0, len(answers))
 	for _, a := range answers {
 		ranked = append(ranked, inst.Store.Dict().Term(a.Bindings[projVar]).Text)

@@ -2,6 +2,7 @@ package relax
 
 import (
 	"container/heap"
+	"context"
 
 	"trinit/internal/query"
 )
@@ -73,15 +74,34 @@ func (h *rwHeap) Pop() any {
 // distinct query appears once, with its maximum-weight derivation — the
 // paper's max-over-sequences semantics (§4) applied at the rewrite level.
 func (e *Expander) Expand(q *query.Query) []Rewrite {
+	out, _ := e.ExpandContext(context.Background(), q)
+	return out
+}
+
+// ExpandContext is Expand with request scoping: the context is polled at
+// every expansion step (one popped rewrite per step), and a cancelled
+// expansion returns the rewrites enumerated so far — still in descending
+// weight order, led by the original query unless the context was
+// cancelled before the first step — together with ctx.Err(), so callers
+// can surface a partial result.
+func (e *Expander) ExpandContext(ctx context.Context, q *query.Query) ([]Rewrite, error) {
 	maxDepth := e.MaxDepth
 	if maxDepth < 0 {
 		maxDepth = 2
 	}
+	done := ctx.Done()
 	h := &rwHeap{{rw: Rewrite{Query: q, Weight: 1}, depth: 0}}
 	heap.Init(h)
 	seen := make(map[string]bool)
 	var out []Rewrite
 	for h.Len() > 0 {
+		if done != nil {
+			select {
+			case <-done:
+				return out, ctx.Err()
+			default:
+			}
+		}
 		it := heap.Pop(h).(rwItem)
 		key := canonicalKey(it.rw.Query)
 		if seen[key] {
@@ -114,5 +134,5 @@ func (e *Expander) Expand(q *query.Query) []Rewrite {
 			}
 		}
 	}
-	return out
+	return out, nil
 }

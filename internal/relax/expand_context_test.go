@@ -1,0 +1,64 @@
+package relax
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"trinit/internal/query"
+)
+
+func expandRules(t *testing.T) []*Rule {
+	t.Helper()
+	specs := []struct{ id, text string }{
+		{"inv", "?x hasAdvisor ?y => ?y hasStudent ?x"},
+		{"tok", "?x affiliation ?y => ?x 'worked at' ?y"},
+		{"comp", "?x affiliation ?y => ?x affiliation ?z ; ?z 'housed in' ?y"},
+	}
+	rules := make([]*Rule, len(specs))
+	for i, s := range specs {
+		rules[i] = MustParseRule(s.id, s.text, 0.8, "manual")
+	}
+	return rules
+}
+
+// ExpandContext with a live context is Expand.
+func TestExpandContextMatchesExpand(t *testing.T) {
+	e := NewExpander(expandRules(t))
+	q := query.MustParse("AlbertEinstein affiliation ?u . ?u hasAdvisor ?v")
+	plain := e.Expand(q)
+	scoped, err := e.ExpandContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(scoped) {
+		t.Fatalf("%d vs %d rewrites", len(plain), len(scoped))
+	}
+	for i := range plain {
+		if plain[i].Query.String() != scoped[i].Query.String() || plain[i].Weight != scoped[i].Weight {
+			t.Fatalf("rewrite %d differs: %s (%v) vs %s (%v)", i,
+				plain[i].Query, plain[i].Weight, scoped[i].Query, scoped[i].Weight)
+		}
+	}
+}
+
+// A cancelled expansion surfaces ctx.Err() and a weight-ordered prefix
+// of the rewrite space.
+func TestExpandContextCanceled(t *testing.T) {
+	e := NewExpander(expandRules(t))
+	q := query.MustParse("AlbertEinstein affiliation ?u . ?u hasAdvisor ?v")
+	full := e.Expand(q)
+	if len(full) < 3 {
+		t.Fatalf("rewrite space too small for the test: %d", len(full))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := e.ExpandContext(ctx, q)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("pre-cancelled expansion returned %d rewrites", len(out))
+	}
+}

@@ -6,10 +6,14 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"strconv"
+	"time"
 
 	"trinit"
 )
@@ -27,6 +31,7 @@ type Server struct {
 func New(e *trinit.Engine) *Server {
 	s := &Server{engine: e, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/api/query", s.handleQuery)
+	s.mux.HandleFunc("/api/query/stream", s.handleQueryStream)
 	s.mux.HandleFunc("/api/ask", s.handleAsk)
 	s.mux.HandleFunc("/api/complete", s.handleComplete)
 	s.mux.HandleFunc("/api/stats", s.handleStats)
@@ -48,6 +53,80 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// StatusClientClosedRequest is the nginx-convention status for requests
+// abandoned by the client before the engine finished; there is no
+// standard-library constant for 499.
+const StatusClientClosedRequest = 499
+
+// statusFor maps the engine's typed sentinel errors to HTTP status
+// codes; the engine only ever surfaces input-shaped failures beyond
+// these, so the fallback is 400 rather than a blanket 500.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, trinit.ErrParse):
+		return http.StatusBadRequest
+	case errors.Is(err, trinit.ErrNotFrozen):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, trinit.ErrFrozen):
+		return http.StatusConflict
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, trinit.ErrCanceled), errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	}
+	return http.StatusBadRequest
+}
+
+// degradedTimeout reports whether an engine error should degrade to a
+// 200 response with the partial flag instead of an error status: the
+// query was cut short by its own timeout parameter while the client is
+// still connected and a partial result is in hand.
+func degradedTimeout(r *http.Request, res *trinit.Result, err error) bool {
+	return errors.Is(err, trinit.ErrCanceled) && res != nil && r.Context().Err() == nil
+}
+
+// queryOptions builds the per-query options from request parameters:
+// k=<n> caps the answer count, timeout=<duration> bounds processing
+// (e.g. 500ms; the request context still applies), mode=incremental|
+// exhaustive overrides the engine strategy, and explain=0 skips eager
+// explanation rendering. Malformed values are an error — silently
+// dropping a mistyped timeout would run the query unbounded while the
+// client believes its limit was applied.
+func queryOptions(q url.Values) ([]trinit.QueryOption, error) {
+	var opts []trinit.QueryOption
+	if ks := q.Get("k"); ks != "" {
+		n, err := strconv.Atoi(ks)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad k parameter %q: want a positive integer", ks)
+		}
+		opts = append(opts, trinit.WithK(n))
+	}
+	if ts := q.Get("timeout"); ts != "" {
+		d, err := time.ParseDuration(ts)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("bad timeout parameter %q: want a positive duration like 500ms", ts)
+		}
+		opts = append(opts, trinit.WithTimeout(d))
+	}
+	switch mode := q.Get("mode"); mode {
+	case "":
+	case "incremental":
+		opts = append(opts, trinit.WithMode(trinit.ModeIncremental))
+	case "exhaustive":
+		opts = append(opts, trinit.WithMode(trinit.ModeExhaustive))
+	default:
+		return nil, fmt.Errorf("bad mode parameter %q: want incremental or exhaustive", mode)
+	}
+	switch explain := q.Get("explain"); explain {
+	case "", "1":
+	case "0":
+		opts = append(opts, trinit.WithoutExplanations())
+	default:
+		return nil, fmt.Errorf("bad explain parameter %q: want 0 or 1", explain)
+	}
+	return opts, nil
+}
+
 // QueryResponse is the JSON shape of /api/query.
 type QueryResponse struct {
 	Query       string              `json:"query"`
@@ -55,20 +134,35 @@ type QueryResponse struct {
 	Notices     []trinit.Notice     `json:"notices,omitempty"`
 	Suggestions []trinit.Suggestion `json:"suggestions,omitempty"`
 	Metrics     trinit.Metrics      `json:"metrics"`
+	// Partial marks a result cut short by the timeout parameter: the
+	// answers found before the deadline, not the full top-k.
+	Partial bool `json:"partial,omitempty"`
 	// Trace is included when the request passes trace=1 (§5: internal
 	// processing steps).
 	Trace []trinit.TraceEntry `json:"trace,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query().Get("q")
+	params := r.URL.Query()
+	q := params.Get("q")
 	if q == "" {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing q parameter"))
 		return
 	}
-	res, err := s.engine.Query(q)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	opts, optErr := queryOptions(params)
+	if optErr != nil {
+		writeError(w, http.StatusBadRequest, optErr)
+		return
+	}
+	wantTrace := params.Get("trace") == "1"
+	if !wantTrace {
+		// The trace is only serialized under trace=1; skip collecting
+		// it at all on the common path.
+		opts = append(opts, trinit.WithoutTrace())
+	}
+	res, err := s.engine.QueryContext(r.Context(), q, opts...)
+	if err != nil && !degradedTimeout(r, res, err) {
+		writeError(w, statusFor(err), err)
 		return
 	}
 	resp := QueryResponse{
@@ -77,11 +171,110 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Notices:     res.Notices,
 		Suggestions: res.Suggestions,
 		Metrics:     res.Metrics,
+		Partial:     res.Partial,
 	}
-	if r.URL.Query().Get("trace") == "1" {
+	if wantTrace {
 		resp.Trace = res.Trace
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// streamAnswer is the JSON payload of provisional and answer events on
+// /api/query/stream.
+type streamAnswer struct {
+	Rank     int               `json:"rank,omitempty"`
+	Bindings map[string]string `json:"bindings"`
+	Score    float64           `json:"score"`
+}
+
+// streamDone is the JSON payload of the terminal done event.
+type streamDone struct {
+	Answers int             `json:"answers"`
+	Partial bool            `json:"partial,omitempty"`
+	Error   string          `json:"error,omitempty"`
+	Metrics *trinit.Metrics `json:"metrics,omitempty"`
+}
+
+// handleQueryStream is /api/query/stream: Server-Sent Events over the
+// engine's streaming query API. The stream carries zero or more
+// `provisional` events (answers admitted into the running top-k), one
+// `answer` event per final ranked answer, and always terminates with a
+// `done` event — also on cancellation and partial results. Errors
+// detected before the first event (e.g. parse errors) are reported as a
+// plain JSON error with the proper status instead of a stream.
+func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	params := r.URL.Query()
+	q := params.Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing q parameter"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported by connection"))
+		return
+	}
+	started := false
+	sendEvent := func(event string, v any) error {
+		if !started {
+			w.Header().Set("Content-Type", "text/event-stream")
+			w.Header().Set("Cache-Control", "no-cache")
+			w.WriteHeader(http.StatusOK)
+			started = true
+		}
+		data, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return err
+		}
+		fl.Flush()
+		return nil
+	}
+
+	// Stream events carry only rank/bindings/score, so eager explanation
+	// rendering and trace collection would be pure waste on this
+	// endpoint; clients that need provenance re-query with /api/query.
+	opts, optErr := queryOptions(params)
+	if optErr != nil {
+		writeError(w, http.StatusBadRequest, optErr)
+		return
+	}
+	opts = append(opts, trinit.WithoutExplanations(), trinit.WithoutTrace())
+	res, err := s.engine.QueryStream(r.Context(), q, func(ev trinit.AnswerEvent) error {
+		switch ev.Type {
+		case trinit.EventProvisional, trinit.EventAnswer:
+			return sendEvent(ev.Type.String(), streamAnswer{
+				Rank:     ev.Rank,
+				Bindings: ev.Answer.Bindings,
+				Score:    ev.Answer.Score,
+			})
+		case trinit.EventDone:
+			// Deferred below so the done payload can carry the final
+			// answer count even on engine-side cancellation.
+			return nil
+		}
+		return nil
+	}, opts...)
+
+	if err != nil && !started && !errors.Is(err, trinit.ErrCanceled) {
+		// Nothing streamed yet and not a mid-flight cancellation:
+		// report a plain error response with the right status.
+		writeError(w, statusFor(err), err)
+		return
+	}
+	done := streamDone{}
+	if res != nil {
+		done.Answers = len(res.Answers)
+		done.Partial = res.Partial
+		m := res.Metrics
+		done.Metrics = &m
+	}
+	if err != nil {
+		done.Error = err.Error()
+	}
+	_ = sendEvent("done", done)
 }
 
 // AskResponse is the JSON shape of /api/ask: a QueryResponse plus the
@@ -93,14 +286,22 @@ type AskResponse struct {
 }
 
 func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
-	question := r.URL.Query().Get("q")
+	params := r.URL.Query()
+	question := params.Get("q")
 	if question == "" {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing q parameter"))
 		return
 	}
-	res, translated, err := s.engine.Ask(question)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	opts, optErr := queryOptions(params)
+	if optErr != nil {
+		writeError(w, http.StatusBadRequest, optErr)
+		return
+	}
+	// The ask response never serializes a trace.
+	opts = append(opts, trinit.WithoutTrace())
+	res, translated, err := s.engine.AskContext(r.Context(), question, opts...)
+	if err != nil && !degradedTimeout(r, res, err) {
+		writeError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, AskResponse{
@@ -112,6 +313,7 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 			Notices:     res.Notices,
 			Suggestions: res.Suggestions,
 			Metrics:     res.Metrics,
+			Partial:     res.Partial,
 		},
 	})
 }

@@ -251,3 +251,195 @@ func TestRuleDeletion(t *testing.T) {
 		t.Errorf("DELETE without id status = %d", rec.Code)
 	}
 }
+
+// sseEvent is one parsed Server-Sent Event block.
+type sseEvent struct {
+	name string
+	data map[string]any
+}
+
+// parseSSE splits a text/event-stream body into its events.
+func parseSSE(t *testing.T, body string) []sseEvent {
+	t.Helper()
+	var out []sseEvent
+	for _, block := range strings.Split(strings.TrimSpace(body), "\n\n") {
+		var ev sseEvent
+		for _, line := range strings.Split(block, "\n") {
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				ev.name = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev.data); err != nil {
+					t.Fatalf("bad event data %q: %v", line, err)
+				}
+			}
+		}
+		if ev.name == "" {
+			t.Fatalf("event block without name: %q", block)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// TestServerQueryStream is the SSE contract: on a multi-rewrite demo
+// query the stream delivers at least one provisional event, then the
+// final ranked answers, and always terminates with a done event.
+func TestServerQueryStream(t *testing.T) {
+	s := testServer()
+	rec := get(t, s, "/api/query/stream?q="+escaped("AlbertEinstein hasAdvisor ?x"))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	events := parseSSE(t, rec.Body.String())
+	if len(events) < 3 {
+		t.Fatalf("only %d events: %+v", len(events), events)
+	}
+	if last := events[len(events)-1]; last.name != "done" {
+		t.Fatalf("terminal event = %q, want done", last.name)
+	}
+	order := map[string]int{"provisional": 0, "answer": 1, "done": 2}
+	phase, provisional, answers := 0, 0, 0
+	for i, ev := range events {
+		p, ok := order[ev.name]
+		if !ok {
+			t.Fatalf("unknown event %q", ev.name)
+		}
+		if p < phase {
+			t.Fatalf("event %d (%s) out of order", i, ev.name)
+		}
+		phase = p
+		switch ev.name {
+		case "provisional":
+			provisional++
+		case "answer":
+			answers++
+			if rank := int(ev.data["rank"].(float64)); rank != answers {
+				t.Fatalf("answer rank = %d, want %d", rank, answers)
+			}
+		case "done":
+			if i != len(events)-1 {
+				t.Fatalf("done event at position %d of %d", i, len(events))
+			}
+			if int(ev.data["answers"].(float64)) != answers {
+				t.Fatalf("done reports %v answers, stream had %d", ev.data["answers"], answers)
+			}
+			if _, hasErr := ev.data["error"]; hasErr {
+				t.Fatalf("done event carries an error: %v", ev.data["error"])
+			}
+		}
+	}
+	if provisional == 0 {
+		t.Fatal("no provisional event before done")
+	}
+	if answers == 0 {
+		t.Fatal("no final answer events")
+	}
+}
+
+func TestServerQueryStreamParseError(t *testing.T) {
+	s := testServer()
+	rec := get(t, s, "/api/query/stream?q="+escaped("broken ' query"))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q, want a plain JSON error", ct)
+	}
+	rec = get(t, s, "/api/query/stream")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing q: status = %d, want 400", rec.Code)
+	}
+}
+
+// TestServerErrorStatusMapping pins the typed-error → HTTP status map:
+// parse errors stay 400, an unfrozen engine is 503 (not ready), and the
+// per-request timeout degrades to a 200 partial result, not an error.
+func TestServerErrorStatusMapping(t *testing.T) {
+	if rec := get(t, testServer(), "/api/query?q="+escaped("broken ' query")); rec.Code != http.StatusBadRequest {
+		t.Fatalf("parse error status = %d, want 400", rec.Code)
+	}
+	unfrozen := New(trinit.New(nil))
+	if rec := get(t, unfrozen, "/api/query?q="+escaped("?x bornIn ?y")); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("unfrozen engine status = %d, want 503", rec.Code)
+	}
+	if rec := get(t, unfrozen, "/api/ask?q="+escaped("Who advised Einstein?")); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("unfrozen engine ask status = %d, want 503", rec.Code)
+	}
+
+	rec := get(t, testServer(), "/api/query?timeout=1ns&q="+escaped("?x ?p ?y"))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("timed-out query status = %d, want 200 with partial flag", rec.Code)
+	}
+	var resp QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Partial {
+		t.Fatal("timed-out query response not marked partial")
+	}
+
+	// /api/ask degrades identically on its timeout parameter.
+	rec = get(t, testServer(), "/api/ask?timeout=1ns&q="+escaped("Who was the advisor of Albert Einstein?"))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("timed-out ask status = %d, want 200 with partial flag", rec.Code)
+	}
+	var ask AskResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &ask); err != nil {
+		t.Fatal(err)
+	}
+	if !ask.Partial {
+		t.Fatal("timed-out ask response not marked partial")
+	}
+}
+
+// TestServerQueryParams covers the per-query option parameters.
+func TestServerQueryParams(t *testing.T) {
+	s := testServer()
+	rec := get(t, s, "/api/query?k=1&q="+escaped("?x ?p ?y"))
+	var resp QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 1 {
+		t.Fatalf("k=1 returned %d answers", len(resp.Answers))
+	}
+	rec = get(t, s, "/api/query?explain=0&q="+escaped("AlbertEinstein hasAdvisor ?x"))
+	resp = QueryResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) == 0 {
+		t.Fatal("no answers")
+	}
+	for i, a := range resp.Answers {
+		if a.Explanation.Text != "" {
+			t.Fatalf("answer %d carries an explanation under explain=0", i)
+		}
+	}
+	rec = get(t, s, "/api/query?mode=exhaustive&q="+escaped("AlbertEinstein hasAdvisor ?x"))
+	resp = QueryResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Metrics.RewritesSkipped != 0 {
+		t.Fatalf("exhaustive mode skipped %d rewrites", resp.Metrics.RewritesSkipped)
+	}
+
+	// Malformed option values are rejected, not silently dropped.
+	for _, path := range []string{
+		"/api/query?k=abc&q=" + escaped("?x ?p ?y"),
+		"/api/query?k=0&q=" + escaped("?x ?p ?y"),
+		"/api/query?timeout=500&q=" + escaped("?x ?p ?y"), // missing unit
+		"/api/query?mode=Exhaustive&q=" + escaped("?x ?p ?y"),
+		"/api/query/stream?timeout=oops&q=" + escaped("?x ?p ?y"),
+		"/api/ask?k=-1&q=" + escaped("Who advised Einstein?"),
+	} {
+		if rec := get(t, s, path); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", path, rec.Code)
+		}
+	}
+}

@@ -21,6 +21,7 @@
 package topk
 
 import (
+	"context"
 	"sort"
 	"strconv"
 
@@ -81,6 +82,43 @@ type Options struct {
 	// list-building measurements.
 	NoTokenIndex bool
 }
+
+// RunConfig carries the per-call knobs of one Run. Every field is
+// optional; zero values keep the executor's configured defaults. Because
+// the overrides live in the call and not in the executor, pooled
+// executors carry no per-query option state between borrows.
+type RunConfig struct {
+	// K overrides the executor's default answer count when > 0.
+	K int
+	// Mode overrides the processing strategy when ModeSet is true (the
+	// Mode zero value, Incremental, is a real mode, so presence needs
+	// its own flag).
+	Mode    Mode
+	ModeSet bool
+	// NoTrace skips building the per-rewrite processing trace entirely
+	// — no RewriteTrace allocations, no query re-rendering — for
+	// callers that never read LastTrace. LastTrace returns an empty
+	// slice after a NoTrace run.
+	NoTrace bool
+	// Emit, when non-nil, receives every answer the processor admits
+	// into — or improves within — the current top-k, as it happens: the
+	// provisional-answer stream behind QueryStream. It is called
+	// synchronously from the evaluating goroutine; the answer's maps and
+	// slices are freshly allocated and safe to retain. Provisional
+	// events are best-effort: an answer that merely ties the k-th score
+	// can enter the final ranking through the deterministic key
+	// tie-break without ever being admitted to the score-only heap, so
+	// consumers must treat the final answers as authoritative.
+	Emit func(Answer)
+}
+
+// cancelCheckInterval is how many join branches may run between two
+// polls of the context's done channel. A cancelled Run returns within
+// one interval (or at the next rewrite boundary, whichever comes
+// first). 256 keeps the poll off the hot path — one channel select per
+// 256 branches — while bounding the cancellation latency to well under
+// a millisecond of join work.
+const cancelCheckInterval = 256
 
 // Answer is one ranked result: a binding of the query's projected
 // variables with its score and best derivation.
@@ -161,7 +199,8 @@ type RewriteTrace struct {
 	// Rules lists the IDs of the applied rules.
 	Rules []string
 	// Status is "evaluated", "skipped (weight bound)", "no matches",
-	// "no matches (semi-join)", or "missing projection".
+	// "no matches (semi-join)", "missing projection", or "canceled"
+	// (the run's context was cancelled at or before this rewrite).
 	Status string
 	// PatternMatches holds the match-list length per pattern (only for
 	// evaluated rewrites; patterns skipped by a planner early-abort
@@ -247,21 +286,38 @@ func (ev *Executor) LastTrace() []RewriteTrace {
 	return append([]RewriteTrace(nil), ev.lastTrace...)
 }
 
-// SetK changes the default answer count for subsequent Evaluate calls,
-// keeping the warmed pattern-list cache.
-func (ev *Executor) SetK(k int) {
-	if k > 0 {
-		ev.opts.K = k
-	}
-}
-
 // Evaluate processes the rewrites of q (the first of which must be the
 // original query; the list must be sorted by descending weight, as
 // produced by relax.Expander) and returns the top-k answers sorted by
-// descending score, ties broken by binding key.
+// descending score, ties broken by binding key. It is Run without a
+// context or per-call overrides.
 func (ev *Executor) Evaluate(q *query.Query, rewrites []relax.Rewrite) ([]Answer, Metrics) {
+	answers, m, _ := ev.Run(context.Background(), q, rewrites, RunConfig{})
+	return answers, m
+}
+
+// Run is Evaluate with request scoping: ctx cancels the call, cfg
+// overrides the executor's K and Mode for this call only and may attach
+// a provisional-answer emit hook. Cancellation is checked at every
+// rewrite boundary and every cancelCheckInterval join branches; a
+// cancelled Run returns the answers found so far (ranked as usual)
+// together with ctx.Err(), so callers can surface a partial result.
+func (ev *Executor) Run(ctx context.Context, q *query.Query, rewrites []relax.Rewrite, cfg RunConfig) ([]Answer, Metrics, error) {
+	opts := ev.opts
+	if cfg.K > 0 {
+		opts.K = cfg.K
+	}
+	if cfg.ModeSet {
+		opts.Mode = cfg.Mode
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	r := &run{Executor: ev, opts: opts, done: done, emit: cfg.Emit}
+
 	proj := q.ProjectedVars()
-	k := ev.opts.K
+	k := opts.K
 	if q.Limit > 0 && q.Limit < k {
 		k = q.Limit
 	}
@@ -270,7 +326,14 @@ func (ev *Executor) Evaluate(q *query.Query, rewrites []relax.Rewrite) ([]Answer
 	var m Metrics
 	m.RewritesTotal = len(rewrites)
 	ev.lastTrace = ev.lastTrace[:0]
+	var scratch RewriteTrace
 	trace := func(rw relax.Rewrite) *RewriteTrace {
+		if cfg.NoTrace {
+			// Hand out a reusable throwaway so evalRewrite can fill
+			// its fields unconditionally without any trace surviving.
+			scratch = RewriteTrace{}
+			return &scratch
+		}
 		ids := make([]string, len(rw.Applied))
 		for i, r := range rw.Applied {
 			ids[i] = r.ID
@@ -284,7 +347,13 @@ func (ev *Executor) Evaluate(q *query.Query, rewrites []relax.Rewrite) ([]Answer
 	}
 
 	for ri, rw := range rewrites {
-		if ev.opts.Mode == Incremental && len(st.answers) >= k && rw.Weight < st.threshold() {
+		if r.pollCancel() {
+			for _, rest := range rewrites[ri:] {
+				trace(rest).Status = "canceled"
+			}
+			break
+		}
+		if opts.Mode == Incremental && len(st.answers) >= k && rw.Weight < st.threshold() {
 			// No later rewrite can contribute: weights descend. The
 			// bound is strict so that rewrites able to *tie* the
 			// k-th score still run — ties are broken deterministically
@@ -299,8 +368,11 @@ func (ev *Executor) Evaluate(q *query.Query, rewrites []relax.Rewrite) ([]Answer
 		m.RewritesEvaluated++
 		rt := trace(rw)
 		before := st.writes
-		ev.evalRewrite(rw, proj, st, &m, rt)
+		r.evalRewrite(rw, proj, st, &m, rt)
 		rt.Answers = st.writes - before
+		if r.canceled {
+			rt.Status = "canceled"
+		}
 	}
 
 	// Rank by descending score, ties by binding key. The map key IS the
@@ -326,7 +398,64 @@ func (ev *Executor) Evaluate(q *query.Query, rewrites []relax.Rewrite) ([]Answer
 	for i, r := range rs {
 		out[i] = *r.a
 	}
-	return out, m
+	var err error
+	if r.canceled && ctx != nil {
+		err = ctx.Err()
+	}
+	return out, m, err
+}
+
+// run bundles the per-call state of one Run: the effective options (the
+// executor's defaults with the RunConfig overrides applied), the
+// cancellation gate and the emit hook. Methods that depend on per-call
+// options hang off run; everything shared and immutable stays on the
+// embedded Executor.
+type run struct {
+	*Executor
+	opts Options
+	// done is the context's done channel (nil when the context can
+	// never be cancelled, which skips all polling).
+	done <-chan struct{}
+	emit func(Answer)
+	// branchTick counts join branches since the last poll of done;
+	// checkCancel polls every cancelCheckInterval ticks.
+	branchTick int
+	canceled   bool
+}
+
+// pollCancel polls the done channel unconditionally — used at rewrite
+// boundaries, which are rare and may follow long join phases.
+func (r *run) pollCancel() bool {
+	if r.canceled {
+		return true
+	}
+	if r.done == nil {
+		return false
+	}
+	select {
+	case <-r.done:
+		r.canceled = true
+	default:
+	}
+	return r.canceled
+}
+
+// checkCancel is the join-loop cancellation gate: it polls the done
+// channel once every cancelCheckInterval calls, keeping the common case
+// a counter increment.
+func (r *run) checkCancel() bool {
+	if r.canceled {
+		return true
+	}
+	if r.done == nil {
+		return false
+	}
+	r.branchTick++
+	if r.branchTick < cancelCheckInterval {
+		return false
+	}
+	r.branchTick = 0
+	return r.pollCancel()
 }
 
 // state tracks discovered answers and the k-th score threshold. The
@@ -370,20 +499,26 @@ func (s *state) threshold() float64 {
 	return s.top[0].score
 }
 
-func (s *state) record(key string, a Answer) {
+// record stores or improves an answer and reports whether the write
+// landed in the current top-k — the signal the emit hook streams.
+func (s *state) record(key string, a Answer) bool {
 	if cur, ok := s.answers[key]; ok {
 		// Max-over-derivations semantics (§4).
 		if a.Score > cur.Score {
 			*cur = a
 			s.writes++
 			s.bump(key, a.Score)
+			_, in := s.pos[key]
+			return in
 		}
-		return
+		return false
 	}
 	cp := a
 	s.answers[key] = &cp
 	s.writes++
 	s.bump(key, a.Score)
+	_, in := s.pos[key]
+	return in
 }
 
 // bump inserts key into the top-k heap or raises its score in place.
@@ -458,8 +593,10 @@ func appendAnswerKey(buf []byte, b map[string]rdf.TermID, proj []string) []byte 
 
 // evalRewrite matches all patterns of one rewrite and joins them, filling
 // rt with the status, per-pattern match counts, processed pattern order
-// and semi-join survivor counts.
-func (ev *Executor) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *Metrics, rt *RewriteTrace) {
+// and semi-join survivor counts. It aborts early (leaving r.canceled set)
+// when the run's context is cancelled mid-join.
+func (r *run) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *Metrics, rt *RewriteTrace) {
+	ev := r.Executor
 	pats := rw.Query.Patterns
 	n := len(pats)
 
@@ -481,7 +618,7 @@ func (ev *Executor) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *M
 	// empty pattern aborts the rewrite before its siblings' lists are
 	// materialised. NoPlan keeps query-text order as the baseline.
 	var buildOrder []int
-	if ev.opts.NoPlan {
+	if r.opts.NoPlan {
 		buildOrder = make([]int, n)
 		for i := range buildOrder {
 			buildOrder[i] = i
@@ -493,7 +630,7 @@ func (ev *Executor) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *M
 	// tracePlan is what surfaces in RewriteTrace.Plan and
 	// Derivation.Plan: nil with planning off (query-text order).
 	tracePlan := func(order []int) []int {
-		if ev.opts.NoPlan {
+		if r.opts.NoPlan {
 			return nil
 		}
 		return order
@@ -502,6 +639,12 @@ func (ev *Executor) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *M
 	lists := make([]*patternList, n)
 	sizes := make([]int, n)
 	for _, pi := range buildOrder {
+		// List builds can dominate a rewrite's cost (full-range scan
+		// fallbacks), so cancellation is polled per pattern — not only
+		// at rewrite boundaries and join branches.
+		if r.pollCancel() {
+			return
+		}
 		p := pats[pi]
 		pl, stats, built := ev.cache.get(p.String(), func() ([]score.Match, score.MatchStats) {
 			return ev.matcher.MatchPatternCounted(p)
@@ -528,12 +671,12 @@ func (ev *Executor) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *M
 	// shares a variable with the already-joined prefix where the pattern
 	// graph allows it. NoPlan joins in query-text order.
 	order := buildOrder
-	if !ev.opts.NoPlan {
+	if !r.opts.NoPlan {
 		order = append([]int(nil), buildOrder...)
 		sort.SliceStable(order, func(a, b int) bool {
 			return len(lists[order[a]].matches) < len(lists[order[b]].matches)
 		})
-		if !ev.opts.NoHashJoin {
+		if !r.opts.NoHashJoin {
 			order = joinOrder(pats, order)
 		}
 	}
@@ -543,7 +686,10 @@ func (ev *Executor) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *M
 	// the rewrite can produce no complete binding.
 	var alive [][]bool
 	liveHead := func(pi int) float64 { return lists[pi].matches[0].Prob }
-	if !ev.opts.NoHashJoin && !ev.opts.NoSemiJoin && n > 1 {
+	if !r.opts.NoHashJoin && !r.opts.NoSemiJoin && n > 1 {
+		if r.pollCancel() {
+			return
+		}
 		reduced, liveCount, headProb := semiJoinReduce(lists, m)
 		alive = reduced
 		liveHead = func(pi int) float64 { return headProb[pi] }
@@ -597,7 +743,9 @@ func (ev *Executor) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *M
 				},
 			}
 			st.keyBuf = appendAnswerKey(st.keyBuf[:0], bindings, proj)
-			st.record(string(st.keyBuf), ans)
+			if st.record(string(st.keyBuf), ans) && r.emit != nil {
+				r.emit(ans)
+			}
 			return
 		}
 		pi := order[depth]
@@ -610,7 +758,7 @@ func (ev *Executor) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *M
 		// below behaves exactly as it would mid-scan.
 		var cand []int32
 		probe := false
-		if !ev.opts.NoHashJoin {
+		if !r.opts.NoHashJoin {
 			for vi, v := range pl.vars {
 				if t, ok := bindings[v]; ok {
 					b := pl.buckets[vi][t]
@@ -626,6 +774,9 @@ func (ev *Executor) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *M
 			limit = len(cand)
 		}
 		for ci := 0; ci < limit; ci++ {
+			if r.checkCancel() {
+				return
+			}
 			p := ci
 			if probe {
 				p = int(cand[ci])
@@ -637,7 +788,7 @@ func (ev *Executor) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *M
 			// Reading the next entry of the score-sorted list is
 			// one sorted access.
 			m.SortedAccesses++
-			if ev.opts.Mode == Incremental && len(st.answers) >= st.k {
+			if r.opts.Mode == Incremental && len(st.answers) >= st.k {
 				bound := rw.Weight * partial * match.Prob * suffixBound[depth+1]
 				if bound < st.threshold() {
 					// Matches are sorted by descending

@@ -1,6 +1,8 @@
 package topk
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -50,7 +52,7 @@ func TestVariablePredicateJoin(t *testing.T) {
 	}
 }
 
-func TestSetKKeepsCache(t *testing.T) {
+func TestRunConfigKOverrideKeepsCache(t *testing.T) {
 	st := demoXKG()
 	ev := New(st, Options{K: 1})
 	q := query.MustParse("?x ?p ?y")
@@ -63,8 +65,10 @@ func TestSetKKeepsCache(t *testing.T) {
 	if m1.PatternsMatched == 0 {
 		t.Fatal("cold evaluation did not match patterns")
 	}
-	ev.SetK(5)
-	second, m2 := ev.Evaluate(q, rewrites)
+	second, m2, err := ev.Run(context.Background(), q, rewrites, RunConfig{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(second) != 5 {
 		t.Fatalf("k=5 answers = %d", len(second))
 	}
@@ -73,6 +77,104 @@ func TestSetKKeepsCache(t *testing.T) {
 	}
 	if m2.IndexScanned != 0 {
 		t.Fatalf("warm evaluation scanned %d postings", m2.IndexScanned)
+	}
+	// The override scopes to the call: the executor's default K is
+	// untouched for the next borrower.
+	third, _ := ev.Evaluate(q, rewrites)
+	if len(third) != 1 {
+		t.Fatalf("after K override, default evaluation returned %d answers, want 1", len(third))
+	}
+}
+
+func TestRunNoTraceSkipsTraceEntirely(t *testing.T) {
+	st := demoXKG()
+	ev := New(st, Options{K: 5})
+	q := query.MustParse("?x ?p ?y")
+	q.Projection = q.ProjectedVars()
+	rewrites := relax.NewExpander(nil).Expand(q)
+	traced, _, err := ev.Run(context.Background(), q, rewrites, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.LastTrace()) == 0 {
+		t.Fatal("default run collected no trace")
+	}
+	bare, _, err := ev.Run(context.Background(), q, rewrites, RunConfig{NoTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(ev.LastTrace()); n != 0 {
+		t.Fatalf("NoTrace run left %d trace entries", n)
+	}
+	if len(bare) != len(traced) {
+		t.Fatalf("NoTrace changed the answers: %d vs %d", len(bare), len(traced))
+	}
+	for i := range bare {
+		if bare[i].Score != traced[i].Score {
+			t.Fatalf("answer %d: score %v vs %v", i, bare[i].Score, traced[i].Score)
+		}
+	}
+}
+
+func TestRunCanceledContext(t *testing.T) {
+	st := demoXKG()
+	ev := New(st, Options{K: 5})
+	q := query.MustParse("?x ?p ?y")
+	q.Projection = q.ProjectedVars()
+	rewrites := relax.NewExpander(nil).Expand(q)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	answers, _, err := ev.Run(ctx, q, rewrites, RunConfig{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(answers) != 0 {
+		t.Fatalf("pre-cancelled run produced %d answers", len(answers))
+	}
+	for _, tr := range ev.LastTrace() {
+		if tr.Status != "canceled" {
+			t.Fatalf("trace status = %q, want canceled", tr.Status)
+		}
+	}
+	// The same executor still works for the next caller.
+	answers, _, err = ev.Run(context.Background(), q, rewrites, RunConfig{})
+	if err != nil || len(answers) == 0 {
+		t.Fatalf("post-cancel reuse: answers=%d err=%v", len(answers), err)
+	}
+}
+
+func TestRunEmitHookStreamsTopKAdmissions(t *testing.T) {
+	st := demoXKG()
+	ev := New(st, Options{K: 3})
+	q := query.MustParse("?x ?p ?y")
+	q.Projection = q.ProjectedVars()
+	rewrites := relax.NewExpander(nil).Expand(q)
+	var emitted []Answer
+	answers, _, err := ev.Run(context.Background(), q, rewrites, RunConfig{
+		Emit: func(a Answer) { emitted = append(emitted, a) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 3 {
+		t.Fatalf("answers = %d", len(answers))
+	}
+	if len(emitted) < len(answers) {
+		t.Fatalf("emitted %d events for %d final answers", len(emitted), len(answers))
+	}
+	// Every final answer scoring strictly above the k-th score was
+	// announced provisionally at some point (answers tying the k-th
+	// score may enter the final ranking through the key tie-break
+	// without a heap admission — documented in RunConfig.Emit).
+	seen := make(map[string]bool, len(emitted))
+	for _, a := range emitted {
+		seen[string(appendAnswerKey(nil, a.Bindings, q.Projection))] = true
+	}
+	kth := answers[len(answers)-1].Score
+	for _, a := range answers {
+		if a.Score > kth && !seen[string(appendAnswerKey(nil, a.Bindings, q.Projection))] {
+			t.Fatalf("final answer %v (score %v > kth %v) never emitted", a.Bindings, a.Score, kth)
+		}
 	}
 }
 

@@ -22,11 +22,14 @@
 package trinit
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 	"sync"
+	"time"
 
 	"trinit/internal/dataset"
 	"trinit/internal/explain"
@@ -40,6 +43,26 @@ import (
 	"trinit/internal/suggest"
 	"trinit/internal/topk"
 	"trinit/internal/xkg"
+)
+
+// Sentinel errors of the public API. Errors returned by the Engine wrap
+// these, so callers dispatch with errors.Is instead of matching strings
+// — and the server maps them to proper HTTP status codes.
+var (
+	// ErrNotFrozen reports a query-side call on an engine that has not
+	// been frozen yet (call Freeze first).
+	ErrNotFrozen = errors.New("trinit: engine is not frozen")
+	// ErrFrozen reports a mutation of graph data after Freeze.
+	ErrFrozen = errors.New("trinit: engine is frozen")
+	// ErrParse reports a malformed query (or an untranslatable
+	// question); the wrapped error carries the parse detail.
+	ErrParse = errors.New("trinit: parse error")
+	// ErrCanceled reports a query cut short by context cancellation or
+	// deadline expiry. The returned Result is still valid: it carries
+	// the answers found so far and Result.Partial is true. The wrapped
+	// chain includes the context error, so errors.Is(err,
+	// context.DeadlineExceeded) distinguishes timeouts from cancels.
+	ErrCanceled = errors.New("trinit: query canceled")
 )
 
 // Options configure an Engine.
@@ -238,7 +261,7 @@ func (e *Engine) AddKGFact(subject, predicate, object string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.frozen {
-		return fmt.Errorf("trinit: engine is frozen")
+		return ErrFrozen
 	}
 	e.st.AddKG(rdf.Resource(subject), rdf.Resource(predicate), rdf.Resource(object))
 	return nil
@@ -249,7 +272,7 @@ func (e *Engine) AddKGLiteral(subject, predicate, literal string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.frozen {
-		return fmt.Errorf("trinit: engine is frozen")
+		return ErrFrozen
 	}
 	e.st.AddFact(rdf.Resource(subject), rdf.Resource(predicate), rdf.Literal(literal), rdf.SourceKG, 1, rdf.NoProv)
 	return nil
@@ -262,7 +285,7 @@ func (e *Engine) AddTokenTriple(subject, relation, object string, confidence flo
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.frozen {
-		return fmt.Errorf("trinit: engine is frozen")
+		return ErrFrozen
 	}
 	if confidence <= 0 || confidence > 1 {
 		return fmt.Errorf("trinit: confidence %v outside (0, 1]", confidence)
@@ -295,7 +318,7 @@ func (e *Engine) ExtendFromDocumentsWith(docs []Document, cfg ExtendConfig) (Ext
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.frozen {
-		return ExtendStats{}, fmt.Errorf("trinit: engine is frozen")
+		return ExtendStats{}, ErrFrozen
 	}
 	xdocs := make([]xkg.Document, len(docs))
 	for i, d := range docs {
@@ -413,7 +436,7 @@ func (e *Engine) MineRules(cfg MiningConfig) ([]RuleSpec, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !e.frozen {
-		return nil, fmt.Errorf("trinit: MineRules requires a frozen engine")
+		return nil, fmt.Errorf("%w: MineRules requires a frozen engine", ErrNotFrozen)
 	}
 	if cfg.MinSupport <= 0 {
 		cfg.MinSupport = 2
@@ -642,8 +665,8 @@ type TraceEntry struct {
 	Weight float64
 	// Rules lists the IDs of the rules applied in the derivation.
 	Rules []string
-	// Status is "evaluated", "skipped (weight bound)", "no matches", or
-	// "missing projection".
+	// Status is "evaluated", "skipped (weight bound)", "no matches",
+	// "missing projection", or "canceled".
 	Status string
 	// PatternMatches holds per-pattern match-list sizes.
 	PatternMatches []int
@@ -673,25 +696,221 @@ type Result struct {
 	Metrics Metrics
 	// Trace lists the internal processing steps, one per rewrite.
 	Trace []TraceEntry
+	// Partial reports that the query was cut short — the request's
+	// context was cancelled or its deadline expired — and Answers holds
+	// only what had been found by then.
+	Partial bool
+
+	// src links back to the engine state needed to render explanations
+	// on demand (nil on results restored from serialisation).
+	src *resultSource
+}
+
+// resultSource is the explanation raw material a Result keeps so that
+// Explain can render lazily: the frozen store is immutable and the raw
+// topk answers are private to this result, so reading them later is safe.
+type resultSource struct {
+	engine *Engine
+	query  *query.Query
+	raw    []topk.Answer
+}
+
+// Explain renders the explanation of Answers[i] (0-based), computing it
+// on demand when the query ran with WithoutExplanations and reusing the
+// eager rendering otherwise. The computed explanation is memoised into
+// Answers[i].Explanation. Explain is not safe for concurrent use on the
+// same Result.
+func (r *Result) Explain(i int) (Explanation, error) {
+	if i < 0 || i >= len(r.Answers) {
+		return Explanation{}, fmt.Errorf("trinit: Explain(%d): result has %d answers", i, len(r.Answers))
+	}
+	if r.Answers[i].Explanation.Text != "" {
+		return r.Answers[i].Explanation, nil
+	}
+	if r.src == nil || i >= len(r.src.raw) {
+		return Explanation{}, errors.New("trinit: result carries no explanation source")
+	}
+	ex := explain.Explain(r.src.engine.st, r.src.query, r.src.raw[i])
+	pub := publicExplanation(ex)
+	r.Answers[i].Explanation = pub
+	return pub, nil
+}
+
+// QueryMode selects the per-query processing strategy for WithMode.
+type QueryMode int
+
+const (
+	// ModeDefault keeps the engine's configured mode.
+	ModeDefault QueryMode = iota
+	// ModeIncremental forces the paper's adaptive top-k strategy.
+	ModeIncremental
+	// ModeExhaustive forces full evaluation of every rewrite — the
+	// correctness baseline; identical answers, more work.
+	ModeExhaustive
+)
+
+// queryConfig is the resolved option set of one query. The zero value
+// reproduces the classic Query behaviour exactly.
+type queryConfig struct {
+	k         int
+	timeout   time.Duration
+	mode      QueryMode
+	noTrace   bool
+	noExplain bool
+}
+
+// QueryOption is a per-query knob of QueryContext, QueryStream and
+// AskContext. Options scope to the one call that receives them; the
+// engine's configuration is never touched.
+type QueryOption func(*queryConfig)
+
+// WithK overrides the engine's default answer count for this query
+// (values < 1 are ignored; a query LIMIT below k still applies).
+func WithK(k int) QueryOption {
+	return func(c *queryConfig) {
+		if k > 0 {
+			c.k = k
+		}
+	}
+}
+
+// WithTimeout derives a deadline for this query from the call's context.
+// On expiry the query returns the answers found so far with
+// Result.Partial set and an error wrapping ErrCanceled and
+// context.DeadlineExceeded.
+func WithTimeout(d time.Duration) QueryOption {
+	return func(c *queryConfig) {
+		if d > 0 {
+			c.timeout = d
+		}
+	}
+}
+
+// WithoutTrace skips collecting the per-rewrite processing trace,
+// trimming allocation on the hot path for callers that never read it.
+func WithoutTrace() QueryOption {
+	return func(c *queryConfig) { c.noTrace = true }
+}
+
+// WithoutExplanations skips the eager rendering of per-answer
+// explanations — the expensive part of result assembly for high-QPS
+// callers that only want bindings. Explanations stay available on
+// demand through Result.Explain.
+func WithoutExplanations() QueryOption {
+	return func(c *queryConfig) { c.noExplain = true }
+}
+
+// WithMode overrides the engine's processing mode for this query.
+func WithMode(m QueryMode) QueryOption {
+	return func(c *queryConfig) { c.mode = m }
+}
+
+// EventType discriminates the events of a streaming query.
+type EventType int
+
+const (
+	// EventProvisional reports an answer the incremental processor just
+	// admitted into (or improved within) its running top-k. Provisional
+	// answers may later be displaced by better ones, and an answer that
+	// merely ties the k-th score can reach the final ranking without a
+	// prior provisional event — the EventAnswer sequence is
+	// authoritative.
+	EventProvisional EventType = iota
+	// EventAnswer reports one final ranked answer, in rank order.
+	EventAnswer
+	// EventDone is the terminal event of every stream whose callback
+	// did not itself fail.
+	EventDone
+)
+
+// String names the event type as it appears on the wire (SSE event
+// names and REPL prefixes).
+func (t EventType) String() string {
+	switch t {
+	case EventProvisional:
+		return "provisional"
+	case EventAnswer:
+		return "answer"
+	case EventDone:
+		return "done"
+	}
+	return fmt.Sprintf("EventType(%d)", int(t))
+}
+
+// AnswerEvent is one notification of a streaming query (QueryStream).
+type AnswerEvent struct {
+	// Type discriminates the payload.
+	Type EventType
+	// Answer is the admitted (provisional) or final answer; nil on the
+	// done event. Provisional answers carry no explanation — render
+	// them with Result.Explain after the stream completes if needed.
+	Answer *Answer
+	// Rank is the 1-based final rank (EventAnswer only).
+	Rank int
+	// Partial mirrors Result.Partial on the done event.
+	Partial bool
+	// Metrics mirrors Result.Metrics on the done event.
+	Metrics *Metrics
 }
 
 // Query parses and evaluates a query with relaxation and top-k ranking.
+// The engine must be frozen. It is QueryContext without cancellation —
+// a background context and the default options.
+func (e *Engine) Query(text string) (*Result, error) {
+	return e.QueryContext(context.Background(), text)
+}
+
+// QueryContext parses and evaluates a query with relaxation and top-k
+// ranking, scoped to ctx: cancellation and deadline expiry are observed
+// at every rewrite boundary and every few join branches, returning the
+// answers found so far with Result.Partial set and an error wrapping
+// ErrCanceled. Options override the engine defaults for this call only.
 // The engine must be frozen.
 //
-// Query is safe for concurrent use: it holds no engine-wide lock during
-// evaluation. Each call snapshots the rule set, borrows an executor from
-// the pool, and runs it against the immutable store and the shared
-// match-list cache.
-func (e *Engine) Query(text string) (*Result, error) {
+// QueryContext is safe for concurrent use: it holds no engine-wide lock
+// during evaluation. Each call snapshots the rule set, borrows an
+// executor from the pool, and runs it against the immutable store and
+// the shared match-list cache.
+func (e *Engine) QueryContext(ctx context.Context, text string, opts ...QueryOption) (*Result, error) {
+	return e.queryContext(ctx, text, nil, opts)
+}
+
+// QueryStream evaluates a query like QueryContext while streaming
+// processing events to fn: zero or more EventProvisional events as the
+// incremental processor admits answers into its running top-k, then one
+// EventAnswer per final ranked answer, then a terminal EventDone. fn
+// runs synchronously on the query goroutine; an error returned from fn
+// stops the query and is returned verbatim (no done event follows). The
+// final Result is returned as from QueryContext.
+func (e *Engine) QueryStream(ctx context.Context, text string, fn func(AnswerEvent) error, opts ...QueryOption) (*Result, error) {
+	return e.queryContext(ctx, text, fn, opts)
+}
+
+// queryContext is the request-scoped query core behind Query,
+// QueryContext and QueryStream.
+func (e *Engine) queryContext(ctx context.Context, text string, fn func(AnswerEvent) error, opts []QueryOption) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+
 	q, err := query.Parse(text)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrParse, err)
 	}
 	e.mu.RLock()
 	frozen, rules, suggester := e.frozen, e.rules, e.suggester
 	e.mu.RUnlock()
 	if !frozen {
-		return nil, fmt.Errorf("trinit: Query requires a frozen engine (call Freeze)")
+		return nil, fmt.Errorf("%w (call Freeze before querying)", ErrNotFrozen)
 	}
 	q.Projection = q.ProjectedVars()
 
@@ -699,28 +918,68 @@ func (e *Engine) Query(text string) (*Result, error) {
 	exp.MaxDepth = e.opts.MaxRelaxationDepth
 	exp.MaxRewrites = e.opts.MaxRewrites
 	exp.MinWeight = e.opts.MinRewriteWeight
-	rewrites := exp.Expand(q)
+	rewrites, runErr := exp.ExpandContext(ctx, q)
 
-	ev := e.executor()
-	answers, metrics := ev.Evaluate(q, rewrites)
-	var traces []TraceEntry
-	for _, t := range ev.LastTrace() {
-		traces = append(traces, TraceEntry{
-			Query:          t.Query,
-			Weight:         t.Weight,
-			Rules:          t.Rules,
-			Status:         t.Status,
-			PatternMatches: t.PatternMatches,
-			Plan:           t.Plan,
-			SemiJoinKept:   t.SemiJoinKept,
-			Answers:        t.Answers,
-		})
+	// Streaming: fn errors cancel the run through a private context, so
+	// the processor unwinds at its next cancellation check.
+	runCtx := ctx
+	var fnErr error
+	rcfg := topk.RunConfig{K: cfg.k, NoTrace: cfg.noTrace}
+	switch cfg.mode {
+	case ModeIncremental:
+		rcfg.Mode, rcfg.ModeSet = topk.Incremental, true
+	case ModeExhaustive:
+		rcfg.Mode, rcfg.ModeSet = topk.Exhaustive, true
 	}
-	e.execs.Put(ev)
+	if fn != nil {
+		var cancelRun context.CancelFunc
+		runCtx, cancelRun = context.WithCancel(ctx)
+		defer cancelRun()
+		rcfg.Emit = func(a topk.Answer) {
+			if fnErr != nil {
+				return
+			}
+			pub := e.publicAnswer(a)
+			if err := fn(AnswerEvent{Type: EventProvisional, Answer: &pub}); err != nil {
+				fnErr = err
+				cancelRun()
+			}
+		}
+	}
+
+	var answers []topk.Answer
+	var metrics topk.Metrics
+	var traces []TraceEntry
+	if runErr == nil {
+		ev := e.executor()
+		answers, metrics, runErr = ev.Run(runCtx, q, rewrites, rcfg)
+		if !cfg.noTrace {
+			for _, t := range ev.LastTrace() {
+				traces = append(traces, TraceEntry{
+					Query:          t.Query,
+					Weight:         t.Weight,
+					Rules:          t.Rules,
+					Status:         t.Status,
+					PatternMatches: t.PatternMatches,
+					Plan:           t.Plan,
+					SemiJoinKept:   t.SemiJoinKept,
+					Answers:        t.Answers,
+				})
+			}
+		}
+		e.execs.Put(ev)
+	}
+	if fnErr != nil {
+		// The callback failed: the private-context cancellation above
+		// is an implementation detail, not a partial query.
+		runErr = fnErr
+	}
+	metrics.RewritesTotal = len(rewrites)
 
 	res := &Result{
-		Query: q.String(),
-		Trace: traces,
+		Query:   q.String(),
+		Trace:   traces,
+		Partial: runErr != nil && fnErr == nil,
 		Metrics: Metrics{
 			RewritesTotal:     metrics.RewritesTotal,
 			RewritesEvaluated: metrics.RewritesEvaluated,
@@ -736,16 +995,18 @@ func (e *Engine) Query(text string) (*Result, error) {
 			ScanFallbacks:     metrics.ScanFallbacks,
 		},
 	}
+	if cfg.noExplain {
+		// Keep the raw answers only when Explain may still need them:
+		// on the eager path every explanation is already rendered, and
+		// retaining the derivations would just pin the rewrite data
+		// (and the engine) for the result's lifetime.
+		res.src = &resultSource{engine: e, query: q, raw: answers}
+	}
 	for _, a := range answers {
-		pub := Answer{
-			Bindings: make(map[string]string, len(a.Bindings)),
-			Score:    a.Score,
+		pub := e.publicAnswer(a)
+		if !cfg.noExplain {
+			pub.Explanation = publicExplanation(explain.Explain(e.st, q, a))
 		}
-		for v, id := range a.Bindings {
-			pub.Bindings[v] = e.st.Dict().Term(id).Text
-		}
-		ex := explain.Explain(e.st, q, a)
-		pub.Explanation = publicExplanation(ex)
 		res.Answers = append(res.Answers, pub)
 	}
 	for _, n := range suggest.RuleNotices(answers) {
@@ -765,7 +1026,44 @@ func (e *Engine) Query(text string) (*Result, error) {
 			Position: s.Position,
 		})
 	}
+
+	if fn != nil && fnErr == nil {
+		// Final ranked answers, then the terminal done event — sent
+		// even for partial results so streams always terminate cleanly.
+		for i := range res.Answers {
+			if err := fn(AnswerEvent{Type: EventAnswer, Answer: &res.Answers[i], Rank: i + 1}); err != nil {
+				fnErr = err
+				break
+			}
+		}
+		if fnErr == nil {
+			m := res.Metrics
+			fnErr = fn(AnswerEvent{Type: EventDone, Partial: res.Partial, Metrics: &m})
+		}
+		if fnErr != nil {
+			return res, fnErr
+		}
+	}
+	if runErr != nil {
+		if fnErr != nil || (!errors.Is(runErr, context.Canceled) && !errors.Is(runErr, context.DeadlineExceeded)) {
+			return res, runErr
+		}
+		return res, fmt.Errorf("%w: %w", ErrCanceled, runErr)
+	}
 	return res, nil
+}
+
+// publicAnswer converts a processor answer to its public form, without
+// an explanation.
+func (e *Engine) publicAnswer(a topk.Answer) Answer {
+	pub := Answer{
+		Bindings: make(map[string]string, len(a.Bindings)),
+		Score:    a.Score,
+	}
+	for v, id := range a.Bindings {
+		pub.Bindings[v] = e.st.Dict().Term(id).Text
+	}
+	return pub
 }
 
 func publicExplanation(ex explain.Explanation) Explanation {
@@ -1007,14 +1305,21 @@ func NewSyntheticEngine(cfg SyntheticConfig, numQueries int) (*Engine, []EvalQue
 // Ask translates a natural-language question into an extended
 // triple-pattern query and evaluates it (§6: TriniT as a QA back-end).
 // It returns the result together with the generated query text. Questions
-// outside the template repertoire return an error; the caller can fall
-// back to the structured Query syntax.
+// outside the template repertoire return an error wrapping ErrParse; the
+// caller can fall back to the structured Query syntax. It is AskContext
+// without cancellation.
 func (e *Engine) Ask(question string) (*Result, string, error) {
+	return e.AskContext(context.Background(), question)
+}
+
+// AskContext is Ask scoped to ctx, with per-query options — the same
+// cancellation and option semantics as QueryContext.
+func (e *Engine) AskContext(ctx context.Context, question string, opts ...QueryOption) (*Result, string, error) {
 	e.mu.RLock()
 	frozen, tr := e.frozen, e.translate
 	e.mu.RUnlock()
 	if !frozen {
-		return nil, "", fmt.Errorf("trinit: Ask requires a frozen engine (call Freeze)")
+		return nil, "", fmt.Errorf("%w (call Freeze before asking)", ErrNotFrozen)
 	}
 	if tr == nil {
 		e.mu.Lock()
@@ -1027,11 +1332,11 @@ func (e *Engine) Ask(question string) (*Result, string, error) {
 
 	tl, err := tr.Translate(question)
 	if err != nil {
-		return nil, "", err
+		return nil, "", fmt.Errorf("%w: %w", ErrParse, err)
 	}
-	res, err := e.Query(tl.Query)
+	res, err := e.QueryContext(ctx, tl.Query, opts...)
 	if err != nil {
-		return nil, tl.Query, err
+		return res, tl.Query, err
 	}
 	return res, tl.Query, nil
 }

@@ -4,11 +4,12 @@
 //
 // Usage:
 //
-//	trinit-bench [-exp all|e1|...|e8] [-scale small|bench] [-queries 70] [-seed 1] [-json BENCH_3.json]
+//	trinit-bench [-exp all|e1|...|e8] [-scale small|bench] [-queries 70] [-seed 1] [-json BENCH_5.json]
 //
 // With -json, the E5 efficiency metrics (main table, join-kernel ablation,
-// token-matching ablation, each with ns/op) are additionally written as a
-// machine-readable artifact, so CI runs accumulate a perf trajectory.
+// token-matching ablation, serial-vs-parallel scheduling, each with ns/op)
+// are additionally written as a machine-readable artifact, so CI runs
+// accumulate a perf trajectory.
 package main
 
 import (
@@ -32,6 +33,9 @@ type benchArtifact struct {
 	E5           []experiments.E5Row       `json:"e5"`
 	E5Kernels    []experiments.E5KernelRow `json:"e5_kernels"`
 	E5TokenMatch []experiments.E5TokenRow  `json:"e5_token_match"`
+	// E5Parallel holds the serial-vs-parallel scheduler rows (ns/op and
+	// speedup ratio per width) on the wide-rewrite workload.
+	E5Parallel []experiments.E5ParallelRow `json:"e5_parallel"`
 	// TokenMatchIndexScanRatio is baseline/resolved mean IndexScanned on
 	// the token-pattern workload — the list-building reduction factor.
 	TokenMatchIndexScanRatio float64 `json:"token_match_index_scan_ratio"`
@@ -94,15 +98,18 @@ func main() {
 		fmt.Println(experiments.FormatE5Kernels(kernels))
 		tokens := experiments.RunE5TokenMatch(world(), e5Queries, 10)
 		fmt.Println(experiments.FormatE5TokenMatch(tokens))
+		parallel := experiments.RunE5Parallel(world(), e5Queries, 10, nil)
+		fmt.Println(experiments.FormatE5Parallel(parallel))
 		if *jsonPath != "" {
 			art := benchArtifact{
-				Schema:                   "trinit-bench/e5/v1",
+				Schema:                   "trinit-bench/e5/v2",
 				Scale:                    *scale,
 				Queries:                  e5Queries,
 				Seed:                     *seed,
 				E5:                       e5,
 				E5Kernels:                kernels,
 				E5TokenMatch:             tokens,
+				E5Parallel:               parallel,
 				TokenMatchIndexScanRatio: experiments.TokenMatchIndexScanRatio(tokens),
 			}
 			data, err := json.MarshalIndent(art, "", "  ")

@@ -4,11 +4,15 @@
 //
 // Usage:
 //
-//	trinitd [-addr :8080] [-synthetic] [-people N] [-seed S]
+//	trinitd [-addr :8080] [-synthetic] [-people N] [-seed S] [-pprof localhost:6060]
 //
 // By default the server hosts the paper's worked example (Figures 1-4);
 // with -synthetic it generates the synthetic world, builds the XKG from
-// its corpus, and mines relaxation rules.
+// its corpus, and mines relaxation rules. With -pprof, net/http/pprof is
+// served on a separate address, so a production profile of the query
+// pipeline (e.g. the parallel rewrite scheduler) is one
+// `go tool pprof http://host:6060/debug/pprof/profile` away; it is off
+// unless the flag is set, and never on the public listener.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only under -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,7 +39,29 @@ func main() {
 	seed := flag.Int64("seed", 1, "synthetic world seed")
 	load := flag.String("load", "", "serve a saved XKG (.tnt file) instead of demo/synthetic data")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout for in-flight requests")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// Profiling listens on its own address — the main listener never
+		// exposes /debug/pprof — and uses DefaultServeMux, where the
+		// net/http/pprof import registered its handlers. Same header
+		// timeout as the public server (profile writes themselves may
+		// legitimately stream for ~30s, so no write timeout); shutdown
+		// is not graceful here, a dropped profile on SIGTERM is fine.
+		pprofSrv := &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           http.DefaultServeMux,
+			ReadHeaderTimeout: 5 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
+		go func() {
+			log.Printf("trinitd: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil {
+				log.Printf("trinitd: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	var engine *trinit.Engine
 	if *load != "" {

@@ -53,6 +53,43 @@ func TestQueryEndpointErrors(t *testing.T) {
 	}
 }
 
+func TestQueryParallelismParam(t *testing.T) {
+	s := testServer()
+	q := escaped("AlbertEinstein hasAdvisor ?x")
+	serial := get(t, s, "/api/query?q="+q)
+	if serial.Code != http.StatusOK {
+		t.Fatalf("serial status = %d: %s", serial.Code, serial.Body)
+	}
+	var want QueryResponse
+	if err := json.Unmarshal(serial.Body.Bytes(), &want); err != nil {
+		t.Fatal(err)
+	}
+	for _, ps := range []string{"2", "8", "max"} {
+		rec := get(t, s, "/api/query?q="+q+"&parallelism="+ps)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("parallelism=%s: status = %d: %s", ps, rec.Code, rec.Body)
+		}
+		var resp QueryResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Answers) != len(want.Answers) {
+			t.Fatalf("parallelism=%s: %d answers, serial %d", ps, len(resp.Answers), len(want.Answers))
+		}
+		for i := range resp.Answers {
+			if resp.Answers[i].Score != want.Answers[i].Score ||
+				resp.Answers[i].Bindings["x"] != want.Answers[i].Bindings["x"] {
+				t.Fatalf("parallelism=%s: answer %d differs from serial", ps, i)
+			}
+		}
+	}
+	for _, bad := range []string{"0", "-1", "two", "1.5"} {
+		if rec := get(t, s, "/api/query?q="+q+"&parallelism="+bad); rec.Code != http.StatusBadRequest {
+			t.Errorf("parallelism=%s: status %d, want 400", bad, rec.Code)
+		}
+	}
+}
+
 func TestCompleteEndpoint(t *testing.T) {
 	s := testServer()
 	rec := get(t, s, "/api/complete?prefix=Albert&limit=3")

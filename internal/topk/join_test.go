@@ -222,8 +222,8 @@ func TestThresholdHeapMatchesSortedThreshold(t *testing.T) {
 			return 0
 		}
 		scores := make([]float64, 0, len(s.answers))
-		for _, a := range s.answers {
-			scores = append(scores, a.Score)
+		for _, e := range s.answers {
+			scores = append(scores, e.a.Score)
 		}
 		for i := range scores { // selection "sort" is fine at test size
 			for j := i + 1; j < len(scores); j++ {
@@ -243,9 +243,10 @@ func TestThresholdHeapMatchesSortedThreshold(t *testing.T) {
 		{"f", 0.06}, {"h", 0.85}, {"c", 0.99}, {"i", 0.5}, {"e", 0.96},
 	}
 	for k := 1; k <= 6; k++ {
-		s := newState(k)
+		s := newState(k, false)
 		for step, w := range seq {
-			s.record(w.key, Answer{Score: w.score})
+			score := w.score
+			s.record([]byte(w.key), score, 0, step, func() Answer { return Answer{Score: score} })
 			if got, want := s.threshold(), ref(s); got != want {
 				t.Fatalf("k=%d step %d (%s=%v): threshold %v, want %v", k, step, w.key, w.score, got, want)
 			}

@@ -1,0 +1,269 @@
+package topk
+
+// Tests of the parallel rewrite scheduler: byte-identical answers at
+// every width, canonical trace order, queue-level weight-bound
+// skipping, cancellation drain and the serialised emit hook. The
+// full-workload differential across kernel configs lives at the repo
+// root (parallel_test.go); these are the package-level units. Run with
+// -race.
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"trinit/internal/query"
+	"trinit/internal/rdf"
+	"trinit/internal/relax"
+	"trinit/internal/store"
+)
+
+func TestResolveParallelism(t *testing.T) {
+	if got := resolveParallelism(0); got != 1 {
+		t.Fatalf("resolveParallelism(0) = %d, want 1", got)
+	}
+	if got := resolveParallelism(1); got != 1 {
+		t.Fatalf("resolveParallelism(1) = %d, want 1", got)
+	}
+	if got := resolveParallelism(6); got != 6 {
+		t.Fatalf("resolveParallelism(6) = %d, want 6", got)
+	}
+	if got := resolveParallelism(AutoParallelism); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("resolveParallelism(auto) = %d, want GOMAXPROCS=%d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+// wideFixture builds a store with rels token predicates of perRel facts
+// each plus relaxation rules rewriting the first predicate into every
+// other — a rewrite space of rels rewrites whose joins each walk perRel
+// branches, so parallel workers have genuinely concurrent work and a
+// cancellation poll (every 256 branches) is guaranteed mid-rewrite.
+func wideFixture(t *testing.T, perRel, rels int, opts Options) (*Evaluator, *query.Query, []relax.Rewrite) {
+	t.Helper()
+	st := store.New(nil, nil)
+	for r := 0; r < rels; r++ {
+		rel := fmt.Sprintf("widerel%d", r)
+		for i := 0; i < perRel; i++ {
+			conf := 0.1 + 0.8*float64((i*31+r*7)%101)/101
+			st.AddFact(rdf.Resource(fmt.Sprintf("E%d_%d", r, i)), rdf.Token(rel),
+				rdf.Resource(fmt.Sprintf("F%d", i)), rdf.SourceXKG, conf, rdf.NoProv)
+		}
+	}
+	st.Freeze()
+	var rules []*relax.Rule
+	for r := 1; r < rels; r++ {
+		rules = append(rules, relax.MustParseRule(fmt.Sprintf("w%d", r),
+			fmt.Sprintf("?x 'widerel0' ?y => ?x 'widerel%d' ?y", r), 1-0.05*float64(r), "manual"))
+	}
+	q := query.MustParse("?x 'widerel0' ?y")
+	q.Projection = q.ProjectedVars()
+	rewrites := relax.NewExpander(rules).Expand(q)
+	if len(rewrites) != rels {
+		t.Fatalf("rewrite space has %d rewrites, want %d", len(rewrites), rels)
+	}
+	return New(st, opts), q, rewrites
+}
+
+// parallelFixture returns the demo evaluator plus a parsed query and
+// its expanded rewrite space.
+func parallelFixture(t *testing.T, qs string, opts Options) (*Evaluator, *query.Query, []relax.Rewrite) {
+	t.Helper()
+	st := demoXKG()
+	q := query.MustParse(qs)
+	q.Projection = q.ProjectedVars()
+	rewrites := relax.NewExpander(figure4()).Expand(q)
+	return New(st, opts), q, rewrites
+}
+
+func TestParallelRunByteIdenticalToSerial(t *testing.T) {
+	queries := []string{
+		"?x bornIn Germany",
+		"AlbertEinstein hasAdvisor ?x",
+		"AlbertEinstein affiliation ?x . ?x member IvyLeague",
+		"?x ?p ?y",
+		"AlbertEinstein 'won nobel for' ?x",
+	}
+	for _, mode := range []Mode{Incremental, Exhaustive} {
+		for _, qs := range queries {
+			ev, q, rewrites := parallelFixture(t, qs, Options{K: 5, Mode: mode})
+			serial, _, err := ev.Run(context.Background(), q, rewrites, RunConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range []int{2, 3, 8, AutoParallelism} {
+				got, _, err := ev.Run(context.Background(), q, rewrites, RunConfig{Parallelism: p})
+				if err != nil {
+					t.Fatalf("%s P=%d: %v", qs, p, err)
+				}
+				if !reflect.DeepEqual(got, serial) {
+					t.Fatalf("%s mode=%v P=%d: answers differ from serial\n got: %+v\n want: %+v",
+						qs, mode, p, got, serial)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelOptionsDefaultEnablesScheduler(t *testing.T) {
+	ev, q, rewrites := parallelFixture(t, "?x bornIn Germany", Options{K: 5, Parallelism: 4})
+	serial, _, err := ev.Run(context.Background(), q, rewrites, RunConfig{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaOpts, _, err := ev.Run(context.Background(), q, rewrites, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(viaOpts, serial) {
+		t.Fatalf("Options.Parallelism run differs from forced-serial run")
+	}
+}
+
+func TestParallelTraceCanonicalOrder(t *testing.T) {
+	ev, q, rewrites := parallelFixture(t, "?x bornIn Germany", Options{K: 5})
+	if _, _, err := ev.Run(context.Background(), q, rewrites, RunConfig{Parallelism: 4}); err != nil {
+		t.Fatal(err)
+	}
+	trace := ev.LastTrace()
+	if len(trace) != len(rewrites) {
+		t.Fatalf("trace has %d entries, rewrite space %d", len(trace), len(rewrites))
+	}
+	valid := map[string]bool{
+		"evaluated": true, "skipped (weight bound)": true, "no matches": true,
+		"no matches (semi-join)": true, "missing projection": true, "canceled": true,
+	}
+	for i, tr := range trace {
+		if tr.Query != rewrites[i].Query.String() {
+			t.Fatalf("trace[%d] = %q, want canonical rewrite %q", i, tr.Query, rewrites[i].Query.String())
+		}
+		if tr.Weight != rewrites[i].Weight {
+			t.Fatalf("trace[%d] weight = %v, want %v", i, tr.Weight, rewrites[i].Weight)
+		}
+		if !valid[tr.Status] {
+			t.Fatalf("trace[%d] has invalid status %q", i, tr.Status)
+		}
+	}
+}
+
+func TestParallelNoTraceSkipsTrace(t *testing.T) {
+	ev, q, rewrites := parallelFixture(t, "?x bornIn Germany", Options{K: 5})
+	ans, _, err := ev.Run(context.Background(), q, rewrites, RunConfig{Parallelism: 4, NoTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) == 0 {
+		t.Fatal("no answers")
+	}
+	if n := ev.TraceLen(); n != 0 {
+		t.Fatalf("TraceLen = %d after NoTrace parallel run, want 0", n)
+	}
+}
+
+func TestParallelRewriteAccounting(t *testing.T) {
+	// Low K forces weight-bound skipping on the demo fixture; the queue
+	// must account every rewrite as either evaluated or skipped.
+	ev, q, rewrites := parallelFixture(t, "?x bornIn Germany", Options{K: 1})
+	_, m, err := ev.Run(context.Background(), q, rewrites, RunConfig{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RewritesTotal != len(rewrites) {
+		t.Fatalf("RewritesTotal = %d, want %d", m.RewritesTotal, len(rewrites))
+	}
+	if m.RewritesEvaluated+m.RewritesSkipped != m.RewritesTotal {
+		t.Fatalf("evaluated %d + skipped %d != total %d",
+			m.RewritesEvaluated, m.RewritesSkipped, m.RewritesTotal)
+	}
+}
+
+func TestParallelWideRewriteSpaceByteIdenticalToSerial(t *testing.T) {
+	for _, mode := range []Mode{Incremental, Exhaustive} {
+		ev, q, rewrites := wideFixture(t, 400, 6, Options{K: 10, Mode: mode})
+		serial, _, err := ev.Run(context.Background(), q, rewrites, RunConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(serial) == 0 {
+			t.Fatal("no answers")
+		}
+		for _, p := range []int{2, 4, 8} {
+			got, _, err := ev.Run(context.Background(), q, rewrites, RunConfig{Parallelism: p})
+			if err != nil {
+				t.Fatalf("P=%d: %v", p, err)
+			}
+			if !reflect.DeepEqual(got, serial) {
+				t.Fatalf("mode=%v P=%d: wide-rewrite answers differ from serial", mode, p)
+			}
+		}
+	}
+}
+
+func TestParallelEmitSerializedAndCancelDrains(t *testing.T) {
+	// Each of the 6 rewrites joins 1200 branches, so the worker whose
+	// emit hook cancels the run is guaranteed to observe its own
+	// cancellation at the next 256-branch poll, mid-rewrite.
+	ev, q, rewrites := wideFixture(t, 1200, 6, Options{K: 3, Mode: Exhaustive})
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// The emit hook cancels the run after the first admission. A
+	// non-atomic counter doubles as the serialisation check: -race
+	// flags the scheduler if emits ever run concurrently.
+	emits := 0
+	ans, _, err := ev.Run(ctx, q, rewrites, RunConfig{
+		Parallelism: 4,
+		Emit: func(Answer) {
+			emits++
+			cancel()
+		},
+	})
+	if emits == 0 {
+		t.Fatal("no emit before cancellation")
+	}
+	if err == nil {
+		t.Fatal("cancelled parallel run returned nil error")
+	}
+	if len(ans) == 0 {
+		t.Fatal("cancelled run dropped the answers found so far")
+	}
+	canceledTraced := false
+	for _, tr := range ev.LastTrace() {
+		if tr.Status == "canceled" {
+			canceledTraced = true
+		}
+	}
+	if !canceledTraced {
+		t.Fatal("no trace entry with status canceled")
+	}
+	// Run returning past wg.Wait proves the workers drained; double-check
+	// the goroutine count settles back to the baseline.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("%d goroutines after cancelled parallel run, baseline %d", n, before)
+	}
+}
+
+func TestParallelPreCanceledContext(t *testing.T) {
+	ev, q, rewrites := parallelFixture(t, "?x bornIn Germany", Options{K: 5})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, m, err := ev.Run(ctx, q, rewrites, RunConfig{Parallelism: 4})
+	if err == nil {
+		t.Fatal("pre-cancelled parallel run returned nil error")
+	}
+	if m.RewritesTotal != len(rewrites) {
+		t.Fatalf("RewritesTotal = %d, want %d", m.RewritesTotal, len(rewrites))
+	}
+	for _, tr := range ev.LastTrace() {
+		if tr.Status != "canceled" {
+			t.Fatalf("trace status = %q on a pre-cancelled run, want canceled", tr.Status)
+		}
+	}
+}

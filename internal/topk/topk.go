@@ -22,8 +22,11 @@ package topk
 
 import (
 	"context"
+	"math"
 	"sort"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"trinit/internal/query"
 	"trinit/internal/rdf"
@@ -81,6 +84,13 @@ type Options struct {
 	// answers are byte-identical either way; it is the cost baseline for
 	// list-building measurements.
 	NoTokenIndex bool
+	// Parallelism is the default number of scheduler workers a Run may
+	// use to evaluate a query's rewrites concurrently (overridable per
+	// call via RunConfig.Parallelism). 0 and 1 keep the serial schedule;
+	// values > 1 enable the parallel scheduler with that many workers;
+	// AutoParallelism (any negative value) uses one worker per logical
+	// CPU. The final ranking is byte-identical at every width.
+	Parallelism int
 }
 
 // RunConfig carries the per-call knobs of one Run. Every field is
@@ -108,8 +118,20 @@ type RunConfig struct {
 	// events are best-effort: an answer that merely ties the k-th score
 	// can enter the final ranking through the deterministic key
 	// tie-break without ever being admitted to the score-only heap, so
-	// consumers must treat the final answers as authoritative.
+	// consumers must treat the final answers as authoritative. Under a
+	// parallel schedule calls are serialised (never concurrent), but
+	// two admissions may arrive in either order.
 	Emit func(Answer)
+	// Parallelism overrides the executor's configured scheduler width
+	// for this call: 1 forces the serial schedule, values > 1 evaluate
+	// rewrites on that many concurrent workers sharing one top-k bound,
+	// AutoParallelism (any negative value) uses one worker per logical
+	// CPU, and 0 keeps the executor's Options.Parallelism. Answers are
+	// byte-identical to serial execution at every width; Metrics work
+	// counters and trace statuses may differ run to run, because a
+	// worker acting on a slightly stale bound does extra (never unsafe)
+	// work.
+	Parallelism int
 }
 
 // cancelCheckInterval is how many join branches may run between two
@@ -148,6 +170,14 @@ type Derivation struct {
 }
 
 // Metrics quantify the work done, for the E5 efficiency experiment.
+//
+// Under a parallel schedule (Parallelism > 1) every worker accumulates
+// its counters locally and the scheduler merges them once at the end,
+// so totals cover the whole run; work-dependent counters (SortedAccesses,
+// JoinBranches, PrunedBranches, RewritesEvaluated/Skipped, …) may vary
+// between runs of the same query, because a worker acting on a slightly
+// stale top-k bound does extra — never unsafe — work. Serial runs stay
+// exactly reproducible.
 type Metrics struct {
 	// RewritesTotal is the size of the supplied rewrite space.
 	RewritesTotal int
@@ -286,6 +316,12 @@ func (ev *Executor) LastTrace() []RewriteTrace {
 	return append([]RewriteTrace(nil), ev.lastTrace...)
 }
 
+// TraceLen returns the number of trace entries of the most recent
+// Evaluate call without copying the trace — for callers that only need
+// the length (or use it to pre-size a conversion) before deciding
+// whether to pay for the LastTrace copy.
+func (ev *Executor) TraceLen() int { return len(ev.lastTrace) }
+
 // Evaluate processes the rewrites of q (the first of which must be the
 // original query; the list must be sorted by descending weight, as
 // produced by relax.Expander) and returns the top-k answers sorted by
@@ -297,11 +333,14 @@ func (ev *Executor) Evaluate(q *query.Query, rewrites []relax.Rewrite) ([]Answer
 }
 
 // Run is Evaluate with request scoping: ctx cancels the call, cfg
-// overrides the executor's K and Mode for this call only and may attach
-// a provisional-answer emit hook. Cancellation is checked at every
-// rewrite boundary and every cancelCheckInterval join branches; a
-// cancelled Run returns the answers found so far (ranked as usual)
-// together with ctx.Err(), so callers can surface a partial result.
+// overrides the executor's K, Mode and Parallelism for this call only
+// and may attach a provisional-answer emit hook. Cancellation is
+// checked at every rewrite boundary and every cancelCheckInterval join
+// branches; a cancelled Run returns the answers found so far (ranked as
+// usual) together with ctx.Err(), so callers can surface a partial
+// result. With an effective parallelism above 1 the rewrites are
+// evaluated by the parallel scheduler (see runParallel); the final
+// ranking is byte-identical to the serial schedule.
 func (ev *Executor) Run(ctx context.Context, q *query.Query, rewrites []relax.Rewrite, cfg RunConfig) ([]Answer, Metrics, error) {
 	opts := ev.opts
 	if cfg.K > 0 {
@@ -310,11 +349,24 @@ func (ev *Executor) Run(ctx context.Context, q *query.Query, rewrites []relax.Re
 	if cfg.ModeSet {
 		opts.Mode = cfg.Mode
 	}
+	workers := cfg.Parallelism
+	if workers == 0 {
+		workers = opts.Parallelism
+	}
+	workers = resolveParallelism(workers)
+	if workers > len(rewrites) {
+		// Never spin up more workers than rewrites to hand out.
+		workers = len(rewrites)
+	}
+	if workers > 1 {
+		return ev.runParallel(ctx, q, rewrites, opts, cfg, workers)
+	}
+
 	var done <-chan struct{}
 	if ctx != nil {
 		done = ctx.Done()
 	}
-	r := &run{Executor: ev, opts: opts, done: done, emit: cfg.Emit}
+	r := &run{Executor: ev, opts: opts, done: done, emit: cfg.Emit, noTrace: cfg.NoTrace}
 
 	proj := q.ProjectedVars()
 	k := opts.K
@@ -322,7 +374,7 @@ func (ev *Executor) Run(ctx context.Context, q *query.Query, rewrites []relax.Re
 		k = q.Limit
 	}
 
-	st := newState(k)
+	st := newState(k, false)
 	var m Metrics
 	m.RewritesTotal = len(rewrites)
 	ev.lastTrace = ev.lastTrace[:0]
@@ -353,12 +405,13 @@ func (ev *Executor) Run(ctx context.Context, q *query.Query, rewrites []relax.Re
 			}
 			break
 		}
-		if opts.Mode == Incremental && len(st.answers) >= k && rw.Weight < st.threshold() {
-			// No later rewrite can contribute: weights descend. The
-			// bound is strict so that rewrites able to *tie* the
-			// k-th score still run — ties are broken deterministically
-			// by binding key, so dropping a tied answer exhaustive
-			// mode would have kept could change the result set.
+		if opts.Mode == Incremental && rw.Weight < st.threshold() {
+			// No later rewrite can contribute: weights descend, and the
+			// threshold stays 0 until k answers exist. The bound is
+			// strict so that rewrites able to *tie* the k-th score
+			// still run — ties are broken deterministically by binding
+			// key, so dropping a tied answer exhaustive mode would have
+			// kept could change the result set.
 			m.RewritesSkipped = len(rewrites) - ri
 			for _, skipped := range rewrites[ri:] {
 				trace(skipped).Status = "skipped (weight bound)"
@@ -366,38 +419,10 @@ func (ev *Executor) Run(ctx context.Context, q *query.Query, rewrites []relax.Re
 			break
 		}
 		m.RewritesEvaluated++
-		rt := trace(rw)
-		before := st.writes
-		r.evalRewrite(rw, proj, st, &m, rt)
-		rt.Answers = st.writes - before
-		if r.canceled {
-			rt.Status = "canceled"
-		}
+		r.evalRewrite(rw, ri, proj, st, &m, trace(rw))
 	}
 
-	// Rank by descending score, ties by binding key. The map key IS the
-	// answer key, so no keys are re-derived during sorting.
-	type ranked struct {
-		key string
-		a   *Answer
-	}
-	rs := make([]ranked, 0, len(st.answers))
-	for key, a := range st.answers {
-		rs = append(rs, ranked{key, a})
-	}
-	sort.Slice(rs, func(i, j int) bool {
-		if rs[i].a.Score != rs[j].a.Score {
-			return rs[i].a.Score > rs[j].a.Score
-		}
-		return rs[i].key < rs[j].key
-	})
-	if len(rs) > k {
-		rs = rs[:k]
-	}
-	out := make([]Answer, len(rs))
-	for i, r := range rs {
-		out[i] = *r.a
-	}
+	out := st.ranked(k)
 	var err error
 	if r.canceled && ctx != nil {
 		err = ctx.Err()
@@ -407,9 +432,11 @@ func (ev *Executor) Run(ctx context.Context, q *query.Query, rewrites []relax.Re
 
 // run bundles the per-call state of one Run: the effective options (the
 // executor's defaults with the RunConfig overrides applied), the
-// cancellation gate and the emit hook. Methods that depend on per-call
-// options hang off run; everything shared and immutable stays on the
-// embedded Executor.
+// cancellation gate, the emit hook and the evaluation scratch buffers.
+// Methods that depend on per-call options hang off run; everything
+// shared and immutable stays on the embedded Executor. Under a parallel
+// schedule every worker owns its own run, so nothing here is ever
+// shared between goroutines.
 type run struct {
 	*Executor
 	opts Options
@@ -417,10 +444,44 @@ type run struct {
 	// never be cancelled, which skips all polling).
 	done <-chan struct{}
 	emit func(Answer)
+	// noTrace marks that trace entries are throwaways, so evalRewrite
+	// skips the defensive copies of its scratch slices into them.
+	noTrace bool
 	// branchTick counts join branches since the last poll of done;
 	// checkCancel polls every cancelCheckInterval ticks.
 	branchTick int
 	canceled   bool
+	// sc holds the buffers evalRewrite reuses across rewrites.
+	sc evalScratch
+}
+
+// evalScratch is the reusable buffer set of evalRewrite: everything an
+// evaluation needs that does not outlive the rewrite. Retained data —
+// trace slices, answer bindings and derivations — is copied out, and
+// only when actually retained. Reusing these across the rewrites of a
+// run removes the bulk of the per-rewrite allocations (visible with
+// -benchmem on the E5 benchmarks).
+type evalScratch struct {
+	bound     map[string]bool
+	textOrder []int
+	lists     []*patternList
+	sizes     []int
+	order     []int
+	suffix    []float64
+	bindings  map[string]rdf.TermID
+	triples   []store.ID
+	probs     []float64
+	added     [][]string
+	keyBuf    []byte
+}
+
+// scratchSlice returns s resized to n, reusing its capacity. Elements
+// are stale; callers overwrite what they read.
+func scratchSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // pollCancel polls the done channel unconditionally — used at rewrite
@@ -463,17 +524,42 @@ func (r *run) checkCancel() bool {
 // of the current best k answers, so every answer write costs O(log k) and
 // every threshold read is O(1) — the seed resorted all answer scores on
 // every read after a write.
+//
+// A state is either private to one serial run or shared by the parallel
+// scheduler's workers (concurrent == true). In the concurrent case
+// answer writes serialise behind mu — a short critical section — while
+// the join hot path keeps reading the threshold lock-free through bits.
 type state struct {
-	answers map[string]*Answer
+	answers map[string]*answerEntry
 	k       int
 	// top is the min-heap of the best min(k, len(answers)) answers; pos
 	// maps an answer key to its heap index.
 	top []heapEntry
 	pos map[string]int
-	// keyBuf is the reusable scratch buffer answer keys are built in.
-	keyBuf []byte
-	// writes counts answers created or improved, for tracing.
-	writes int
+	// concurrent marks a state shared across scheduler workers: record
+	// takes mu, and the threshold is read through bits only.
+	concurrent bool
+	mu         sync.Mutex
+	// bits atomically publishes math.Float64bits of the current k-th
+	// best score (0 while fewer than k answers exist), re-stored after
+	// every heap update. A worker's stale read is always <= the true
+	// bound — the threshold only ever rises — so pruning against it is
+	// safe under staleness: extra work, never a missed answer.
+	bits atomic.Uint64
+}
+
+// answerEntry is a stored answer plus the identity of the derivation
+// that produced its current score: the rewrite index and the derivation
+// sequence number within that rewrite, i.e. the position of the
+// derivation in the canonical serial enumeration order. Among
+// equal-scoring derivations of one answer the canonically earliest
+// wins, which makes the stored derivation — and with it the final
+// ranking — byte-identical between serial and parallel schedules.
+type answerEntry struct {
+	key string
+	a   Answer
+	ri  int
+	seq int
 }
 
 type heapEntry struct {
@@ -481,68 +567,118 @@ type heapEntry struct {
 	score float64
 }
 
-func newState(k int) *state {
+func newState(k int, concurrent bool) *state {
 	return &state{
-		answers: make(map[string]*Answer),
-		k:       k,
-		top:     make([]heapEntry, 0, k),
-		pos:     make(map[string]int, k),
+		answers:    make(map[string]*answerEntry),
+		k:          k,
+		top:        make([]heapEntry, 0, k),
+		pos:        make(map[string]int, k),
+		concurrent: concurrent,
 	}
 }
 
 // threshold returns the current k-th best answer score, or 0 when fewer
-// than k answers exist.
+// than k answers exist. Lock-free: this is the join kernel's score-bound
+// read, issued once per candidate branch.
 func (s *state) threshold() float64 {
-	if len(s.top) < s.k {
-		return 0
-	}
-	return s.top[0].score
+	return math.Float64frombits(s.bits.Load())
 }
 
-// record stores or improves an answer and reports whether the write
+// publish re-derives the atomic threshold from the heap root. Callers
+// hold mu when the state is concurrent.
+func (s *state) publish() {
+	if len(s.top) >= s.k {
+		s.bits.Store(math.Float64bits(s.top[0].score))
+	}
+}
+
+// record stores or improves an answer, materialising it with mk only if
+// the write actually lands — rejected derivations cost no allocation.
+// key is a scratch buffer; record copies it only when the answer is
+// new. (ri, seq) identify the derivation in canonical serial order and
+// break exact score ties (see answerEntry). wrote reports that the
+// answer was created or improved; admitted reports that the write
 // landed in the current top-k — the signal the emit hook streams.
-func (s *state) record(key string, a Answer) bool {
-	if cur, ok := s.answers[key]; ok {
-		// Max-over-derivations semantics (§4).
-		if a.Score > cur.Score {
-			*cur = a
-			s.writes++
-			s.bump(key, a.Score)
-			_, in := s.pos[key]
-			return in
-		}
-		return false
+func (s *state) record(key []byte, score float64, ri, seq int, mk func() Answer) (wrote, admitted bool) {
+	if s.concurrent {
+		s.mu.Lock()
+		defer s.mu.Unlock()
 	}
-	cp := a
-	s.answers[key] = &cp
-	s.writes++
-	s.bump(key, a.Score)
-	_, in := s.pos[key]
-	return in
+	if cur, ok := s.answers[string(key)]; ok {
+		if score < cur.a.Score {
+			return false, false
+		}
+		if score == cur.a.Score {
+			if ri > cur.ri || (ri == cur.ri && seq >= cur.seq) {
+				return false, false
+			}
+			// Same score from a canonically earlier derivation: a
+			// parallel schedule met the derivations out of order; keep
+			// the one the serial schedule would have kept (first wins).
+			// The score is unchanged, so no re-ranking and no emit.
+			cur.a, cur.ri, cur.seq = mk(), ri, seq
+			return true, false
+		}
+		// Max-over-derivations semantics (§4).
+		cur.a, cur.ri, cur.seq = mk(), ri, seq
+		return true, s.bump(cur.key, score)
+	}
+	e := &answerEntry{key: string(key), a: mk(), ri: ri, seq: seq}
+	s.answers[e.key] = e
+	return true, s.bump(e.key, score)
 }
 
-// bump inserts key into the top-k heap or raises its score in place.
-// Scores only ever increase (max-over-derivations), so an in-heap update
-// sifts towards the leaves only.
-func (s *state) bump(key string, score float64) {
+// bump inserts key into the top-k heap or raises its score in place,
+// reporting whether the key sits in the heap afterwards. Scores only
+// ever increase (max-over-derivations), so an in-heap update sifts
+// towards the leaves only.
+func (s *state) bump(key string, score float64) bool {
 	if i, ok := s.pos[key]; ok {
 		s.top[i].score = score
 		s.siftDown(i)
-		return
+		s.publish()
+		return true
 	}
 	if len(s.top) < s.k {
 		s.top = append(s.top, heapEntry{key, score})
 		s.pos[key] = len(s.top) - 1
 		s.siftUp(len(s.top) - 1)
-		return
+		s.publish()
+		return true
 	}
 	if score <= s.top[0].score {
-		return
+		return false
 	}
 	delete(s.pos, s.top[0].key)
 	s.top[0] = heapEntry{key, score}
 	s.pos[key] = 0
 	s.siftDown(0)
+	s.publish()
+	return true
+}
+
+// ranked returns the top-k answers sorted by descending score, ties
+// broken by binding key. The map key IS the answer key, so no keys are
+// re-derived during sorting.
+func (s *state) ranked(k int) []Answer {
+	rs := make([]*answerEntry, 0, len(s.answers))
+	for _, e := range s.answers {
+		rs = append(rs, e)
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].a.Score != rs[j].a.Score {
+			return rs[i].a.Score > rs[j].a.Score
+		}
+		return rs[i].key < rs[j].key
+	})
+	if len(rs) > k {
+		rs = rs[:k]
+	}
+	out := make([]Answer, len(rs))
+	for i, e := range rs {
+		out[i] = e.a
+	}
+	return out
 }
 
 func (s *state) siftUp(i int) {
@@ -591,24 +727,37 @@ func appendAnswerKey(buf []byte, b map[string]rdf.TermID, proj []string) []byte 
 	return buf
 }
 
-// evalRewrite matches all patterns of one rewrite and joins them, filling
-// rt with the status, per-pattern match counts, processed pattern order
-// and semi-join survivor counts. It aborts early (leaving r.canceled set)
-// when the run's context is cancelled mid-join.
-func (r *run) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *Metrics, rt *RewriteTrace) {
+// evalRewrite matches all patterns of one rewrite (index ri in the
+// rewrite space) and joins them, filling rt with the status,
+// per-pattern match counts, processed pattern order, semi-join survivor
+// counts and answer count. It aborts early (leaving r.canceled set and
+// the trace status "canceled") when the run's context is cancelled
+// mid-join. All transient buffers come from r.sc and are reused across
+// rewrites; anything that outlives the call — trace slices, answer
+// bindings and derivations — is copied out, and only when retained.
+func (r *run) evalRewrite(rw relax.Rewrite, ri int, proj []string, st *state, m *Metrics, rt *RewriteTrace) {
 	ev := r.Executor
+	sc := &r.sc
 	pats := rw.Query.Patterns
 	n := len(pats)
+	defer func() {
+		if r.canceled {
+			rt.Status = "canceled"
+		}
+	}()
 
 	// Skip rewrites that cannot bind every projected variable.
-	bound := make(map[string]bool)
+	if sc.bound == nil {
+		sc.bound = make(map[string]bool)
+	}
+	clear(sc.bound)
 	for _, p := range pats {
 		for _, v := range p.Vars() {
-			bound[v] = true
+			sc.bound[v] = true
 		}
 	}
 	for _, v := range proj {
-		if !bound[v] {
+		if !sc.bound[v] {
 			rt.Status = "missing projection"
 			return
 		}
@@ -619,25 +768,48 @@ func (r *run) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *Metrics
 	// materialised. NoPlan keeps query-text order as the baseline.
 	var buildOrder []int
 	if r.opts.NoPlan {
-		buildOrder = make([]int, n)
-		for i := range buildOrder {
-			buildOrder[i] = i
+		sc.textOrder = scratchSlice(sc.textOrder, n)
+		for i := range sc.textOrder {
+			sc.textOrder[i] = i
 		}
+		buildOrder = sc.textOrder
 	} else {
 		buildOrder, _ = ev.plan(pats)
 	}
 
 	// tracePlan is what surfaces in RewriteTrace.Plan and
-	// Derivation.Plan: nil with planning off (query-text order).
+	// Derivation.Plan: nil with planning off (query-text order),
+	// otherwise one stable copy per rewrite, materialised lazily the
+	// first time something retains it. Every call within one rewrite
+	// passes the same order slice (aborts before the join-order
+	// refinement return immediately), so one memo is enough.
+	var planCopy []int
 	tracePlan := func(order []int) []int {
 		if r.opts.NoPlan {
 			return nil
 		}
-		return order
+		if planCopy == nil {
+			planCopy = append([]int(nil), order...)
+		}
+		return planCopy
+	}
+	// setTrace fills the retained trace fields, skipping the defensive
+	// scratch copies when the trace is a throwaway.
+	setTrace := func(status string, order []int) {
+		rt.Status = status
+		if r.noTrace {
+			return
+		}
+		rt.PatternMatches = append([]int(nil), sc.sizes[:n]...)
+		rt.Plan = tracePlan(order)
 	}
 
-	lists := make([]*patternList, n)
-	sizes := make([]int, n)
+	sc.lists = scratchSlice(sc.lists, n)
+	sc.sizes = scratchSlice(sc.sizes, n)
+	lists, sizes := sc.lists, sc.sizes
+	for i := 0; i < n; i++ {
+		lists[i], sizes[i] = nil, 0
+	}
 	for _, pi := range buildOrder {
 		// List builds can dominate a rewrite's cost (full-range scan
 		// fallbacks), so cancellation is polled per pattern — not only
@@ -660,7 +832,7 @@ func (r *run) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *Metrics
 		lists[pi] = pl
 		sizes[pi] = len(pl.matches)
 		if len(pl.matches) == 0 {
-			rt.Status, rt.PatternMatches, rt.Plan = "no matches", sizes, tracePlan(buildOrder)
+			setTrace("no matches", buildOrder)
 			return
 		}
 	}
@@ -672,7 +844,8 @@ func (r *run) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *Metrics
 	// graph allows it. NoPlan joins in query-text order.
 	order := buildOrder
 	if !r.opts.NoPlan {
-		order = append([]int(nil), buildOrder...)
+		sc.order = append(sc.order[:0], buildOrder...)
+		order = sc.order
 		sort.SliceStable(order, func(a, b int) bool {
 			return len(lists[order[a]].matches) < len(lists[order[b]].matches)
 		})
@@ -696,7 +869,7 @@ func (r *run) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *Metrics
 		rt.SemiJoinKept = liveCount
 		for _, c := range liveCount {
 			if c == 0 {
-				rt.Status, rt.PatternMatches, rt.Plan = "no matches (semi-join)", sizes, tracePlan(order)
+				setTrace("no matches (semi-join)", order)
 				return
 			}
 		}
@@ -706,17 +879,28 @@ func (r *run) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *Metrics
 	// in join order: the best possible completion of a partial join.
 	// After semi-join reduction the head is the best *surviving* entry,
 	// still an upper bound on any completion.
-	suffixBound := make([]float64, n+1)
+	sc.suffix = scratchSlice(sc.suffix, n+1)
+	suffixBound := sc.suffix
 	suffixBound[n] = 1
 	for i := n - 1; i >= 0; i-- {
 		suffixBound[i] = suffixBound[i+1] * liveHead(order[i])
 	}
 
-	bindings := make(map[string]rdf.TermID)
-	triples := make([]store.ID, n)
-	probs := make([]float64, n)
-	addedScratch := make([][]string, n)
+	if sc.bindings == nil {
+		sc.bindings = make(map[string]rdf.TermID)
+	}
+	clear(sc.bindings)
+	bindings := sc.bindings
+	sc.triples = scratchSlice(sc.triples, n)
+	sc.probs = scratchSlice(sc.probs, n)
+	sc.added = scratchSlice(sc.added, n)
+	triples, probs, addedScratch := sc.triples, sc.probs, sc.added
 
+	// seq numbers this rewrite's complete bindings in enumeration
+	// order — the canonical derivation identity record uses to break
+	// exact score ties deterministically; answers counts the writes
+	// that landed, for the trace.
+	seq, answers := 0, 0
 	var rec func(depth int, partial float64)
 	rec = func(depth int, partial float64) {
 		if depth == n {
@@ -732,19 +916,30 @@ func (r *run) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *Metrics
 					return
 				}
 			}
-			ans := Answer{
-				Bindings: projected(bindings, proj),
-				Score:    rw.Weight * partial,
-				Derivation: Derivation{
-					Rewrite:      rw,
-					Triples:      append([]store.ID(nil), triples...),
-					PatternProbs: append([]float64(nil), probs...),
-					Plan:         tracePlan(order),
-				},
+			seq++
+			total := rw.Weight * partial
+			sc.keyBuf = appendAnswerKey(sc.keyBuf[:0], bindings, proj)
+			// The answer is materialised (bindings projected, triples
+			// and probabilities copied) only if the write lands.
+			var stored Answer
+			wrote, admitted := st.record(sc.keyBuf, total, ri, seq, func() Answer {
+				stored = Answer{
+					Bindings: projected(bindings, proj),
+					Score:    total,
+					Derivation: Derivation{
+						Rewrite:      rw,
+						Triples:      append([]store.ID(nil), triples[:n]...),
+						PatternProbs: append([]float64(nil), probs[:n]...),
+						Plan:         tracePlan(order),
+					},
+				}
+				return stored
+			})
+			if wrote {
+				answers++
 			}
-			st.keyBuf = appendAnswerKey(st.keyBuf[:0], bindings, proj)
-			if st.record(string(st.keyBuf), ans) && r.emit != nil {
-				r.emit(ans)
+			if admitted && r.emit != nil {
+				r.emit(stored)
 			}
 			return
 		}
@@ -788,12 +983,13 @@ func (r *run) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *Metrics
 			// Reading the next entry of the score-sorted list is
 			// one sorted access.
 			m.SortedAccesses++
-			if r.opts.Mode == Incremental && len(st.answers) >= st.k {
+			if r.opts.Mode == Incremental {
 				bound := rw.Weight * partial * match.Prob * suffixBound[depth+1]
 				if bound < st.threshold() {
-					// Matches are sorted by descending
-					// probability: all remaining are worse.
-					// Strictly worse only — a branch that can
+					// The threshold is 0 until k answers exist, so
+					// this never fires early. Matches are sorted by
+					// descending probability: all remaining are
+					// worse. Strictly worse only — a branch that can
 					// still tie the k-th score must run so the
 					// deterministic tie-break over the full tied
 					// set matches exhaustive mode byte for byte.
@@ -828,7 +1024,8 @@ func (r *run) evalRewrite(rw relax.Rewrite, proj []string, st *state, m *Metrics
 		}
 	}
 	rec(0, 1)
-	rt.Status, rt.PatternMatches, rt.Plan = "evaluated", sizes, tracePlan(order)
+	setTrace("evaluated", order)
+	rt.Answers = answers
 }
 
 func projected(bindings map[string]rdf.TermID, proj []string) map[string]rdf.TermID {

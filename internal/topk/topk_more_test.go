@@ -96,14 +96,14 @@ func TestRunNoTraceSkipsTraceEntirely(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ev.LastTrace()) == 0 {
+	if ev.TraceLen() == 0 {
 		t.Fatal("default run collected no trace")
 	}
 	bare, _, err := ev.Run(context.Background(), q, rewrites, RunConfig{NoTrace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n := len(ev.LastTrace()); n != 0 {
+	if n := ev.TraceLen(); n != 0 {
 		t.Fatalf("NoTrace run left %d trace entries", n)
 	}
 	if len(bare) != len(traced) {

@@ -110,6 +110,14 @@ type Options struct {
 	// (the pre-token-resolution list builder). Answers are identical,
 	// work is not. Meant for baselines and testing.
 	NoTokenIndex bool
+	// Parallelism is the default number of workers each query may use
+	// to evaluate its rewrite space concurrently (overridable per query
+	// with WithParallelism). 0 or 1 keeps the serial schedule — the
+	// default, best for engines already saturated by concurrent
+	// queries; values > 1 use that many workers per query; negative
+	// values use one worker per logical CPU. Answers are byte-identical
+	// at every setting.
+	Parallelism int
 }
 
 func (o *Options) withDefaults() Options {
@@ -360,6 +368,7 @@ func (e *Engine) initQueryPipeline() {
 		NoHashJoin:   e.opts.NoHashJoin,
 		NoSemiJoin:   e.opts.NoSemiJoin,
 		NoTokenIndex: e.opts.NoTokenIndex,
+		Parallelism:  e.opts.Parallelism,
 	}
 	st, cache := e.st, e.cache
 	e.execs.New = func() any { return topk.NewExecutor(st, cache, opts) }
@@ -752,11 +761,12 @@ const (
 // queryConfig is the resolved option set of one query. The zero value
 // reproduces the classic Query behaviour exactly.
 type queryConfig struct {
-	k         int
-	timeout   time.Duration
-	mode      QueryMode
-	noTrace   bool
-	noExplain bool
+	k           int
+	timeout     time.Duration
+	mode        QueryMode
+	parallelism int
+	noTrace     bool
+	noExplain   bool
 }
 
 // QueryOption is a per-query knob of QueryContext, QueryStream and
@@ -803,6 +813,26 @@ func WithoutExplanations() QueryOption {
 // WithMode overrides the engine's processing mode for this query.
 func WithMode(m QueryMode) QueryOption {
 	return func(c *queryConfig) { c.mode = m }
+}
+
+// WithParallelism sets how many workers evaluate this query's rewrite
+// space concurrently: n > 1 uses n workers, n == 1 forces the serial
+// schedule (overriding an engine-wide Options.Parallelism), and n <= 0
+// uses one worker per logical CPU. The final ranking is byte-identical
+// to serial execution at every width — a parallel worker may act on a
+// slightly stale top-k bound, which can only cause extra join work,
+// never a missed or different answer. Parallelism pays off on wide
+// rewrite spaces (relaxation-heavy queries) when the host has idle
+// cores; an engine already saturated by concurrent queries gains
+// nothing from it.
+func WithParallelism(n int) QueryOption {
+	return func(c *queryConfig) {
+		if n <= 0 {
+			c.parallelism = topk.AutoParallelism
+		} else {
+			c.parallelism = n
+		}
+	}
 }
 
 // EventType discriminates the events of a streaming query.
@@ -878,10 +908,12 @@ func (e *Engine) QueryContext(ctx context.Context, text string, opts ...QueryOpt
 // QueryStream evaluates a query like QueryContext while streaming
 // processing events to fn: zero or more EventProvisional events as the
 // incremental processor admits answers into its running top-k, then one
-// EventAnswer per final ranked answer, then a terminal EventDone. fn
-// runs synchronously on the query goroutine; an error returned from fn
-// stops the query and is returned verbatim (no done event follows). The
-// final Result is returned as from QueryContext.
+// EventAnswer per final ranked answer, then a terminal EventDone. Calls
+// to fn are serialised, never concurrent; under WithParallelism above 1
+// provisional events may arrive from scheduler worker goroutines rather
+// than the calling goroutine. An error returned from fn stops the query
+// and is returned verbatim (no done event follows). The final Result is
+// returned as from QueryContext.
 func (e *Engine) QueryStream(ctx context.Context, text string, fn func(AnswerEvent) error, opts ...QueryOption) (*Result, error) {
 	return e.queryContext(ctx, text, fn, opts)
 }
@@ -924,7 +956,7 @@ func (e *Engine) queryContext(ctx context.Context, text string, fn func(AnswerEv
 	// the processor unwinds at its next cancellation check.
 	runCtx := ctx
 	var fnErr error
-	rcfg := topk.RunConfig{K: cfg.k, NoTrace: cfg.noTrace}
+	rcfg := topk.RunConfig{K: cfg.k, NoTrace: cfg.noTrace, Parallelism: cfg.parallelism}
 	switch cfg.mode {
 	case ModeIncremental:
 		rcfg.Mode, rcfg.ModeSet = topk.Incremental, true
@@ -953,7 +985,11 @@ func (e *Engine) queryContext(ctx context.Context, text string, fn func(AnswerEv
 	if runErr == nil {
 		ev := e.executor()
 		answers, metrics, runErr = ev.Run(runCtx, q, rewrites, rcfg)
-		if !cfg.noTrace {
+		// TraceLen sizes the conversion up front and skips the
+		// LastTrace copy entirely for empty traces — the copy would be
+		// pure waste when only the length is needed.
+		if n := ev.TraceLen(); !cfg.noTrace && n > 0 {
+			traces = make([]TraceEntry, 0, n)
 			for _, t := range ev.LastTrace() {
 				traces = append(traces, TraceEntry{
 					Query:          t.Query,

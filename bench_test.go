@@ -332,6 +332,13 @@ func BenchmarkJoinKernelHashSemiJoin(b *testing.B) {
 	benchJoinKernel(b, topk.Options{K: 10})
 }
 
+// BenchmarkJoinKernelTuple is the tuple-at-a-time ablation of the
+// default block kernel (NoBlockJoin), on the same hash+semi-join
+// configuration — the block/tuple speedup headline of experiment E5f.
+func BenchmarkJoinKernelTuple(b *testing.B) {
+	benchJoinKernel(b, topk.Options{K: 10, NoBlockJoin: true})
+}
+
 func benchJoinKernel(b *testing.B, opts topk.Options) {
 	inst := fullInstance()
 	q := query.MustParse("SELECT ?x WHERE { ?x ?p ?y . ?y locatedIn Northford . ?x affiliation ?u }")

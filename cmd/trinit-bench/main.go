@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	trinit-bench [-exp all|e1|...|e8] [-scale small|bench] [-queries 70] [-seed 1] [-json BENCH_5.json]
+//	trinit-bench [-exp all|e1|...|e8] [-scale small|bench] [-queries 70] [-seed 1] [-json BENCH_6.json]
 //
 // With -json, the E5 efficiency metrics (main table, join-kernel ablation,
 // token-matching ablation, serial-vs-parallel scheduling, each with ns/op)
@@ -36,6 +36,9 @@ type benchArtifact struct {
 	// E5Parallel holds the serial-vs-parallel scheduler rows (ns/op and
 	// speedup ratio per width) on the wide-rewrite workload.
 	E5Parallel []experiments.E5ParallelRow `json:"e5_parallel"`
+	// E5Block holds the block-vs-tuple join-execution rows (ns/op and
+	// speedup ratio per kernel) on the wide-rewrite workload.
+	E5Block []experiments.E5BlockRow `json:"e5_block"`
 	// TokenMatchIndexScanRatio is baseline/resolved mean IndexScanned on
 	// the token-pattern workload — the list-building reduction factor.
 	TokenMatchIndexScanRatio float64 `json:"token_match_index_scan_ratio"`
@@ -100,9 +103,11 @@ func main() {
 		fmt.Println(experiments.FormatE5TokenMatch(tokens))
 		parallel := experiments.RunE5Parallel(world(), e5Queries, 10, nil)
 		fmt.Println(experiments.FormatE5Parallel(parallel))
+		blocks := experiments.RunE5Blocks(world(), e5Queries, 10)
+		fmt.Println(experiments.FormatE5Blocks(blocks))
 		if *jsonPath != "" {
 			art := benchArtifact{
-				Schema:                   "trinit-bench/e5/v2",
+				Schema:                   "trinit-bench/e5/v3",
 				Scale:                    *scale,
 				Queries:                  e5Queries,
 				Seed:                     *seed,
@@ -110,6 +115,7 @@ func main() {
 				E5Kernels:                kernels,
 				E5TokenMatch:             tokens,
 				E5Parallel:               parallel,
+				E5Block:                  blocks,
 				TokenMatchIndexScanRatio: experiments.TokenMatchIndexScanRatio(tokens),
 			}
 			data, err := json.MarshalIndent(art, "", "  ")

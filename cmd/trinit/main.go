@@ -216,8 +216,9 @@ func printResult(out io.Writer, res *trinit.Result) {
 	for i, a := range res.Answers {
 		fmt.Fprintf(out, "%2d. %-50s score %.4f\n", i+1, bindingsLine(a.Bindings), a.Score)
 	}
-	fmt.Fprintf(out, "(%d rewrites considered, %d evaluated, %d accesses, %d join branches, %d hash probes, %d semi-join drops, %d index entries scanned, %d token resolutions, %d scan fallbacks; .explain <n> for provenance)\n",
+	fmt.Fprintf(out, "(%d rewrites considered, %d evaluated, %d accesses, %d join branches, %d hash probes, %d semi-join drops, %d blocks emitted, %d block rows filtered, %d index entries scanned, %d token resolutions, %d scan fallbacks; .explain <n> for provenance)\n",
 		res.Metrics.RewritesTotal, res.Metrics.RewritesEvaluated, res.Metrics.SortedAccesses,
 		res.Metrics.JoinBranches, res.Metrics.HashProbes, res.Metrics.SemiJoinDropped,
+		res.Metrics.BlocksEmitted, res.Metrics.BlockRowsFiltered,
 		res.Metrics.IndexScanned, res.Metrics.TokenResolutions, res.Metrics.ScanFallbacks)
 }

@@ -62,15 +62,31 @@ func (p Pattern) String() string {
 
 // Vars returns the distinct variable names of the pattern in S, P, O order.
 func (p Pattern) Vars() []string {
-	var out []string
-	seen := make(map[string]bool)
-	for _, s := range []Slot{p.S, p.P, p.O} {
-		if s.IsVar() && !seen[s.Var] {
-			seen[s.Var] = true
-			out = append(out, s.Var)
+	return p.AppendVars(nil)
+}
+
+// AppendVars appends the pattern's variable names to dst in S, P, O order,
+// skipping names already present in dst, and returns the extended slice.
+// It is Vars without the per-call allocations, for callers that resolve
+// variables into reused scratch buffers on a hot path (a pattern has at
+// most three variables, so the linear dedup scan beats a map).
+func (p Pattern) AppendVars(dst []string) []string {
+	for _, s := range [3]Slot{p.S, p.P, p.O} {
+		if !s.IsVar() {
+			continue
+		}
+		dup := false
+		for _, v := range dst {
+			if v == s.Var {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, s.Var)
 		}
 	}
-	return out
+	return dst
 }
 
 // Filter is a comparison constraint on variable bindings, e.g.

@@ -58,6 +58,41 @@ type Match struct {
 	Bindings []Binding
 }
 
+// BoundedExtend is the column kernel of block-at-a-time join execution:
+// it extends one running-probability value acc across the candidate
+// entries of a score-sorted match list, appending the products acc·Prob
+// to dst as a column. cand selects list positions (nil means every entry
+// of ms, in order). The inner loop is a branch-free multiply except for
+// one monotone cut: weighted is the row's weight-scaled prefix
+// probability and suffix the best possible completion of the remaining
+// patterns, so (weighted·Prob)·suffix is the branch's score bound —
+// computed with exactly the association the tuple kernel uses, so both
+// kernels take bit-identical pruning decisions. Candidates arrive in
+// descending Prob order, hence the first bound strictly below limit cuts
+// the whole remaining column. It returns the extended column and the
+// number of candidates consumed; limit 0 never cuts (bounds are
+// non-negative), which is the exhaustive mode.
+func BoundedExtend(ms []Match, cand []int32, acc, weighted, suffix, limit float64, dst []float64) ([]float64, int) {
+	if cand == nil {
+		for j := range ms {
+			prob := ms[j].Prob
+			if (weighted*prob)*suffix < limit {
+				return dst, j
+			}
+			dst = append(dst, acc*prob)
+		}
+		return dst, len(ms)
+	}
+	for j, p := range cand {
+		prob := ms[p].Prob
+		if (weighted*prob)*suffix < limit {
+			return dst, j
+		}
+		dst = append(dst, acc*prob)
+	}
+	return dst, len(cand)
+}
+
 // BindingOf returns the term this match binds to variable v, or false when
 // the match does not bind v.
 func (m Match) BindingOf(v string) (rdf.TermID, bool) {

@@ -39,6 +39,13 @@ type Cache struct {
 	resMu       sync.RWMutex
 	resolutions map[string][]store.ScoredTerm
 
+	// semiMu guards the semi-join reduction side cache: the reduction is
+	// a pure function of a rewrite's (immutable, cached) match lists, so
+	// its result is cached per pattern-set key and shared read-only by
+	// every rewrite, executor and query that joins the same patterns.
+	semiMu sync.RWMutex
+	semis  map[string]*semiJoinResult
+
 	clock     atomic.Uint64
 	hits      atomic.Uint64
 	misses    atomic.Uint64
@@ -75,7 +82,48 @@ func NewCache(maxEntries int) *Cache {
 		entries:     make(map[string]*cacheEntry),
 		estimates:   make(map[string]int),
 		resolutions: make(map[string][]store.ScoredTerm),
+		semis:       make(map[string]*semiJoinResult),
 	}
+}
+
+// semiJoinResult is one cached semi-join reduction (see semiJoinReduce):
+// per-list survivor masks, live counts and best surviving probabilities.
+// The slices are shared read-only by every consumer — including rewrite
+// traces, which alias liveCount as SemiJoinKept.
+type semiJoinResult struct {
+	alive     [][]bool
+	liveCount []int
+	headProb  []float64
+}
+
+// semiJoin returns the semi-join reduction of a rewrite's match lists,
+// computing it once per pattern-set key per cache generation:
+// like the estimate and resolution side caches, the map is reset
+// wholesale when it outgrows the cap. key is a scratch buffer (the
+// rewrite's pattern keys, NUL-joined, in pattern order — list contents
+// are determined by pattern text, given that executors sharing a cache
+// agree on matcher options); it is copied only when the entry is
+// created. SemiJoinDropped is counted into m only by the computing call;
+// cache hits do not re-count, mirroring IndexScanned and
+// PatternsMatched. Concurrent misses may compute the reduction twice —
+// it is deterministic and each caller then meters the work it really
+// did.
+func (c *Cache) semiJoin(key []byte, lists []*patternList, m *Metrics) *semiJoinResult {
+	c.semiMu.RLock()
+	r, ok := c.semis[string(key)]
+	c.semiMu.RUnlock()
+	if ok {
+		return r
+	}
+	alive, liveCount, headProb := semiJoinReduce(lists, m)
+	r = &semiJoinResult{alive: alive, liveCount: liveCount, headProb: headProb}
+	c.semiMu.Lock()
+	if len(c.semis) >= 4*c.max {
+		c.semis = make(map[string]*semiJoinResult)
+	}
+	c.semis[string(key)] = r
+	c.semiMu.Unlock()
+	return r
 }
 
 // get returns the indexed match list for the pattern key, building it

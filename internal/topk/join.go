@@ -21,7 +21,6 @@ package topk
 // and pattern order never affects which complete bindings exist.
 
 import (
-	"trinit/internal/query"
 	"trinit/internal/rdf"
 	"trinit/internal/score"
 )
@@ -116,9 +115,16 @@ func semiJoinReduce(lists []*patternList, m *Metrics) (alive [][]bool, liveCount
 	isLive := func(si, p int) bool { return alive[si] == nil || alive[si][p] }
 
 	// filter drops entries of list ti without a partner among the live
-	// entries of list si, per shared variable. Partner existence is a
-	// bucket lookup in si's hash index, short-circuiting on the first
-	// live bucket entry.
+	// entries of list si, per shared variable. Both sides are bucketed by
+	// term, so partner existence is decided once per *distinct* term of
+	// ti's own bucket index — one lookup in si's index, short-circuiting
+	// on the first live entry — and a partnerless term kills its whole
+	// bucket of entries at once. (The per-entry formulation this replaces
+	// re-ran the lookup for every entry; on skewed lists that made the
+	// reduction pass the dominant cost of the whole join kernel.) si's
+	// liveness never changes during one filter call, so the verdict per
+	// term is order-independent and the result deterministic despite map
+	// iteration order.
 	filter := func(ti, si int) {
 		if liveCount[ti] == 0 || len(lists[ti].matches) > semiJoinMaxList {
 			return
@@ -126,13 +132,10 @@ func semiJoinReduce(lists []*patternList, m *Metrics) (alive [][]bool, liveCount
 		for _, v := range sharedVars(lists[ti], lists[si]) {
 			tvi := lists[ti].varIndex(v)
 			svi := lists[si].varIndex(v)
-			buckets := lists[si].buckets[svi]
-			for p := range lists[ti].matches {
-				if !isLive(ti, p) {
-					continue
-				}
+			src := lists[si].buckets[svi]
+			for t, entries := range lists[ti].buckets[tvi] {
 				partner := false
-				for _, bp := range buckets[lists[ti].matches[p].Bindings[tvi].Term] {
+				for _, bp := range src[t] {
 					if isLive(si, int(bp)) {
 						partner = true
 						break
@@ -141,15 +144,20 @@ func semiJoinReduce(lists []*patternList, m *Metrics) (alive [][]bool, liveCount
 				if partner {
 					continue
 				}
-				if alive[ti] == nil {
-					alive[ti] = make([]bool, len(lists[ti].matches))
-					for q := range alive[ti] {
-						alive[ti][q] = true
+				for _, p := range entries {
+					if !isLive(ti, int(p)) {
+						continue
 					}
+					if alive[ti] == nil {
+						alive[ti] = make([]bool, len(lists[ti].matches))
+						for q := range alive[ti] {
+							alive[ti][q] = true
+						}
+					}
+					alive[ti][p] = false
+					liveCount[ti]--
+					m.SemiJoinDropped++
 				}
-				alive[ti][p] = false
-				liveCount[ti]--
-				m.SemiJoinDropped++
 			}
 		}
 	}
@@ -185,51 +193,8 @@ func semiJoinReduce(lists []*patternList, m *Metrics) (alive [][]bool, liveCount
 	return alive, liveCount, headProb
 }
 
-// joinOrder refines a selectivity-sorted pattern order into the order the
-// join enumerates: starting from the first pattern of lenOrder (the
-// shortest list), it repeatedly appends the earliest pattern in lenOrder
-// that shares a variable with the prefix, falling back to the earliest
-// remaining pattern when none connects (a genuinely disconnected pattern
-// graph). A connected prefix lets the hash join probe an existing binding
-// at every depth instead of enumerating a Cartesian product.
-func joinOrder(pats []query.Pattern, lenOrder []int) []int {
-	n := len(lenOrder)
-	if n <= 2 {
-		return lenOrder
-	}
-	out := make([]int, 0, n)
-	used := make([]bool, n)
-	bound := make(map[string]bool)
-	take := func(pi int) {
-		out = append(out, pi)
-		used[pi] = true
-		for _, v := range pats[pi].Vars() {
-			bound[v] = true
-		}
-	}
-	take(lenOrder[0])
-	for len(out) < n {
-		pick := -1
-		for _, pi := range lenOrder {
-			if used[pi] {
-				continue
-			}
-			if pick < 0 {
-				pick = pi // fallback: earliest remaining
-			}
-			connected := false
-			for _, v := range pats[pi].Vars() {
-				if bound[v] {
-					connected = true
-					break
-				}
-			}
-			if connected {
-				pick = pi
-				break
-			}
-		}
-		take(pick)
-	}
-	return out
-}
+// The connectivity-aware join-order refinement lives on varPlan (see
+// slots.go): the shared-variable adjacency it consults is a pure function
+// of the pattern set, resolved to slot indexes once per plan and reused
+// across every rewrite with that variable shape, instead of being
+// re-derived — with per-call map and Vars() allocations — per rewrite.

@@ -101,14 +101,14 @@ func TestJoinOrderPrefersConnectedPatterns(t *testing.T) {
 	q := query.MustParse("?a p1 ?b . ?c p2 ?d . ?b p3 ?c")
 	// Length order would interleave the disconnected patterns 0 and 1;
 	// connectivity must pull pattern 2 (sharing ?b) after pattern 0.
-	got := joinOrder(q.Patterns, []int{0, 1, 2})
+	got := buildVarPlan(q.Patterns).joinOrder([]int{0, 1, 2})
 	want := []int{0, 2, 1}
 	if fmt.Sprint(got) != fmt.Sprint(want) {
 		t.Fatalf("joinOrder = %v, want %v", got, want)
 	}
 	// A fully connected chain keeps the length order when it is already
 	// connected at every step.
-	got = joinOrder(q.Patterns, []int{2, 0, 1})
+	got = buildVarPlan(q.Patterns).joinOrder([]int{2, 0, 1})
 	want = []int{2, 0, 1}
 	if fmt.Sprint(got) != fmt.Sprint(want) {
 		t.Fatalf("joinOrder = %v, want %v", got, want)
@@ -134,9 +134,10 @@ func TestHashJoinKernelMatchesLegacyKernel(t *testing.T) {
 			q.Projection = q.ProjectedVars()
 			rewrites := relax.NewExpander(figure4()).Expand(q)
 			legacy, ml := New(st, Options{K: 5, Mode: mode, NoHashJoin: true}).Evaluate(q, rewrites)
-			hash, mh := New(st, Options{K: 5, Mode: mode, NoSemiJoin: true}).Evaluate(q, rewrites)
-			full, mf := New(st, Options{K: 5, Mode: mode}).Evaluate(q, rewrites)
-			for name, got := range map[string][]Answer{"hash": hash, "hash+semijoin": full} {
+			hash, mh := New(st, Options{K: 5, Mode: mode, NoSemiJoin: true, NoBlockJoin: true}).Evaluate(q, rewrites)
+			full, mf := New(st, Options{K: 5, Mode: mode, NoBlockJoin: true}).Evaluate(q, rewrites)
+			block, mb := New(st, Options{K: 5, Mode: mode}).Evaluate(q, rewrites)
+			for name, got := range map[string][]Answer{"hash": hash, "hash+semijoin": full, "block": block} {
 				if len(got) != len(legacy) {
 					t.Fatalf("%s (%v, %s): %d answers vs legacy %d", qs, mode, name, len(got), len(legacy))
 				}
@@ -154,6 +155,21 @@ func TestHashJoinKernelMatchesLegacyKernel(t *testing.T) {
 			if mh.JoinBranches > ml.JoinBranches || mf.JoinBranches > ml.JoinBranches {
 				t.Errorf("%s (%v): join branches legacy=%d hash=%d full=%d — kernel did more work",
 					qs, mode, ml.JoinBranches, mh.JoinBranches, mf.JoinBranches)
+			}
+			// The block kernel defers threshold refreshes to block
+			// boundaries, so in incremental mode it may legitimately
+			// explore more branches than the tuple kernels; only in
+			// exhaustive mode is its exploration identical and the
+			// work bound assertable.
+			if mode == Exhaustive {
+				if mb.JoinBranches > ml.JoinBranches {
+					t.Errorf("%s (%v): block join branches %d above legacy %d",
+						qs, mode, mb.JoinBranches, ml.JoinBranches)
+				}
+				if mb.HashProbes > mf.HashProbes {
+					t.Errorf("%s (%v): block probes %d above tuple %d",
+						qs, mode, mb.HashProbes, mf.HashProbes)
+				}
 			}
 			if ml.HashProbes != 0 || ml.SemiJoinDropped != 0 {
 				t.Errorf("%s (%v): legacy kernel reported probes=%d semidrops=%d", qs, mode, ml.HashProbes, ml.SemiJoinDropped)

@@ -70,6 +70,8 @@ func (m *Metrics) merge(o *Metrics) {
 	m.SemiJoinDropped += o.SemiJoinDropped
 	m.TokenResolutions += o.TokenResolutions
 	m.ScanFallbacks += o.ScanFallbacks
+	m.BlocksEmitted += o.BlocksEmitted
+	m.BlockRowsFiltered += o.BlockRowsFiltered
 }
 
 // runParallel is Run's parallel scheduler: workers pull rewrite indices
@@ -155,6 +157,14 @@ func (ev *Executor) runParallel(ctx context.Context, q *query.Query, rewrites []
 			// executor, cache and top-k state. Metrics accumulate
 			// locally and merge once at the end.
 			r := &run{Executor: ev, opts: opts, done: done, emit: emit, noTrace: cfg.NoTrace}
+			if s, ok := ev.scratchPool.Get().(*evalScratch); ok {
+				r.sc = *s
+			}
+			defer func() {
+				s := r.sc
+				s.env = joinEnv{}
+				ev.scratchPool.Put(&s)
+			}()
 			var local Metrics
 			var scratch RewriteTrace
 			for {

@@ -86,6 +86,13 @@ func estimateSelectivity(st *store.Store, p query.Pattern, minTokenSim float64, 
 // selectivity (stable, so ties keep query-text order) and reports whether
 // the order differs from query-text order.
 func (ex *Executor) plan(pats []query.Pattern) (order []int, reordered bool) {
+	return ex.planWith(pats, query.Pattern.String)
+}
+
+// planWith is plan with the pattern cache key supplied by the caller —
+// runs pass their memoised patKey so planning a rewrite does not re-render
+// pattern strings the evaluation already rendered.
+func (ex *Executor) planWith(pats []query.Pattern, keyOf func(query.Pattern) string) (order []int, reordered bool) {
 	order = make([]int, len(pats))
 	for i := range order {
 		order[i] = i
@@ -96,7 +103,7 @@ func (ex *Executor) plan(pats []query.Pattern) (order []int, reordered bool) {
 	est := make([]int, len(pats))
 	for i, p := range pats {
 		pat := p
-		est[i] = ex.cache.estimate("est\x00"+pat.String(), func() int {
+		est[i] = ex.cache.estimate("est\x00"+keyOf(pat), func() int {
 			return estimateSelectivity(ex.st, pat, ex.matcher.MinTokenSim, ex.matcher.Resolver)
 		})
 	}

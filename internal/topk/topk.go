@@ -77,6 +77,15 @@ type Options struct {
 	// reduction pass, isolating the two effects for ablations. Answers
 	// are identical either way.
 	NoSemiJoin bool
+	// NoBlockJoin disables the block-at-a-time join kernel: candidates
+	// are enumerated tuple-at-a-time by the backtracking join (still
+	// over hash buckets and slot-resolved bindings) — the kernel shape
+	// as of the parallel-scheduler work, the ablation baseline for the
+	// block-kernel measurements. Answers are byte-identical either way.
+	// NoHashJoin implies the tuple path: the block kernel exists to
+	// batch hash-bucket probes, so there is nothing to batch without
+	// them.
+	NoBlockJoin bool
 	// NoTokenIndex disables inverted-index token resolution in the
 	// pattern matcher: token slots are matched by scanning the wildcard
 	// permutation range and similarity-testing every triple — list
@@ -206,8 +215,21 @@ type Metrics struct {
 	// already bound by the prefix, one probe replaces a scan.
 	HashProbes int
 	// SemiJoinDropped counts match-list entries pruned by the semi-join
-	// reduction pass before join enumeration started.
+	// reduction pass before join enumeration started. Reductions are
+	// cached per pattern set alongside the match lists; cache hits
+	// across rewrites and queries do not re-count (mirroring
+	// IndexScanned and PatternsMatched).
 	SemiJoinDropped int
+	// BlocksEmitted counts join-frontier blocks the block-at-a-time
+	// kernel handed from one join depth to the next (the final depth's
+	// blocks go to answer materialisation). Zero when the block kernel
+	// is disabled.
+	BlocksEmitted int
+	// BlockRowsFiltered counts candidate rows the block kernel cut with
+	// its block-level score-bound filter before materialising them —
+	// the batched counterpart of the tuple kernel's per-branch cut
+	// (each cut is also one PrunedBranches event).
+	BlockRowsFiltered int
 	// TokenResolutions counts token slots resolved through the inverted
 	// token index while building match lists (cache hits across rewrites
 	// do not count, mirroring IndexScanned).
@@ -262,6 +284,13 @@ type Executor struct {
 	// lastTrace records the rewrite-by-rewrite processing steps of the
 	// most recent Evaluate call.
 	lastTrace []RewriteTrace
+	// scratch is the serial run's evaluation scratch, kept on the
+	// executor so repeated Run calls reuse the buffers, memoised slot
+	// plans and pattern keys of earlier queries. Run is single-goroutine
+	// per executor (it already owns lastTrace); parallel workers draw
+	// from scratchPool instead.
+	scratch     evalScratch
+	scratchPool sync.Pool
 }
 
 // NewExecutor returns an executor over a shared match-list cache. The
@@ -367,6 +396,13 @@ func (ev *Executor) Run(ctx context.Context, q *query.Query, rewrites []relax.Re
 		done = ctx.Done()
 	}
 	r := &run{Executor: ev, opts: opts, done: done, emit: cfg.Emit, noTrace: cfg.NoTrace}
+	r.sc = ev.scratch
+	defer func() {
+		// Drop the last rewrite's env so the parked scratch does not
+		// pin this run's top-k state and metrics until the next query.
+		r.sc.env = joinEnv{}
+		ev.scratch = r.sc
+	}()
 
 	proj := q.ProjectedVars()
 	k := opts.K
@@ -462,17 +498,41 @@ type run struct {
 // run removes the bulk of the per-rewrite allocations (visible with
 // -benchmem on the E5 benchmarks).
 type evalScratch struct {
-	bound     map[string]bool
 	textOrder []int
 	lists     []*patternList
 	sizes     []int
 	order     []int
 	suffix    []float64
-	bindings  map[string]rdf.TermID
-	triples   []store.ID
-	probs     []float64
-	added     [][]string
+	// vals is the tuple kernel's binding array, indexed by varPlan slot;
+	// rdf.NoTerm marks an unbound slot. addedSlots[depth] records the
+	// slots a depth bound, for O(1) rollback on backtrack.
+	vals       []rdf.TermID
+	addedSlots [][]int32
+	triples    []store.ID
+	probs      []float64
+	// projSlots/fLHS/fRHS are the rewrite's projection and filter
+	// variables resolved to slots (see evalRewrite).
+	projSlots []int32
+	fLHS      []int32
+	fRHS      []int32
 	keyBuf    []byte
+	semiKey   []byte
+	// sigBuf/plans/patStr are the run-lifetime memos of varPlanFor and
+	// patKey (slots.go).
+	sigBuf []byte
+	plans  map[string]*varPlan
+	patStr map[query.Pattern]string
+	// joinOut/joinUsed/joinBound are joinOrderInto scratch.
+	joinOut   []int
+	joinUsed  []bool
+	joinBound []bool
+	// blocks[d] is the depth-d join frontier of the block kernel;
+	// accBufs[d] its per-depth probability-column scratch (per depth, so
+	// a recursive flush of a full block cannot clobber the column of
+	// the row still being extended).
+	blocks  []*joinBlock
+	accBufs [][]float64
+	env     joinEnv
 }
 
 // scratchSlice returns s resized to n, reusing its capacity. Elements
@@ -501,17 +561,26 @@ func (r *run) pollCancel() bool {
 	return r.canceled
 }
 
-// checkCancel is the join-loop cancellation gate: it polls the done
-// channel once every cancelCheckInterval calls, keeping the common case
-// a counter increment.
+// checkCancel is the tuple join loop's cancellation gate: one unit of
+// work per branch against the polling interval.
 func (r *run) checkCancel() bool {
+	return r.pollCancelEvery(1)
+}
+
+// pollCancelEvery accounts n units of work against the cancellation
+// interval and polls the done channel once the budget is spent, keeping
+// the common case a counter add. The block kernel charges a whole
+// emitted block at its boundary (n = the block's row count) instead of
+// ticking inside the inner loop; blocks are capped at maxBlockRows, so
+// cancellation latency stays bounded by a few blocks of join work.
+func (r *run) pollCancelEvery(n int) bool {
 	if r.canceled {
 		return true
 	}
 	if r.done == nil {
 		return false
 	}
-	r.branchTick++
+	r.branchTick += n
 	if r.branchTick < cancelCheckInterval {
 		return false
 	}
@@ -727,6 +796,34 @@ func appendAnswerKey(buf []byte, b map[string]rdf.TermID, proj []string) []byte 
 	return buf
 }
 
+// joinEnv bundles the per-rewrite inputs both join kernels consume —
+// the rewrite, its slot plan, match lists, join order, semi-join
+// survivor masks, suffix bounds and the shared top-k state — plus the
+// two counters the kernels advance: seq, the canonical enumeration
+// number of complete bindings (the tie-break identity of answerEntry),
+// and answers, the writes that landed, for the trace. One env lives in
+// the run's scratch and is rebuilt per rewrite.
+type joinEnv struct {
+	rw        relax.Rewrite
+	ri        int
+	n         int
+	proj      []string
+	projSlots []int32
+	filters   []query.Filter
+	fLHS      []int32
+	fRHS      []int32
+	vp        *varPlan
+	lists     []*patternList
+	order     []int
+	alive     [][]bool
+	suffix    []float64
+	state     *state
+	m         *Metrics
+	planFn    func(order []int) []int
+	seq       int
+	answers   int
+}
+
 // evalRewrite matches all patterns of one rewrite (index ri in the
 // rewrite space) and joins them, filling rt with the status,
 // per-pattern match counts, processed pattern order, semi-join survivor
@@ -735,6 +832,15 @@ func appendAnswerKey(buf []byte, b map[string]rdf.TermID, proj []string) []byte 
 // mid-join. All transient buffers come from r.sc and are reused across
 // rewrites; anything that outlives the call — trace slices, answer
 // bindings and derivations — is copied out, and only when retained.
+//
+// Join execution is block-at-a-time by default (blockJoin, block.go):
+// the in-flight frontier is a batch of prefix bindings in columnar form,
+// extended a whole block per depth. With NoBlockJoin — or NoHashJoin,
+// which removes the buckets the block kernel batches — the
+// tuple-at-a-time backtracking kernel (tupleRec) runs instead. Both
+// kernels bind variables in flat slot-indexed arrays resolved by the
+// rewrite's varPlan and converge in recordBinding, so answers, keys and
+// derivation identity are kernel-independent.
 func (r *run) evalRewrite(rw relax.Rewrite, ri int, proj []string, st *state, m *Metrics, rt *RewriteTrace) {
 	ev := r.Executor
 	sc := &r.sc
@@ -746,20 +852,37 @@ func (r *run) evalRewrite(rw relax.Rewrite, ri int, proj []string, st *state, m 
 		}
 	}()
 
+	// Resolve this pattern set's variables to dense slots (memoised per
+	// run): the kernels bind variables by slot index, and the projection
+	// and filter variables resolve once, here, instead of per branch.
+	vp := r.varPlanFor(pats)
+
 	// Skip rewrites that cannot bind every projected variable.
-	if sc.bound == nil {
-		sc.bound = make(map[string]bool)
-	}
-	clear(sc.bound)
-	for _, p := range pats {
-		for _, v := range p.Vars() {
-			sc.bound[v] = true
-		}
-	}
-	for _, v := range proj {
-		if !sc.bound[v] {
+	sc.projSlots = scratchSlice(sc.projSlots, len(proj))
+	for i, v := range proj {
+		s := vp.slotOf(v)
+		if s < 0 {
 			rt.Status = "missing projection"
 			return
+		}
+		sc.projSlots[i] = s
+	}
+
+	// Filter operands: the variable's slot, or -1 for a constant RHS and
+	// -2 for a variable the rewrite does not bind (which resolves to the
+	// invalid term, exactly like the map-based kernel's zero lookup).
+	filters := rw.Query.Filters
+	sc.fLHS = scratchSlice(sc.fLHS, len(filters))
+	sc.fRHS = scratchSlice(sc.fRHS, len(filters))
+	for i, f := range filters {
+		sc.fLHS[i] = vp.slotOf(f.Var)
+		sc.fRHS[i] = -1
+		if f.RHSVar != "" {
+			if s := vp.slotOf(f.RHSVar); s >= 0 {
+				sc.fRHS[i] = s
+			} else {
+				sc.fRHS[i] = -2
+			}
 		}
 	}
 
@@ -774,7 +897,7 @@ func (r *run) evalRewrite(rw relax.Rewrite, ri int, proj []string, st *state, m 
 		}
 		buildOrder = sc.textOrder
 	} else {
-		buildOrder, _ = ev.plan(pats)
+		buildOrder, _ = ev.planWith(pats, r.patKey)
 	}
 
 	// tracePlan is what surfaces in RewriteTrace.Plan and
@@ -818,7 +941,7 @@ func (r *run) evalRewrite(rw relax.Rewrite, ri int, proj []string, st *state, m 
 			return
 		}
 		p := pats[pi]
-		pl, stats, built := ev.cache.get(p.String(), func() ([]score.Match, score.MatchStats) {
+		pl, stats, built := ev.cache.get(r.patKey(p), func() ([]score.Match, score.MatchStats) {
 			return ev.matcher.MatchPatternCounted(p)
 		})
 		if built {
@@ -841,7 +964,8 @@ func (r *run) evalRewrite(rw relax.Rewrite, ri int, proj []string, st *state, m 
 	// list lengths now known (stable, so equal lengths keep the planned
 	// order), then — for the hash kernel — reordered so every pattern
 	// shares a variable with the already-joined prefix where the pattern
-	// graph allows it. NoPlan joins in query-text order.
+	// graph allows it (the adjacency comes pre-resolved from the
+	// varPlan). NoPlan joins in query-text order.
 	order := buildOrder
 	if !r.opts.NoPlan {
 		sc.order = append(sc.order[:0], buildOrder...)
@@ -849,25 +973,43 @@ func (r *run) evalRewrite(rw relax.Rewrite, ri int, proj []string, st *state, m 
 		sort.SliceStable(order, func(a, b int) bool {
 			return len(lists[order[a]].matches) < len(lists[order[b]].matches)
 		})
-		if !r.opts.NoHashJoin {
-			order = joinOrder(pats, order)
+		if !r.opts.NoHashJoin && n > 2 {
+			sc.joinOut = scratchSlice(sc.joinOut, n)
+			sc.joinUsed = scratchSlice(sc.joinUsed, n)
+			sc.joinBound = scratchSlice(sc.joinBound, len(vp.names))
+			for i := range sc.joinUsed {
+				sc.joinUsed[i] = false
+			}
+			for i := range sc.joinBound {
+				sc.joinBound[i] = false
+			}
+			order = vp.joinOrderInto(order, sc.joinOut, sc.joinUsed, sc.joinBound)
+			sc.joinOut = order
 		}
 	}
 
 	// Semi-join reduction: prune entries with no join partner in some
 	// neighbouring pattern before enumeration. An emptied list proves
-	// the rewrite can produce no complete binding.
+	// the rewrite can produce no complete binding. The reduction is a
+	// pure function of the (immutable, cached) lists, so its result is
+	// fetched from the cache's side map and computed once per pattern
+	// set, not once per rewrite evaluation.
 	var alive [][]bool
-	liveHead := func(pi int) float64 { return lists[pi].matches[0].Prob }
+	var semiHead []float64
 	if !r.opts.NoHashJoin && !r.opts.NoSemiJoin && n > 1 {
 		if r.pollCancel() {
 			return
 		}
-		reduced, liveCount, headProb := semiJoinReduce(lists, m)
-		alive = reduced
-		liveHead = func(pi int) float64 { return headProb[pi] }
-		rt.SemiJoinKept = liveCount
-		for _, c := range liveCount {
+		sc.semiKey = sc.semiKey[:0]
+		for _, p := range pats {
+			sc.semiKey = append(sc.semiKey, r.patKey(p)...)
+			sc.semiKey = append(sc.semiKey, 0)
+		}
+		res := ev.cache.semiJoin(sc.semiKey, lists[:n], m)
+		alive = res.alive
+		semiHead = res.headProb
+		rt.SemiJoinKept = res.liveCount
+		for _, c := range res.liveCount {
 			if c == 0 {
 				setTrace("no matches (semi-join)", order)
 				return
@@ -883,155 +1025,210 @@ func (r *run) evalRewrite(rw relax.Rewrite, ri int, proj []string, st *state, m 
 	suffixBound := sc.suffix
 	suffixBound[n] = 1
 	for i := n - 1; i >= 0; i-- {
-		suffixBound[i] = suffixBound[i+1] * liveHead(order[i])
+		h := lists[order[i]].matches[0].Prob
+		if semiHead != nil {
+			h = semiHead[order[i]]
+		}
+		suffixBound[i] = suffixBound[i+1] * h
 	}
 
-	if sc.bindings == nil {
-		sc.bindings = make(map[string]rdf.TermID)
+	e := &sc.env
+	*e = joinEnv{
+		rw:        rw,
+		ri:        ri,
+		n:         n,
+		proj:      proj,
+		projSlots: sc.projSlots,
+		filters:   filters,
+		fLHS:      sc.fLHS,
+		fRHS:      sc.fRHS,
+		vp:        vp,
+		lists:     lists,
+		order:     order,
+		alive:     alive,
+		suffix:    suffixBound,
+		state:     st,
+		m:         m,
+		planFn:    tracePlan,
 	}
-	clear(sc.bindings)
-	bindings := sc.bindings
+	sc.vals = scratchSlice(sc.vals, len(vp.names))
+	for i := range sc.vals {
+		sc.vals[i] = rdf.NoTerm
+	}
 	sc.triples = scratchSlice(sc.triples, n)
 	sc.probs = scratchSlice(sc.probs, n)
-	sc.added = scratchSlice(sc.added, n)
-	triples, probs, addedScratch := sc.triples, sc.probs, sc.added
-
-	// seq numbers this rewrite's complete bindings in enumeration
-	// order — the canonical derivation identity record uses to break
-	// exact score ties deterministically; answers counts the writes
-	// that landed, for the trace.
-	seq, answers := 0, 0
-	var rec func(depth int, partial float64)
-	rec = func(depth int, partial float64) {
-		if depth == n {
-			// Apply the query's FILTER constraints to the complete
-			// binding before recording the answer.
-			for _, f := range rw.Query.Filters {
-				lhs := ev.st.Dict().Term(bindings[f.Var]).Text
-				rhs := f.Value.Text
-				if f.RHSVar != "" {
-					rhs = ev.st.Dict().Term(bindings[f.RHSVar]).Text
-				}
-				if !query.EvalFilter(f.Op, lhs, rhs) {
-					return
-				}
-			}
-			seq++
-			total := rw.Weight * partial
-			sc.keyBuf = appendAnswerKey(sc.keyBuf[:0], bindings, proj)
-			// The answer is materialised (bindings projected, triples
-			// and probabilities copied) only if the write lands.
-			var stored Answer
-			wrote, admitted := st.record(sc.keyBuf, total, ri, seq, func() Answer {
-				stored = Answer{
-					Bindings: projected(bindings, proj),
-					Score:    total,
-					Derivation: Derivation{
-						Rewrite:      rw,
-						Triples:      append([]store.ID(nil), triples[:n]...),
-						PatternProbs: append([]float64(nil), probs[:n]...),
-						Plan:         tracePlan(order),
-					},
-				}
-				return stored
-			})
-			if wrote {
-				answers++
-			}
-			if admitted && r.emit != nil {
-				r.emit(stored)
-			}
-			return
-		}
-		pi := order[depth]
-		pl := lists[pi]
-		// Candidate enumeration: when a variable of this pattern is
-		// already bound by the prefix, probe its hash bucket — the
-		// smallest one, if several variables are bound — instead of
-		// scanning the whole list. Buckets hold positions in list
-		// order (descending probability), so the score-bound pruning
-		// below behaves exactly as it would mid-scan.
-		var cand []int32
-		probe := false
-		if !r.opts.NoHashJoin {
-			for vi, v := range pl.vars {
-				if t, ok := bindings[v]; ok {
-					b := pl.buckets[vi][t]
-					if !probe || len(b) < len(cand) {
-						cand, probe = b, true
-					}
-				}
-			}
-		}
-		limit := len(pl.matches)
-		if probe {
-			m.HashProbes++
-			limit = len(cand)
-		}
-		for ci := 0; ci < limit; ci++ {
-			if r.checkCancel() {
-				return
-			}
-			p := ci
-			if probe {
-				p = int(cand[ci])
-			}
-			if alive != nil && alive[pi] != nil && !alive[pi][p] {
-				continue
-			}
-			match := pl.matches[p]
-			// Reading the next entry of the score-sorted list is
-			// one sorted access.
-			m.SortedAccesses++
-			if r.opts.Mode == Incremental {
-				bound := rw.Weight * partial * match.Prob * suffixBound[depth+1]
-				if bound < st.threshold() {
-					// The threshold is 0 until k answers exist, so
-					// this never fires early. Matches are sorted by
-					// descending probability: all remaining are
-					// worse. Strictly worse only — a branch that can
-					// still tie the k-th score must run so the
-					// deterministic tie-break over the full tied
-					// set matches exhaustive mode byte for byte.
-					m.PrunedBranches++
-					break
-				}
-			}
-			m.JoinBranches++
-			// Check binding consistency and extend.
-			added := addedScratch[depth][:0]
-			ok := true
-			for _, b := range match.Bindings {
-				if cur, exists := bindings[b.Var]; exists {
-					if cur != b.Term {
-						ok = false
-						break
-					}
-				} else {
-					bindings[b.Var] = b.Term
-					added = append(added, b.Var)
-				}
-			}
-			if ok {
-				triples[pi] = match.Triple
-				probs[pi] = match.Prob
-				rec(depth+1, partial*match.Prob)
-			}
-			for _, v := range added {
-				delete(bindings, v)
-			}
-			addedScratch[depth] = added[:0]
-		}
+	// Block-at-a-time execution is for joins: a single-pattern rewrite
+	// has no frontier to batch (the "frontier" is one unbound seed row),
+	// so it takes the plain bounded list scan of the tuple kernel.
+	if !r.opts.NoHashJoin && !r.opts.NoBlockJoin && n > 1 {
+		r.blockJoin(e)
+	} else {
+		sc.addedSlots = scratchSlice(sc.addedSlots, n)
+		r.tupleRec(e, 0, 1)
 	}
-	rec(0, 1)
 	setTrace("evaluated", order)
-	rt.Answers = answers
+	rt.Answers = e.answers
 }
 
-func projected(bindings map[string]rdf.TermID, proj []string) map[string]rdf.TermID {
-	out := make(map[string]rdf.TermID, len(proj))
-	for _, v := range proj {
-		out[v] = bindings[v]
+// tupleRec is the tuple-at-a-time join: the original backtracking
+// enumeration, over slot-indexed bindings in sc.vals. depth indexes
+// e.order; partial is the running probability of the bound prefix.
+func (r *run) tupleRec(e *joinEnv, depth int, partial float64) {
+	sc := &r.sc
+	if depth == e.n {
+		if !r.passFilters(e, sc.vals) {
+			return
+		}
+		r.recordBinding(e, e.rw.Weight*partial, sc.vals, sc.triples, sc.probs)
+		return
 	}
-	return out
+	pi := e.order[depth]
+	pl := e.lists[pi]
+	slots := e.vp.pats[pi]
+	// Candidate enumeration: when a variable of this pattern is already
+	// bound by the prefix, probe its hash bucket — the smallest one, if
+	// several variables are bound — instead of scanning the whole list.
+	// Buckets hold positions in list order (descending probability), so
+	// the score-bound pruning below behaves exactly as it would mid-scan.
+	var cand []int32
+	probe := false
+	if !r.opts.NoHashJoin {
+		for vi := range slots {
+			if t := sc.vals[slots[vi]]; t != rdf.NoTerm {
+				b := pl.buckets[vi][t]
+				if !probe || len(b) < len(cand) {
+					cand, probe = b, true
+				}
+			}
+		}
+	}
+	limit := len(pl.matches)
+	if probe {
+		e.m.HashProbes++
+		limit = len(cand)
+	}
+	for ci := 0; ci < limit; ci++ {
+		if r.checkCancel() {
+			return
+		}
+		p := ci
+		if probe {
+			p = int(cand[ci])
+		}
+		if e.alive != nil && e.alive[pi] != nil && !e.alive[pi][p] {
+			continue
+		}
+		match := &pl.matches[p]
+		// Reading the next entry of the score-sorted list is one
+		// sorted access.
+		e.m.SortedAccesses++
+		if r.opts.Mode == Incremental {
+			bound := e.rw.Weight * partial * match.Prob * e.suffix[depth+1]
+			if bound < e.state.threshold() {
+				// The threshold is 0 until k answers exist, so this
+				// never fires early. Matches are sorted by descending
+				// probability: all remaining are worse. Strictly worse
+				// only — a branch that can still tie the k-th score
+				// must run so the deterministic tie-break over the full
+				// tied set matches exhaustive mode byte for byte.
+				e.m.PrunedBranches++
+				break
+			}
+		}
+		e.m.JoinBranches++
+		// Check binding consistency against the prefix and extend.
+		added := sc.addedSlots[depth][:0]
+		ok := true
+		for bi, s := range slots {
+			term := match.Bindings[bi].Term
+			if cur := sc.vals[s]; cur != rdf.NoTerm {
+				if cur != term {
+					ok = false
+					break
+				}
+			} else {
+				sc.vals[s] = term
+				added = append(added, s)
+			}
+		}
+		if ok {
+			sc.triples[pi] = match.Triple
+			sc.probs[pi] = match.Prob
+			r.tupleRec(e, depth+1, partial*match.Prob)
+		}
+		for _, s := range added {
+			sc.vals[s] = rdf.NoTerm
+		}
+		sc.addedSlots[depth] = added[:0]
+	}
+}
+
+// passFilters applies the rewrite's FILTER constraints to a complete
+// binding. vals is indexed by slot; operand slots below zero resolve to
+// the invalid term, matching the map-based kernel's zero-value lookup
+// for variables the rewrite does not bind.
+func (r *run) passFilters(e *joinEnv, vals []rdf.TermID) bool {
+	for i, f := range e.filters {
+		var lt rdf.TermID
+		if s := e.fLHS[i]; s >= 0 {
+			lt = vals[s]
+		}
+		lhs := r.st.Dict().Term(lt).Text
+		rhs := f.Value.Text
+		switch s := e.fRHS[i]; {
+		case s >= 0:
+			rhs = r.st.Dict().Term(vals[s]).Text
+		case s == -2:
+			rhs = r.st.Dict().Term(rdf.NoTerm).Text
+		}
+		if !query.EvalFilter(f.Op, lhs, rhs) {
+			return false
+		}
+	}
+	return true
+}
+
+// recordBinding materialises one complete binding (filters already
+// applied): it assigns the binding's canonical sequence number, renders
+// the answer key over the projected slots and offers the answer to the
+// top-k state. vals is indexed by slot, triples and probs by pattern
+// index. Both kernels converge here, so keys, scores, derivations and
+// tie-break identity are kernel-independent by construction.
+func (r *run) recordBinding(e *joinEnv, total float64, vals []rdf.TermID, triples []store.ID, probs []float64) {
+	sc := &r.sc
+	e.seq++
+	buf := sc.keyBuf[:0]
+	for i, v := range e.proj {
+		buf = append(buf, v...)
+		buf = append(buf, '=')
+		buf = strconv.AppendUint(buf, uint64(vals[e.projSlots[i]]), 10)
+		buf = append(buf, ';')
+	}
+	sc.keyBuf = buf
+	// The answer is materialised (bindings projected, triples and
+	// probabilities copied) only if the write lands.
+	var stored Answer
+	wrote, admitted := e.state.record(buf, total, e.ri, e.seq, func() Answer {
+		b := make(map[string]rdf.TermID, len(e.proj))
+		for i, v := range e.proj {
+			b[v] = vals[e.projSlots[i]]
+		}
+		stored = Answer{
+			Bindings: b,
+			Score:    total,
+			Derivation: Derivation{
+				Rewrite:      e.rw,
+				Triples:      append([]store.ID(nil), triples...),
+				PatternProbs: append([]float64(nil), probs...),
+				Plan:         e.planFn(e.order),
+			},
+		}
+		return stored
+	})
+	if wrote {
+		e.answers++
+	}
+	if admitted && r.emit != nil {
+		r.emit(stored)
+	}
 }

@@ -59,6 +59,8 @@ func TestKernelDifferentialOnFullWorkload(t *testing.T) {
 		{"exhaustive+hash+semijoin", topk.Options{K: 10, Mode: topk.Exhaustive}},
 		{"incremental+hash+semijoin", topk.Options{K: 10, Mode: topk.Incremental}},
 		{"incremental+hash", topk.Options{K: 10, Mode: topk.Incremental, NoSemiJoin: true}},
+		{"incremental+tuple", topk.Options{K: 10, Mode: topk.Incremental, NoBlockJoin: true}},
+		{"exhaustive+tuple", topk.Options{K: 10, Mode: topk.Exhaustive, NoBlockJoin: true}},
 		{"incremental+legacy", topk.Options{K: 10, Mode: topk.Incremental, NoHashJoin: true}},
 		{"incremental+noplan", topk.Options{K: 10, Mode: topk.Incremental, NoPlan: true}},
 		{"incremental+notokenindex", topk.Options{K: 10, Mode: topk.Incremental, NoTokenIndex: true}},

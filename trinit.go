@@ -104,6 +104,12 @@ type Options struct {
 	// reduction pass. Answers are identical, work is not. Meant for
 	// ablations.
 	NoSemiJoin bool
+	// NoBlockJoin disables block-at-a-time join execution: joins fall
+	// back to the tuple-at-a-time backtracking kernel (still
+	// hash-probed and semi-join-reduced unless those are also
+	// disabled). Answers are identical, work is not. Meant for
+	// ablations.
+	NoBlockJoin bool
 	// NoTokenIndex disables inverted-index token resolution in the
 	// pattern matcher: textual token slots fall back to scanning the
 	// wildcard permutation range and similarity-testing every triple
@@ -367,6 +373,7 @@ func (e *Engine) initQueryPipeline() {
 		NoPlan:       e.opts.NoPlanner,
 		NoHashJoin:   e.opts.NoHashJoin,
 		NoSemiJoin:   e.opts.NoSemiJoin,
+		NoBlockJoin:  e.opts.NoBlockJoin,
 		NoTokenIndex: e.opts.NoTokenIndex,
 		Parallelism:  e.opts.Parallelism,
 	}
@@ -662,6 +669,12 @@ type Metrics struct {
 	// ScanFallbacks counts token-slot patterns whose match lists were
 	// built by the legacy wildcard scan instead of token resolution.
 	ScanFallbacks int
+	// BlocksEmitted counts frontier blocks the block-at-a-time join
+	// kernel flushed to the next join depth (0 with NoBlockJoin).
+	BlocksEmitted int
+	// BlockRowsFiltered counts candidate join rows the block kernel cut
+	// with the shared top-k bound before they were materialised.
+	BlockRowsFiltered int
 }
 
 // TraceEntry is one internal processing step: a rewrite considered by the
@@ -1029,6 +1042,8 @@ func (e *Engine) queryContext(ctx context.Context, text string, fn func(AnswerEv
 			SemiJoinDropped:   metrics.SemiJoinDropped,
 			TokenResolutions:  metrics.TokenResolutions,
 			ScanFallbacks:     metrics.ScanFallbacks,
+			BlocksEmitted:     metrics.BlocksEmitted,
+			BlockRowsFiltered: metrics.BlockRowsFiltered,
 		},
 	}
 	if cfg.noExplain {

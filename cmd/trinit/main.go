@@ -83,11 +83,22 @@ func runREPL(engine *trinit.Engine, in io.Reader, out io.Writer) {
 			return
 		case line == ".help":
 			fmt.Fprintln(out, "queries: triple patterns, e.g.  AlbertEinstein affiliation ?x ; ?x member IvyLeague")
-			fmt.Fprintln(out, "commands: .ask <question> .watch <query> .stats .rules .rule <id> <w> <rule> .complete <prefix> .explain <n> .trace .save <path> .quit")
+			fmt.Fprintln(out, "commands: .ask <question> .watch <query> .stats .serving .rules .rule <id> <w> <rule> .complete <prefix> .explain <n> .trace .save <path> .quit")
 		case line == ".stats":
 			s := engine.Stats()
 			fmt.Fprintf(out, "triples=%d (KG %d, XKG %d) terms=%d predicates=%d (%d token) rules=%d\n",
 				s.Triples, s.KGTriples, s.XKGTriples, s.Terms, s.Predicates, s.TokenPreds, s.Rules)
+		case line == ".serving":
+			sv := engine.ServingStats()
+			fmt.Fprintf(out, "queries=%d in_flight=%d shed=%d budget_exhausted=%d panics_recovered=%d\n",
+				sv.QueriesTotal, sv.InFlight, sv.QueriesShed, sv.BudgetExhausted, sv.PanicsRecovered)
+			a := sv.Admission
+			if a.Capacity == 0 {
+				fmt.Fprintln(out, "admission: disabled")
+			} else {
+				fmt.Fprintf(out, "admission: capacity=%d in_use=%d queued=%d admitted=%d avg_wait=%s\n",
+					a.Capacity, a.InUse, a.Queued, a.Admitted, a.AvgWait)
+			}
 		case line == ".rules":
 			for _, r := range engine.Rules() {
 				fmt.Fprintf(out, "  %-24s %s\n", r.ID, r.Rule)

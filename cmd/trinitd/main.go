@@ -25,6 +25,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only under -pprof
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -40,6 +41,12 @@ func main() {
 	load := flag.String("load", "", "serve a saved XKG (.tnt file) instead of demo/synthetic data")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout for in-flight requests")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
+	maxInflight := flag.Int("max-inflight-cost", 4*runtime.GOMAXPROCS(0),
+		"admission capacity: total evaluation weight (queries x parallelism) running concurrently; 0 disables admission")
+	admissionQueue := flag.Int("admission-queue", 0,
+		"admission wait-queue bound; beyond it queries are shed with 429 (0 = 4x capacity)")
+	queryBudget := flag.Int64("query-budget", 0,
+		"default per-query cost budget in join branches; exceeding it returns a partial result (0 = unlimited)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -86,9 +93,18 @@ func main() {
 		engine = trinit.NewDemoEngine()
 	}
 
+	engine.SetAdmissionControl(*maxInflight, *admissionQueue)
+	if *queryBudget > 0 {
+		engine.SetDefaultBudget(trinit.Budget{JoinBranches: *queryBudget})
+	}
+
 	s := engine.Stats()
 	log.Printf("trinitd: serving XKG with %d triples (%d KG + %d XKG), %d rules on %s",
 		s.Triples, s.KGTriples, s.XKGTriples, s.Rules, *addr)
+	if *maxInflight > 0 {
+		log.Printf("trinitd: admission capacity %d (queue %d), default budget %d join branches",
+			*maxInflight, *admissionQueue, *queryBudget)
+	}
 
 	// Request handlers pass r.Context() into QueryContext, so draining
 	// a shutdown also cancels any query still joining when the drain

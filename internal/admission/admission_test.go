@@ -1,0 +1,286 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestNilController: all methods are no-ops on nil — admission
+// disabled costs nothing at the call sites.
+func TestNilController(t *testing.T) {
+	var c *Controller
+	if err := c.Acquire(context.Background(), 8); err != nil {
+		t.Fatalf("nil Acquire: %v", err)
+	}
+	c.Release(8)
+	if c.Saturated() {
+		t.Fatal("nil controller reports saturated")
+	}
+	if s := c.Stats(); s != (Stats{}) {
+		t.Fatalf("nil Stats = %+v, want zero", s)
+	}
+}
+
+// TestFastPath: acquisitions within capacity do not block.
+func TestFastPath(t *testing.T) {
+	c := New(4, 2)
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if err := c.Acquire(ctx, 1); err != nil {
+			t.Fatalf("Acquire %d: %v", i, err)
+		}
+	}
+	s := c.Stats()
+	if s.InUse != 4 || s.Admitted != 4 {
+		t.Fatalf("Stats = %+v, want InUse=4 Admitted=4", s)
+	}
+}
+
+// TestWeightClamped: a weight above capacity is clamped so an
+// over-wide query still runs (alone) instead of deadlocking.
+func TestWeightClamped(t *testing.T) {
+	c := New(4, 2)
+	if err := c.Acquire(context.Background(), 100); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if s := c.Stats(); s.InUse != 4 {
+		t.Fatalf("InUse = %d, want clamped to 4", s.InUse)
+	}
+	c.Release(100)
+	if s := c.Stats(); s.InUse != 0 {
+		t.Fatalf("InUse = %d after Release, want 0", s.InUse)
+	}
+}
+
+// TestQueueAndRelease: a waiter beyond capacity queues FIFO and is
+// granted when weight frees up.
+func TestQueueAndRelease(t *testing.T) {
+	c := New(2, 4)
+	ctx := context.Background()
+	if err := c.Acquire(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	granted := make(chan error, 1)
+	go func() { granted <- c.Acquire(ctx, 1) }()
+	// The second acquire must queue, not fail.
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats().Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Release(2)
+	select {
+	case err := <-granted:
+		if err != nil {
+			t.Fatalf("queued Acquire: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued waiter never granted")
+	}
+	if s := c.Stats(); s.InUse != 1 || s.Queued != 0 {
+		t.Fatalf("Stats = %+v, want InUse=1 Queued=0", s)
+	}
+}
+
+// TestQueueFullShed: when the wait queue is at maxQueue, arrivals are
+// shed immediately with ErrQueueFull.
+func TestQueueFullShed(t *testing.T) {
+	c := New(1, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := c.Acquire(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = c.Acquire(ctx, 1) // occupies the single queue slot until cancel
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats().Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !c.Saturated() {
+		t.Fatal("Saturated() = false with a full queue")
+	}
+	if err := c.Acquire(ctx, 1); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Acquire = %v, want ErrQueueFull", err)
+	}
+	if s := c.Stats(); s.Shed != 1 {
+		t.Fatalf("Shed = %d, want 1", s.Shed)
+	}
+	cancel()
+	wg.Wait()
+}
+
+// TestMaxQueueZero: maxQueue <= 0 disables queueing entirely —
+// arrivals that do not fit are shed, and Saturated tracks capacity.
+func TestMaxQueueZero(t *testing.T) {
+	c := New(1, 0)
+	ctx := context.Background()
+	if err := c.Acquire(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Saturated() {
+		t.Fatal("Saturated() = false at capacity with no queue")
+	}
+	if err := c.Acquire(ctx, 1); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Acquire = %v, want ErrQueueFull", err)
+	}
+	c.Release(1)
+	if c.Saturated() {
+		t.Fatal("Saturated() = true after Release")
+	}
+}
+
+// TestDeadlineShed: when the EWMA predicts a wait longer than the
+// caller's deadline, the query is shed with ErrDeadline instead of
+// being admitted to time out in the queue.
+func TestDeadlineShed(t *testing.T) {
+	c := New(1, 8)
+	// Seed the EWMA with a long observed wait.
+	c.mu.Lock()
+	c.observeWaitLocked(time.Second)
+	c.inUse = 1
+	c.queue = append(c.queue, &waiter{weight: 1, ready: make(chan struct{})})
+	c.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := c.Acquire(ctx, 1); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("Acquire = %v, want ErrDeadline", err)
+	}
+	if s := c.Stats(); s.Shed != 1 {
+		t.Fatalf("Shed = %d, want 1", s.Shed)
+	}
+}
+
+// TestCancelWhileQueued: a waiter whose context fires before the grant
+// is removed from the queue and does not leak weight.
+func TestCancelWhileQueued(t *testing.T) {
+	c := New(1, 4)
+	bg := context.Background()
+	if err := c.Acquire(bg, 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(bg)
+	errc := make(chan error, 1)
+	go func() { errc <- c.Acquire(ctx, 1) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats().Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Acquire = %v, want context.Canceled", err)
+	}
+	c.Release(1)
+	if s := c.Stats(); s.InUse != 0 || s.Queued != 0 {
+		t.Fatalf("Stats = %+v, want InUse=0 Queued=0 after cancel+release", s)
+	}
+}
+
+// TestFIFOOrder: a wide waiter at the head is not starved by narrow
+// arrivals behind it — grants are strictly FIFO.
+func TestFIFOOrder(t *testing.T) {
+	c := New(4, 8)
+	bg := context.Background()
+	if err := c.Acquire(bg, 4); err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	acquire := func(id int, weight int64) {
+		defer wg.Done()
+		if err := c.Acquire(bg, weight); err != nil {
+			t.Errorf("Acquire %d: %v", id, err)
+			return
+		}
+		mu.Lock()
+		order = append(order, id)
+		mu.Unlock()
+	}
+	wg.Add(1)
+	go acquire(1, 4) // wide: must be granted first
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats().Queued != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	wg.Add(1)
+	go acquire(2, 1) // narrow: queued behind, fits but must wait
+	for c.Stats().Queued != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("second waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Release(4) // frees everything: head (weight 4) fits, then not id 2
+	// After the wide grant the narrow one still waits; release again.
+	for {
+		mu.Lock()
+		n := len(order)
+		mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("wide waiter never granted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Release(4)
+	wg.Wait()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("grant order = %v, want [1 2]", order)
+	}
+}
+
+// TestConcurrentChurn: many goroutines acquiring and releasing under
+// -race; invariant: InUse returns to zero and never exceeds capacity.
+func TestConcurrentChurn(t *testing.T) {
+	const capacity = 4
+	c := New(capacity, 64)
+	bg := context.Background()
+	var over atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			w := int64(g%3 + 1)
+			for i := 0; i < 50; i++ {
+				if err := c.Acquire(bg, w); err != nil {
+					continue
+				}
+				if c.Stats().InUse > capacity {
+					over.Store(true)
+				}
+				c.Release(w)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if over.Load() {
+		t.Fatal("InUse exceeded capacity")
+	}
+	if s := c.Stats(); s.InUse != 0 || s.Queued != 0 {
+		t.Fatalf("Stats = %+v, want drained", s)
+	}
+}

@@ -36,6 +36,9 @@ func New(e *trinit.Engine) *Server {
 	s.mux.HandleFunc("/api/complete", s.handleComplete)
 	s.mux.HandleFunc("/api/stats", s.handleStats)
 	s.mux.HandleFunc("/api/rules", s.handleRules)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/", s.handleIndex)
 	return s
 }
@@ -63,6 +66,10 @@ const StatusClientClosedRequest = 499
 // these, so the fallback is 400 rather than a blanket 500.
 func statusFor(err error) int {
 	switch {
+	case errors.Is(err, trinit.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, trinit.ErrInternal):
+		return http.StatusInternalServerError
 	case errors.Is(err, trinit.ErrParse):
 		return http.StatusBadRequest
 	case errors.Is(err, trinit.ErrNotFrozen):
@@ -73,16 +80,57 @@ func statusFor(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, trinit.ErrCanceled), errors.Is(err, context.Canceled):
 		return StatusClientClosedRequest
+	case errors.Is(err, trinit.ErrBudgetExhausted):
+		// Connected clients get 200 + partial (degradedPartial); this is
+		// only reached when the client also went away mid-degradation.
+		return StatusClientClosedRequest
 	}
 	return http.StatusBadRequest
 }
 
-// degradedTimeout reports whether an engine error should degrade to a
+// writeQueryError reports a failed query, attaching a Retry-After hint
+// (the admission controller's predicted wait, at least 1s) when the
+// engine shed the query under load.
+func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	if status == http.StatusTooManyRequests {
+		retry := time.Second
+		if avg := s.engine.ServingStats().Admission.AvgWait; avg > retry {
+			retry = avg.Round(time.Second)
+		}
+		secs := int(retry / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeError(w, status, err)
+}
+
+// degradedPartial reports whether an engine error should degrade to a
 // 200 response with the partial flag instead of an error status: the
-// query was cut short by its own timeout parameter while the client is
-// still connected and a partial result is in hand.
-func degradedTimeout(r *http.Request, res *trinit.Result, err error) bool {
-	return errors.Is(err, trinit.ErrCanceled) && res != nil && r.Context().Err() == nil
+// query was cut short by its own timeout parameter or its cost budget
+// while the client is still connected and a partial result is in hand.
+func degradedPartial(r *http.Request, res *trinit.Result, err error) bool {
+	if res == nil || r.Context().Err() != nil {
+		return false
+	}
+	return errors.Is(err, trinit.ErrCanceled) || errors.Is(err, trinit.ErrBudgetExhausted)
+}
+
+// partialReason names why a degraded result is partial, for the
+// response's partial_reason field: "budget" (cost budget exhausted) or
+// "timeout" (the query's own deadline).
+func partialReason(err error) string {
+	switch {
+	case errors.Is(err, trinit.ErrBudgetExhausted):
+		return "budget"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case err != nil:
+		return "canceled"
+	}
+	return ""
 }
 
 // queryOptions builds the per-query options from request parameters:
@@ -128,6 +176,13 @@ func queryOptions(q url.Values) ([]trinit.QueryOption, error) {
 			return nil, fmt.Errorf("bad parallelism parameter %q: want a positive integer or max", ps)
 		}
 	}
+	if bs := q.Get("budget"); bs != "" {
+		n, err := strconv.ParseInt(bs, 10, 64)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad budget parameter %q: want a positive join-branch count", bs)
+		}
+		opts = append(opts, trinit.WithBudget(trinit.Budget{JoinBranches: n}))
+	}
 	switch explain := q.Get("explain"); explain {
 	case "", "1":
 	case "0":
@@ -145,9 +200,12 @@ type QueryResponse struct {
 	Notices     []trinit.Notice     `json:"notices,omitempty"`
 	Suggestions []trinit.Suggestion `json:"suggestions,omitempty"`
 	Metrics     trinit.Metrics      `json:"metrics"`
-	// Partial marks a result cut short by the timeout parameter: the
-	// answers found before the deadline, not the full top-k.
+	// Partial marks a result cut short by the timeout or budget
+	// parameter: the answers found before the cut, not the full top-k.
 	Partial bool `json:"partial,omitempty"`
+	// PartialReason names what cut the query short when Partial is set:
+	// "timeout", "budget", or "canceled".
+	PartialReason string `json:"partial_reason,omitempty"`
 	// Trace is included when the request passes trace=1 (§5: internal
 	// processing steps).
 	Trace []trinit.TraceEntry `json:"trace,omitempty"`
@@ -172,8 +230,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		opts = append(opts, trinit.WithoutTrace())
 	}
 	res, err := s.engine.QueryContext(r.Context(), q, opts...)
-	if err != nil && !degradedTimeout(r, res, err) {
-		writeError(w, statusFor(err), err)
+	if err != nil && !degradedPartial(r, res, err) {
+		s.writeQueryError(w, err)
 		return
 	}
 	resp := QueryResponse{
@@ -183,6 +241,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Suggestions: res.Suggestions,
 		Metrics:     res.Metrics,
 		Partial:     res.Partial,
+	}
+	if res.Partial {
+		resp.PartialReason = partialReason(err)
 	}
 	if wantTrace {
 		resp.Trace = res.Trace
@@ -200,10 +261,11 @@ type streamAnswer struct {
 
 // streamDone is the JSON payload of the terminal done event.
 type streamDone struct {
-	Answers int             `json:"answers"`
-	Partial bool            `json:"partial,omitempty"`
-	Error   string          `json:"error,omitempty"`
-	Metrics *trinit.Metrics `json:"metrics,omitempty"`
+	Answers       int             `json:"answers"`
+	Partial       bool            `json:"partial,omitempty"`
+	PartialReason string          `json:"partial_reason,omitempty"`
+	Error         string          `json:"error,omitempty"`
+	Metrics       *trinit.Metrics `json:"metrics,omitempty"`
 }
 
 // handleQueryStream is /api/query/stream: Server-Sent Events over the
@@ -254,6 +316,14 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	}
 	opts = append(opts, trinit.WithoutExplanations(), trinit.WithoutTrace())
 	res, err := s.engine.QueryStream(r.Context(), q, func(ev trinit.AnswerEvent) error {
+		// A dropped client surfaces here before any doomed write: the
+		// request context is cancelled by the server on disconnect, and
+		// returning its error stops the underlying query at the
+		// processor's next poll instead of evaluating — and buffering
+		// events — for a reader that is gone.
+		if err := r.Context().Err(); err != nil {
+			return err
+		}
 		switch ev.Type {
 		case trinit.EventProvisional, trinit.EventAnswer:
 			return sendEvent(ev.Type.String(), streamAnswer{
@@ -269,16 +339,19 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		return nil
 	}, opts...)
 
-	if err != nil && !started && !errors.Is(err, trinit.ErrCanceled) {
-		// Nothing streamed yet and not a mid-flight cancellation:
+	if err != nil && !started && !errors.Is(err, trinit.ErrCanceled) && !errors.Is(err, trinit.ErrBudgetExhausted) && !errors.Is(err, context.Canceled) {
+		// Nothing streamed yet and not a mid-flight degradation:
 		// report a plain error response with the right status.
-		writeError(w, statusFor(err), err)
+		s.writeQueryError(w, err)
 		return
 	}
 	done := streamDone{}
 	if res != nil {
 		done.Answers = len(res.Answers)
 		done.Partial = res.Partial
+		if res.Partial {
+			done.PartialReason = partialReason(err)
+		}
 		m := res.Metrics
 		done.Metrics = &m
 	}
@@ -311,21 +384,25 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	// The ask response never serializes a trace.
 	opts = append(opts, trinit.WithoutTrace())
 	res, translated, err := s.engine.AskContext(r.Context(), question, opts...)
-	if err != nil && !degradedTimeout(r, res, err) {
-		writeError(w, statusFor(err), err)
+	if err != nil && !degradedPartial(r, res, err) {
+		s.writeQueryError(w, err)
 		return
 	}
+	qr := QueryResponse{
+		Query:       res.Query,
+		Answers:     res.Answers,
+		Notices:     res.Notices,
+		Suggestions: res.Suggestions,
+		Metrics:     res.Metrics,
+		Partial:     res.Partial,
+	}
+	if res.Partial {
+		qr.PartialReason = partialReason(err)
+	}
 	writeJSON(w, http.StatusOK, AskResponse{
-		Question:   question,
-		Translated: translated,
-		QueryResponse: QueryResponse{
-			Query:       res.Query,
-			Answers:     res.Answers,
-			Notices:     res.Notices,
-			Suggestions: res.Suggestions,
-			Metrics:     res.Metrics,
-			Partial:     res.Partial,
-		},
+		Question:      question,
+		Translated:    translated,
+		QueryResponse: qr,
 	})
 }
 

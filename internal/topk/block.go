@@ -28,6 +28,7 @@ package topk
 // so rankings stay byte-identical.)
 
 import (
+	"trinit/internal/faultinject"
 	"trinit/internal/rdf"
 	"trinit/internal/score"
 	"trinit/internal/store"
@@ -118,7 +119,7 @@ func (r *run) blockJoin(e *joinEnv) {
 // flushing it — recursing through the remaining depths — whenever it
 // fills. At full depth the block is materialised into answers.
 func (r *run) blockExtend(e *joinEnv, d int) {
-	if r.canceled {
+	if r.canceled || r.exhausted {
 		return
 	}
 	if d == e.n {
@@ -160,6 +161,7 @@ func (r *run) blockExtend(e *joinEnv, d int) {
 	// not wait out the tick budget.
 	flush := func() bool {
 		e.m.BlocksEmitted++
+		faultinject.Fire(faultinject.SiteBlockFlush, "")
 		if r.pollCancelEvery(out.rows) {
 			return false
 		}

@@ -33,9 +33,12 @@ package topk
 import (
 	"context"
 	"runtime"
+	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"trinit/internal/faultinject"
 	"trinit/internal/query"
 	"trinit/internal/relax"
 )
@@ -56,6 +59,12 @@ func resolveParallelism(p int) int {
 	}
 	return p
 }
+
+// EffectiveParallelism maps a Parallelism knob to the worker count it
+// selects (0 and 1 → 1, negative → one per logical CPU). Exported for
+// admission control, which weighs a query by the evaluation goroutines
+// it may occupy.
+func EffectiveParallelism(p int) int { return resolveParallelism(p) }
 
 // merge adds o's per-worker counters into m. The rewrite-space counters
 // (RewritesTotal/Evaluated/Skipped) are owned by the scheduler's queue,
@@ -87,9 +96,22 @@ func (ev *Executor) runParallel(ctx context.Context, q *query.Query, rewrites []
 	}
 	st := newState(k, true)
 
-	var done <-chan struct{}
-	if ctx != nil {
-		done = ctx.Done()
+	// Workers poll an internal context layered over the caller's: a
+	// recovered worker panic cancels it, so siblings drain at their next
+	// poll instead of finishing a now-pointless query.
+	base := ctx
+	if base == nil {
+		base = context.Background()
+	}
+	ictx, icancel := context.WithCancel(base)
+	defer icancel()
+	done := ictx.Done()
+
+	// The cost budget is one shared account: all workers charge it, and
+	// the first to observe exhaustion stops the queue for everyone.
+	var bt *budgetTracker
+	if cfg.Budget.limited() {
+		bt = newBudgetTracker(cfg.Budget)
 	}
 
 	// The emit hook is shared by every worker; serialise it so stream
@@ -131,6 +153,11 @@ func (ev *Executor) runParallel(ctx context.Context, q *query.Query, rewrites []
 		if next >= len(rewrites) {
 			return 0, false
 		}
+		if bt != nil && bt.exhausted.Load() {
+			// Budget spent: stop handing out rewrites, but leave next in
+			// place — it records how many were actually evaluated.
+			return 0, false
+		}
 		if opts.Mode == Incremental && rewrites[next].Weight < st.threshold() {
 			skipFrom = next
 			next = len(rewrites)
@@ -145,28 +172,58 @@ func (ev *Executor) runParallel(ctx context.Context, q *query.Query, rewrites []
 		m         Metrics
 		mmu       sync.Mutex
 		sawCancel atomic.Bool
+		panicRec  atomic.Pointer[PanicError]
 		wg        sync.WaitGroup
 	)
 	m.RewritesTotal = len(rewrites)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
-			defer wg.Done()
+		go func(w int) {
 			// Each worker owns a private run — per-worker scratch
 			// buffers and cancellation gate — over the shared
 			// executor, cache and top-k state. Metrics accumulate
 			// locally and merge once at the end.
 			r := &run{Executor: ev, opts: opts, done: done, emit: emit, noTrace: cfg.NoTrace}
+			r.budget = bt
 			if s, ok := ev.scratchPool.Get().(*evalScratch); ok {
 				r.sc = *s
 			}
-			defer func() {
-				s := r.sc
-				s.env = joinEnv{}
-				ev.scratchPool.Put(&s)
-			}()
 			var local Metrics
+			r.m = &local
 			var scratch RewriteTrace
+			var curRT *RewriteTrace
+			defer func() {
+				// The panic boundary of one worker: capture the first
+				// panic of the run, cancel the internal context so
+				// siblings drain at their next poll, and mark the
+				// in-flight rewrite's trace. The scratch may be poisoned
+				// mid-join (partially reset blocks, dangling env), so it
+				// is NOT returned to the pool on this path; a clean exit
+				// pools it as before.
+				if rec := recover(); rec != nil {
+					pe := &PanicError{Value: rec, Stack: debug.Stack()}
+					panicRec.CompareAndSwap(nil, pe)
+					icancel()
+					if curRT != nil && curRT != &scratch {
+						curRT.Status = "panic"
+						curRT.Detail = pe.detail()
+					}
+				} else {
+					s := r.sc
+					s.env = joinEnv{}
+					ev.scratchPool.Put(&s)
+				}
+				if r.canceled {
+					sawCancel.Store(true)
+				}
+				mmu.Lock()
+				m.merge(&local)
+				mmu.Unlock()
+				wg.Done()
+			}()
+			if faultinject.Enabled() {
+				faultinject.Fire(faultinject.SiteWorkerStart, strconv.Itoa(w))
+			}
 			for {
 				if r.pollCancel() {
 					break
@@ -180,15 +237,11 @@ func (ev *Executor) runParallel(ctx context.Context, q *query.Query, rewrites []
 					rt = &traces[ri]
 				}
 				*rt = RewriteTrace{}
+				curRT = rt
 				r.evalRewrite(rewrites[ri], ri, proj, st, &local, rt)
+				curRT = nil
 			}
-			if r.canceled {
-				sawCancel.Store(true)
-			}
-			mmu.Lock()
-			m.merge(&local)
-			mmu.Unlock()
-		}()
+		}(w)
 	}
 	wg.Wait()
 
@@ -215,9 +268,12 @@ func (ev *Executor) runParallel(ctx context.Context, q *query.Query, rewrites []
 			}
 			t.Rules = ids
 			if t.Status == "" {
-				if ri >= skipFrom {
+				switch {
+				case ri >= skipFrom:
 					t.Status = "skipped (weight bound)"
-				} else {
+				case bt != nil && bt.exhausted.Load():
+					t.Status = "budget"
+				default:
 					t.Status = "canceled"
 				}
 			}
@@ -226,8 +282,17 @@ func (ev *Executor) runParallel(ctx context.Context, q *query.Query, rewrites []
 	}
 
 	answers := st.ranked(k)
+	// Error precedence: a recovered panic outranks budget exhaustion,
+	// which outranks cancellation — a panic cancels the internal context
+	// and budget exhaustion stops the queue early, so the weaker signals
+	// are side effects of the stronger ones.
 	var err error
-	if (popped < len(rewrites) && skipFrom == len(rewrites)) || sawCancel.Load() {
+	switch {
+	case panicRec.Load() != nil:
+		err = panicRec.Load()
+	case bt != nil && bt.exhausted.Load():
+		err = ErrBudgetExhausted
+	case (popped < len(rewrites) && skipFrom == len(rewrites)) || sawCancel.Load():
 		// The queue stopped before the end for a reason other than the
 		// weight bound, or a worker unwound mid-rewrite: cancellation.
 		if ctx != nil {

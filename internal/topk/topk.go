@@ -28,6 +28,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"trinit/internal/faultinject"
 	"trinit/internal/query"
 	"trinit/internal/rdf"
 	"trinit/internal/relax"
@@ -141,6 +142,13 @@ type RunConfig struct {
 	// worker acting on a slightly stale bound does extra (never unsafe)
 	// work.
 	Parallelism int
+	// Budget caps the work of this call (see Budget); the zero value is
+	// unlimited. A run that spends its budget stops at the next poll
+	// point and returns the answers found so far with
+	// ErrBudgetExhausted — a sound partial top-k, never an empty error.
+	// Under a parallel schedule the budget bounds the query's total
+	// work across all workers.
+	Budget Budget
 }
 
 // cancelCheckInterval is how many join branches may run between two
@@ -251,9 +259,14 @@ type RewriteTrace struct {
 	// Rules lists the IDs of the applied rules.
 	Rules []string
 	// Status is "evaluated", "skipped (weight bound)", "no matches",
-	// "no matches (semi-join)", "missing projection", or "canceled"
-	// (the run's context was cancelled at or before this rewrite).
+	// "no matches (semi-join)", "missing projection", "canceled" (the
+	// run's context was cancelled at or before this rewrite), "budget"
+	// (the run's cost budget was exhausted at or before this rewrite),
+	// or "panic" (this rewrite's evaluation panicked and was recovered).
 	Status string
+	// Detail carries extra status context: for "panic" entries, the
+	// panic value and the recovered goroutine stack. Empty otherwise.
+	Detail string
 	// PatternMatches holds the match-list length per pattern (only for
 	// evaluated rewrites; patterns skipped by a planner early-abort
 	// stay 0).
@@ -396,6 +409,9 @@ func (ev *Executor) Run(ctx context.Context, q *query.Query, rewrites []relax.Re
 		done = ctx.Done()
 	}
 	r := &run{Executor: ev, opts: opts, done: done, emit: cfg.Emit, noTrace: cfg.NoTrace}
+	if cfg.Budget.limited() {
+		r.budget = newBudgetTracker(cfg.Budget)
+	}
 	r.sc = ev.scratch
 	defer func() {
 		// Drop the last rewrite's env so the parked scratch does not
@@ -413,6 +429,7 @@ func (ev *Executor) Run(ctx context.Context, q *query.Query, rewrites []relax.Re
 	st := newState(k, false)
 	var m Metrics
 	m.RewritesTotal = len(rewrites)
+	r.m = &m
 	ev.lastTrace = ev.lastTrace[:0]
 	var scratch RewriteTrace
 	trace := func(rw relax.Rewrite) *RewriteTrace {
@@ -436,8 +453,12 @@ func (ev *Executor) Run(ctx context.Context, q *query.Query, rewrites []relax.Re
 
 	for ri, rw := range rewrites {
 		if r.pollCancel() {
+			status := "canceled"
+			if r.exhausted {
+				status = "budget"
+			}
 			for _, rest := range rewrites[ri:] {
-				trace(rest).Status = "canceled"
+				trace(rest).Status = status
 			}
 			break
 		}
@@ -460,7 +481,10 @@ func (ev *Executor) Run(ctx context.Context, q *query.Query, rewrites []relax.Re
 
 	out := st.ranked(k)
 	var err error
-	if r.canceled && ctx != nil {
+	switch {
+	case r.exhausted:
+		err = ErrBudgetExhausted
+	case r.canceled && ctx != nil:
 		err = ctx.Err()
 	}
 	return out, m, err
@@ -487,6 +511,18 @@ type run struct {
 	// checkCancel polls every cancelCheckInterval ticks.
 	branchTick int
 	canceled   bool
+	// m points at the Metrics this run accumulates into (the serial
+	// run's totals, or a parallel worker's local counters) — the charge
+	// source of budget enforcement. budget is the run's shared charge
+	// account (nil = unlimited, skipping all budget work); exhausted
+	// latches locally once the budget is spent, and the charged*
+	// cursors mark how much of m has been charged so far.
+	m               *Metrics
+	budget          *budgetTracker
+	exhausted       bool
+	chargedBranches int64
+	chargedProbes   int64
+	chargedBlocks   int64
 	// sc holds the buffers evalRewrite reuses across rewrites.
 	sc evalScratch
 }
@@ -544,10 +580,15 @@ func scratchSlice[T any](s []T, n int) []T {
 	return s[:n]
 }
 
-// pollCancel polls the done channel unconditionally — used at rewrite
-// boundaries, which are rare and may follow long join phases.
+// pollCancel polls the stop conditions unconditionally — used at
+// rewrite boundaries, which are rare and may follow long join phases.
+// It reports true when the run must unwind: context cancelled or cost
+// budget exhausted (callers distinguish via r.canceled/r.exhausted).
 func (r *run) pollCancel() bool {
-	if r.canceled {
+	if r.canceled || r.exhausted {
+		return true
+	}
+	if r.overBudget() {
 		return true
 	}
 	if r.done == nil {
@@ -574,10 +615,10 @@ func (r *run) checkCancel() bool {
 // ticking inside the inner loop; blocks are capped at maxBlockRows, so
 // cancellation latency stays bounded by a few blocks of join work.
 func (r *run) pollCancelEvery(n int) bool {
-	if r.canceled {
+	if r.canceled || r.exhausted {
 		return true
 	}
-	if r.done == nil {
+	if r.done == nil && r.budget == nil {
 		return false
 	}
 	r.branchTick += n
@@ -847,10 +888,15 @@ func (r *run) evalRewrite(rw relax.Rewrite, ri int, proj []string, st *state, m 
 	pats := rw.Query.Patterns
 	n := len(pats)
 	defer func() {
-		if r.canceled {
+		if r.exhausted {
+			rt.Status = "budget"
+		} else if r.canceled {
 			rt.Status = "canceled"
 		}
 	}()
+	if faultinject.Enabled() {
+		faultinject.Fire(faultinject.SiteRewriteEval, strconv.Itoa(ri))
+	}
 
 	// Resolve this pattern set's variables to dense slots (memoised per
 	// run): the kernels bind variables by slot index, and the projection
@@ -941,7 +987,9 @@ func (r *run) evalRewrite(rw relax.Rewrite, ri int, proj []string, st *state, m 
 			return
 		}
 		p := pats[pi]
-		pl, stats, built := ev.cache.get(r.patKey(p), func() ([]score.Match, score.MatchStats) {
+		key := r.patKey(p)
+		pl, stats, built := ev.cache.get(key, func() ([]score.Match, score.MatchStats) {
+			faultinject.Fire(faultinject.SiteListBuild, key)
 			return ev.matcher.MatchPatternCounted(p)
 		})
 		if built {

@@ -27,10 +27,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"trinit/internal/admission"
 	"trinit/internal/dataset"
 	"trinit/internal/explain"
 	"trinit/internal/ned"
@@ -63,6 +66,22 @@ var (
 	// chain includes the context error, so errors.Is(err,
 	// context.DeadlineExceeded) distinguishes timeouts from cancels.
 	ErrCanceled = errors.New("trinit: query canceled")
+	// ErrBudgetExhausted reports a query cut short by its cost budget
+	// (WithBudget or Options.DefaultBudget). The returned Result is
+	// still valid: Result.Partial is true and Answers holds a sound
+	// partial top-k — every answer is real, its score a lower bound on
+	// the unbudgeted score.
+	ErrBudgetExhausted = errors.New("trinit: query budget exhausted")
+	// ErrOverloaded reports a query shed by admission control: the wait
+	// queue was full, or the request's deadline was predicted unmeetable
+	// given the current queue. No evaluation work was done; the server
+	// maps this to 429 with a Retry-After hint.
+	ErrOverloaded = errors.New("trinit: engine overloaded")
+	// ErrInternal reports an evaluation panic that was recovered at the
+	// query or worker boundary. The engine stays serviceable; the
+	// returned Result carries any answers found before the panic and a
+	// "panic" trace entry with the captured stack.
+	ErrInternal = errors.New("trinit: internal query error")
 )
 
 // Options configure an Engine.
@@ -124,7 +143,29 @@ type Options struct {
 	// values use one worker per logical CPU. Answers are byte-identical
 	// at every setting.
 	Parallelism int
+	// AdmissionCapacity enables admission control: the total evaluation
+	// weight (queries × their effective parallelism) allowed to run
+	// concurrently. 0 disables admission — every query runs
+	// immediately, the pre-admission behaviour. Adjustable after
+	// construction with SetAdmissionControl.
+	AdmissionCapacity int
+	// AdmissionQueue bounds the admission wait queue (queries holding
+	// for capacity). 0 defaults to 4× AdmissionCapacity; beyond the
+	// bound, arrivals are shed with ErrOverloaded. Ignored without
+	// AdmissionCapacity.
+	AdmissionQueue int
+	// DefaultBudget caps the evaluation work of every query that does
+	// not set its own WithBudget. The zero value is unlimited.
+	// Adjustable after construction with SetDefaultBudget.
+	DefaultBudget Budget
 }
+
+// Budget caps the evaluation work of one query: join branches explored,
+// hash buckets probed, frontier blocks emitted. Zero fields are
+// unlimited. A query that spends its budget stops at the processor's
+// next poll point and returns the answers found so far with
+// Result.Partial set and an error wrapping ErrBudgetExhausted.
+type Budget = topk.Budget
 
 func (o *Options) withDefaults() Options {
 	out := Options{}
@@ -260,14 +301,65 @@ type Engine struct {
 	// when the engine freezes.
 	cache *topk.Cache
 	execs sync.Pool
+
+	// admit gates query admission (nil = admission disabled); guarded
+	// by mu for replacement, snapshotted per query. defBudget is the
+	// engine-wide default cost budget (zero = unlimited).
+	admit     *admission.Controller
+	defBudget Budget
+
+	// Serving counters, exposed through ServingStats and /metrics.
+	queriesTotal    atomic.Uint64
+	queriesShed     atomic.Uint64
+	budgetExhausted atomic.Uint64
+	panicsRecovered atomic.Uint64
+	inFlight        atomic.Int64
 }
 
 // New creates an empty engine. Pass nil for default options.
 func New(opts *Options) *Engine {
+	o := opts.withDefaults()
 	return &Engine{
-		opts: opts.withDefaults(),
-		st:   store.New(nil, nil),
+		opts:      o,
+		st:        store.New(nil, nil),
+		admit:     newAdmission(o.AdmissionCapacity, o.AdmissionQueue),
+		defBudget: o.DefaultBudget,
 	}
+}
+
+// newAdmission builds the admission controller for a capacity/queue
+// pair: nil (admission disabled) for capacity <= 0, a 4×capacity
+// default queue when the queue bound is unset.
+func newAdmission(capacity, queue int) *admission.Controller {
+	if capacity <= 0 {
+		return nil
+	}
+	if queue <= 0 {
+		queue = 4 * capacity
+	}
+	return admission.New(int64(capacity), queue)
+}
+
+// SetAdmissionControl replaces the engine's admission controller:
+// capacity is the total evaluation weight (queries × their effective
+// parallelism) allowed to run concurrently, queue bounds the waiters
+// behind it (0 = 4×capacity). capacity <= 0 disables admission.
+// In-flight queries keep the controller they were admitted by and
+// release back into it, so replacement mid-traffic never leaks or
+// double-frees capacity.
+func (e *Engine) SetAdmissionControl(capacity, queue int) {
+	e.mu.Lock()
+	e.admit = newAdmission(capacity, queue)
+	e.mu.Unlock()
+}
+
+// SetDefaultBudget replaces the engine-wide default cost budget applied
+// to queries without their own WithBudget. The zero Budget removes the
+// default (unlimited).
+func (e *Engine) SetDefaultBudget(b Budget) {
+	e.mu.Lock()
+	e.defBudget = b
+	e.mu.Unlock()
 }
 
 // AddKGFact adds a curated KG fact between resources (confidence 1).
@@ -688,8 +780,13 @@ type TraceEntry struct {
 	// Rules lists the IDs of the rules applied in the derivation.
 	Rules []string
 	// Status is "evaluated", "skipped (weight bound)", "no matches",
-	// "missing projection", or "canceled".
+	// "missing projection", "canceled", "budget" (the query's cost
+	// budget ran out at or before this rewrite), or "panic" (this
+	// rewrite's evaluation panicked and was recovered).
 	Status string
+	// Detail carries extra status context — for "panic" entries, the
+	// panic value and recovered stack. Empty otherwise.
+	Detail string `json:",omitempty"`
 	// PatternMatches holds per-pattern match-list sizes.
 	PatternMatches []int
 	// Plan holds the pattern indices in the order the planner processed
@@ -778,6 +875,7 @@ type queryConfig struct {
 	timeout     time.Duration
 	mode        QueryMode
 	parallelism int
+	budget      Budget
 	noTrace     bool
 	noExplain   bool
 }
@@ -826,6 +924,16 @@ func WithoutExplanations() QueryOption {
 // WithMode overrides the engine's processing mode for this query.
 func WithMode(m QueryMode) QueryOption {
 	return func(c *queryConfig) { c.mode = m }
+}
+
+// WithBudget caps this query's evaluation work, overriding the engine's
+// Options.DefaultBudget. A query that exhausts its budget stops at the
+// processor's next poll point and returns the answers found so far:
+// Result.Partial is set and the error wraps ErrBudgetExhausted — a
+// sound partial top-k, never an empty error. Exhausted rewrites are
+// marked with a "budget" trace status.
+func WithBudget(b Budget) QueryOption {
+	return func(c *queryConfig) { c.budget = b }
 }
 
 // WithParallelism sets how many workers evaluate this query's rewrite
@@ -953,11 +1061,34 @@ func (e *Engine) queryContext(ctx context.Context, text string, fn func(AnswerEv
 	}
 	e.mu.RLock()
 	frozen, rules, suggester := e.frozen, e.rules, e.suggester
+	admit, defBudget := e.admit, e.defBudget
 	e.mu.RUnlock()
 	if !frozen {
 		return nil, fmt.Errorf("%w (call Freeze before querying)", ErrNotFrozen)
 	}
 	q.Projection = q.ProjectedVars()
+
+	// Admission: a query weighs as many units as evaluation goroutines
+	// it may occupy, so capacity bounds total evaluation concurrency,
+	// not query count. Shed queries never reach expansion — no work is
+	// wasted on a query the engine cannot run.
+	e.queriesTotal.Add(1)
+	p := cfg.parallelism
+	if p == 0 {
+		p = e.opts.Parallelism
+	}
+	weight := int64(topk.EffectiveParallelism(p))
+	if err := admit.Acquire(ctx, weight); err != nil {
+		if errors.Is(err, admission.ErrQueueFull) || errors.Is(err, admission.ErrDeadline) {
+			e.queriesShed.Add(1)
+			return nil, fmt.Errorf("%w: %w", ErrOverloaded, err)
+		}
+		// The caller went away while queued: a cancellation, not a shed.
+		return nil, fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	defer admit.Release(weight)
+	e.inFlight.Add(1)
+	defer e.inFlight.Add(-1)
 
 	exp := relax.NewExpander(rules)
 	exp.MaxDepth = e.opts.MaxRelaxationDepth
@@ -969,7 +1100,10 @@ func (e *Engine) queryContext(ctx context.Context, text string, fn func(AnswerEv
 	// the processor unwinds at its next cancellation check.
 	runCtx := ctx
 	var fnErr error
-	rcfg := topk.RunConfig{K: cfg.k, NoTrace: cfg.noTrace, Parallelism: cfg.parallelism}
+	rcfg := topk.RunConfig{K: cfg.k, NoTrace: cfg.noTrace, Parallelism: cfg.parallelism, Budget: cfg.budget}
+	if !budgetLimited(cfg.budget) {
+		rcfg.Budget = defBudget
+	}
 	switch cfg.mode {
 	case ModeIncremental:
 		rcfg.Mode, rcfg.ModeSet = topk.Incremental, true
@@ -996,27 +1130,70 @@ func (e *Engine) queryContext(ctx context.Context, text string, fn func(AnswerEv
 	var metrics topk.Metrics
 	var traces []TraceEntry
 	if runErr == nil {
-		ev := e.executor()
-		answers, metrics, runErr = ev.Run(runCtx, q, rewrites, rcfg)
-		// TraceLen sizes the conversion up front and skips the
-		// LastTrace copy entirely for empty traces — the copy would be
-		// pure waste when only the length is needed.
-		if n := ev.TraceLen(); !cfg.noTrace && n > 0 {
-			traces = make([]TraceEntry, 0, n)
-			for _, t := range ev.LastTrace() {
-				traces = append(traces, TraceEntry{
-					Query:          t.Query,
-					Weight:         t.Weight,
-					Rules:          t.Rules,
-					Status:         t.Status,
-					PatternMatches: t.PatternMatches,
-					Plan:           t.Plan,
-					SemiJoinKept:   t.SemiJoinKept,
-					Answers:        t.Answers,
-				})
+		// The query-level panic boundary: a panic unwinding out of the
+		// serial evaluation path (worker panics are already recovered by
+		// the parallel scheduler and surface as a *topk.PanicError return)
+		// is converted to the same typed error here, keeping the engine —
+		// and the daemon above it — serviceable. The borrowed executor is
+		// returned to the pool only on a clean exit: a panic may leave its
+		// scratch state mid-join.
+		func() {
+			ev := e.executor()
+			defer func() {
+				if rec := recover(); rec != nil {
+					runErr = &topk.PanicError{Value: rec, Stack: debug.Stack()}
+					return
+				}
+				e.execs.Put(ev)
+			}()
+			answers, metrics, runErr = ev.Run(runCtx, q, rewrites, rcfg)
+			// TraceLen sizes the conversion up front and skips the
+			// LastTrace copy entirely for empty traces — the copy would be
+			// pure waste when only the length is needed.
+			if n := ev.TraceLen(); !cfg.noTrace && n > 0 {
+				traces = make([]TraceEntry, 0, n)
+				for _, t := range ev.LastTrace() {
+					traces = append(traces, TraceEntry{
+						Query:          t.Query,
+						Weight:         t.Weight,
+						Rules:          t.Rules,
+						Status:         t.Status,
+						Detail:         t.Detail,
+						PatternMatches: t.PatternMatches,
+						Plan:           t.Plan,
+						SemiJoinKept:   t.SemiJoinKept,
+						Answers:        t.Answers,
+					})
+				}
 			}
+		}()
+	}
+	// Map processor-level degradations to the public typed errors (and
+	// their counters). Panics outrank budget exhaustion; both leave the
+	// Result valid and Partial.
+	if runErr != nil {
+		var pe *topk.PanicError
+		switch {
+		case errors.As(runErr, &pe):
+			e.panicsRecovered.Add(1)
+			// Parallel-worker panics already marked their rewrite's trace
+			// entry; a panic recovered at this boundary (serial path) gets
+			// a synthetic entry so the stack is never lost.
+			marked := false
+			for i := range traces {
+				if traces[i].Status == "panic" {
+					marked = true
+					break
+				}
+			}
+			if !cfg.noTrace && !marked {
+				traces = append(traces, TraceEntry{Status: "panic", Detail: pe.Error() + "\n" + string(pe.Stack)})
+			}
+			runErr = fmt.Errorf("%w: %v", ErrInternal, pe.Value)
+		case errors.Is(runErr, topk.ErrBudgetExhausted):
+			e.budgetExhausted.Add(1)
+			runErr = fmt.Errorf("%w: %w", ErrBudgetExhausted, runErr)
 		}
-		e.execs.Put(ev)
 	}
 	if fnErr != nil {
 		// The callback failed: the private-context cancellation above
@@ -1102,6 +1279,11 @@ func (e *Engine) queryContext(ctx context.Context, text string, fn func(AnswerEv
 		return res, fmt.Errorf("%w: %w", ErrCanceled, runErr)
 	}
 	return res, nil
+}
+
+// budgetLimited reports whether any cap of b is set.
+func budgetLimited(b Budget) bool {
+	return b.JoinBranches > 0 || b.HashProbes > 0 || b.Blocks > 0
 }
 
 // publicAnswer converts a processor answer to its public form, without
@@ -1216,6 +1398,58 @@ func (e *Engine) CacheStats() CacheStats {
 		return CacheStats{}
 	}
 	return cache.Stats()
+}
+
+// AdmissionStats snapshots the admission controller's counters. See
+// admission.Stats for the field documentation.
+type AdmissionStats = admission.Stats
+
+// ServingStats reports the engine's serving health: query and
+// degradation counters plus the admission controller's state. All
+// counters are cumulative since engine construction.
+type ServingStats struct {
+	// QueriesTotal counts queries that reached admission (parse and
+	// frozen checks passed), including shed ones.
+	QueriesTotal uint64
+	// InFlight is the number of queries currently evaluating.
+	InFlight int64
+	// QueriesShed counts queries rejected by admission control
+	// (ErrOverloaded).
+	QueriesShed uint64
+	// BudgetExhausted counts queries degraded by cost-budget exhaustion
+	// (ErrBudgetExhausted).
+	BudgetExhausted uint64
+	// PanicsRecovered counts evaluation panics converted to ErrInternal
+	// at the query or worker boundary.
+	PanicsRecovered uint64
+	// Admission is the admission controller's snapshot (zero when
+	// admission is disabled).
+	Admission AdmissionStats
+}
+
+// ServingStats returns a snapshot of the engine's serving counters.
+func (e *Engine) ServingStats() ServingStats {
+	e.mu.RLock()
+	admit := e.admit
+	e.mu.RUnlock()
+	return ServingStats{
+		QueriesTotal:    e.queriesTotal.Load(),
+		InFlight:        e.inFlight.Load(),
+		QueriesShed:     e.queriesShed.Load(),
+		BudgetExhausted: e.budgetExhausted.Load(),
+		PanicsRecovered: e.panicsRecovered.Load(),
+		Admission:       admit.Stats(),
+	}
+}
+
+// Ready reports whether the engine can usefully accept a new query
+// right now: frozen, and admission (when enabled) is not saturated —
+// the /readyz signal.
+func (e *Engine) Ready() bool {
+	e.mu.RLock()
+	frozen, admit := e.frozen, e.admit
+	e.mu.RUnlock()
+	return frozen && !admit.Saturated()
 }
 
 // NewDemoEngine returns an engine preloaded with the paper's running

@@ -1,15 +1,16 @@
 // Command trinit-bench regenerates the paper's evaluation artefacts
-// (experiments E1–E6) plus the ablation studies E7–E8; see DESIGN.md §4
-// and EXPERIMENTS.md.
+// (experiments E1–E6) plus the ablation studies E7–E8 and the durability
+// experiment E9; see DESIGN.md §4 and EXPERIMENTS.md.
 //
 // Usage:
 //
-//	trinit-bench [-exp all|e1|...|e8] [-scale small|bench] [-queries 70] [-seed 1] [-json BENCH_6.json]
+//	trinit-bench [-exp all|e1|...|e9|e5,e9] [-scale small|bench] [-queries 70] [-seed 1] [-json BENCH_8.json]
 //
-// With -json, the E5 efficiency metrics (main table, join-kernel ablation,
-// token-matching ablation, serial-vs-parallel scheduling, each with ns/op)
-// are additionally written as a machine-readable artifact, so CI runs
-// accumulate a perf trajectory.
+// -exp accepts a comma-separated list. With -json, the E5 efficiency
+// metrics (main table, join-kernel ablation, token-matching ablation,
+// serial-vs-parallel scheduling, each with ns/op) — plus the E9
+// persistence rows when e9 runs — are additionally written as a
+// machine-readable artifact, so CI runs accumulate a perf trajectory.
 package main
 
 import (
@@ -42,10 +43,13 @@ type benchArtifact struct {
 	// TokenMatchIndexScanRatio is baseline/resolved mean IndexScanned on
 	// the token-pattern workload — the list-building reduction factor.
 	TokenMatchIndexScanRatio float64 `json:"token_match_index_scan_ratio"`
+	// Persist holds the E9 durability rows (snapshot write/load
+	// wall-clock and bytes, delta-log throughput), present when e9 ran.
+	Persist []experiments.E9PersistRow `json:"persist,omitempty"`
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, e1..e8")
+	exp := flag.String("exp", "all", "experiments to run: all, or a comma list of e1..e9")
 	scale := flag.String("scale", "small", "world scale: small or bench")
 	queries := flag.Int("queries", 70, "workload size (paper: 70)")
 	seed := flag.Int64("seed", 1, "world seed")
@@ -58,7 +62,16 @@ func main() {
 	}
 	cfg.Seed = *seed
 
-	want := func(name string) bool { return *exp == "all" || strings.EqualFold(*exp, name) }
+	selected := strings.Split(*exp, ",")
+	want := func(name string) bool {
+		for _, s := range selected {
+			s = strings.TrimSpace(s)
+			if s == "all" || strings.EqualFold(s, name) {
+				return true
+			}
+		}
+		return false
+	}
 
 	var w *dataset.World
 	world := func() *dataset.World {
@@ -72,7 +85,7 @@ func main() {
 	}
 
 	ran := false
-	jsonWritten := false
+	var art *benchArtifact
 	if want("e1") {
 		ran = true
 		fmt.Println(experiments.FormatE1(experiments.RunE1(world(), *queries, 10)))
@@ -105,30 +118,17 @@ func main() {
 		fmt.Println(experiments.FormatE5Parallel(parallel))
 		blocks := experiments.RunE5Blocks(world(), e5Queries, 10)
 		fmt.Println(experiments.FormatE5Blocks(blocks))
-		if *jsonPath != "" {
-			art := benchArtifact{
-				Schema:                   "trinit-bench/e5/v3",
-				Scale:                    *scale,
-				Queries:                  e5Queries,
-				Seed:                     *seed,
-				E5:                       e5,
-				E5Kernels:                kernels,
-				E5TokenMatch:             tokens,
-				E5Parallel:               parallel,
-				E5Block:                  blocks,
-				TokenMatchIndexScanRatio: experiments.TokenMatchIndexScanRatio(tokens),
-			}
-			data, err := json.MarshalIndent(art, "", "  ")
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "trinit-bench: marshal %s: %v\n", *jsonPath, err)
-				os.Exit(1)
-			}
-			if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "trinit-bench: write %s: %v\n", *jsonPath, err)
-				os.Exit(1)
-			}
-			fmt.Printf("wrote %s\n\n", *jsonPath)
-			jsonWritten = true
+		art = &benchArtifact{
+			Schema:                   "trinit-bench/e5/v4",
+			Scale:                    *scale,
+			Queries:                  e5Queries,
+			Seed:                     *seed,
+			E5:                       e5,
+			E5Kernels:                kernels,
+			E5TokenMatch:             tokens,
+			E5Parallel:               parallel,
+			E5Block:                  blocks,
+			TokenMatchIndexScanRatio: experiments.TokenMatchIndexScanRatio(tokens),
 		}
 	}
 	if want("e6") {
@@ -143,13 +143,40 @@ func main() {
 		ran = true
 		fmt.Println(experiments.FormatE8(experiments.RunE8(world(), min(*queries, 30))))
 	}
+	if want("e9") {
+		ran = true
+		// The default sizes top out at 1M triples regardless of -scale:
+		// the store is synthesised directly, not from the world generator,
+		// and the 1M row backs the "snapshot loads in seconds" claim.
+		rows, err := experiments.RunE9Persist(nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trinit-bench: e9: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.FormatE9Persist(rows))
+		if art != nil {
+			art.Persist = rows
+		}
+	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "trinit-bench: unknown experiment %q (use all, e1..e8)\n", *exp)
+		fmt.Fprintf(os.Stderr, "trinit-bench: unknown experiment %q (use all, or a comma list of e1..e9)\n", *exp)
 		os.Exit(2)
 	}
-	if *jsonPath != "" && !jsonWritten {
-		fmt.Fprintf(os.Stderr, "trinit-bench: -json requires e5 to run (got -exp %s); no artifact written\n", *exp)
-		os.Exit(2)
+	if *jsonPath != "" {
+		if art == nil {
+			fmt.Fprintf(os.Stderr, "trinit-bench: -json requires e5 to run (got -exp %s); no artifact written\n", *exp)
+			os.Exit(2)
+		}
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trinit-bench: marshal %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "trinit-bench: write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n\n", *jsonPath)
 	}
 }
 

@@ -14,7 +14,10 @@
 //	                           .rule r9 0.7 ?x affiliation ?y => ?x 'lectured at' ?y
 //	.complete <prefix>         auto-complete a resource or phrase
 //	.explain <n>               explain answer n of the last result
-//	.save <path>               persist the XKG and rules to a .tnt file
+//	.save <path>               persist the XKG and rules: a checksummed
+//	                           binary snapshot, or the TNT text format
+//	                           when the path ends in .tnt
+//	.load <path>               replace the session with a saved snapshot
 //	.quit                      exit
 package main
 
@@ -83,7 +86,7 @@ func runREPL(engine *trinit.Engine, in io.Reader, out io.Writer) {
 			return
 		case line == ".help":
 			fmt.Fprintln(out, "queries: triple patterns, e.g.  AlbertEinstein affiliation ?x ; ?x member IvyLeague")
-			fmt.Fprintln(out, "commands: .ask <question> .watch <query> .stats .serving .rules .rule <id> <w> <rule> .complete <prefix> .explain <n> .trace .save <path> .quit")
+			fmt.Fprintln(out, "commands: .ask <question> .watch <query> .stats .serving .rules .rule <id> <w> <rule> .complete <prefix> .explain <n> .trace .save <path> .load <path> .quit")
 		case line == ".stats":
 			s := engine.Stats()
 			fmt.Fprintf(out, "triples=%d (KG %d, XKG %d) terms=%d predicates=%d (%d token) rules=%d\n",
@@ -157,12 +160,31 @@ func runREPL(engine *trinit.Engine, in io.Reader, out io.Writer) {
 			last = res
 			printResult(out, res)
 		case strings.HasPrefix(line, ".save "):
+			// .tnt keeps the line-oriented text format; any other path gets
+			// the checksummed binary segment snapshot (see .load).
 			path := strings.TrimSpace(strings.TrimPrefix(line, ".save"))
-			if err := engine.SaveFile(path); err != nil {
+			var err error
+			if strings.HasSuffix(path, ".tnt") {
+				err = engine.SaveFile(path)
+			} else {
+				err = engine.SaveSnapshot(path)
+			}
+			if err != nil {
 				fmt.Fprintf(out, "error: %v\n", err)
 			} else {
 				fmt.Fprintf(out, "saved XKG and rules to %s\n", path)
 			}
+		case strings.HasPrefix(line, ".load "):
+			path := strings.TrimSpace(strings.TrimPrefix(line, ".load"))
+			e, err := trinit.LoadSnapshot(path, nil)
+			if err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+				break
+			}
+			engine, last = e, nil
+			s := engine.Stats()
+			fmt.Fprintf(out, "loaded snapshot %s: %d triples (%d KG, %d XKG), %d rules\n",
+				path, s.Triples, s.KGTriples, s.XKGTriples, s.Rules)
 		case strings.HasPrefix(line, ".complete "):
 			prefix := strings.TrimSpace(strings.TrimPrefix(line, ".complete"))
 			for _, c := range engine.Complete(prefix, 10) {

@@ -130,6 +130,23 @@ func TestREPLSave(t *testing.T) {
 	}
 }
 
+// TestREPLSnapshotSaveLoad: .save without a .tnt suffix writes the
+// binary segment snapshot, and .load swaps the session onto it —
+// queries keep answering against the reloaded store.
+func TestREPLSnapshotSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "demo.snap")
+	out := session(t, ".save "+path+"\n.load "+path+"\nAlbertEinstein hasAdvisor ?x\n.quit\n")
+	if !strings.Contains(out, "saved XKG and rules") {
+		t.Fatalf("save failed:\n%s", out)
+	}
+	if !strings.Contains(out, "loaded snapshot") || !strings.Contains(out, "12 triples") {
+		t.Fatalf("load failed:\n%s", out)
+	}
+	if !strings.Contains(out, "AlfredKleiner") {
+		t.Errorf("query against reloaded snapshot missed the answer:\n%s", out)
+	}
+}
+
 func TestREPLEOFExits(t *testing.T) {
 	// No .quit: the loop must end at EOF without hanging.
 	out := session(t, ".stats\n")

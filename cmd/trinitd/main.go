@@ -4,15 +4,20 @@
 //
 // Usage:
 //
-//	trinitd [-addr :8080] [-synthetic] [-people N] [-seed S] [-pprof localhost:6060]
+//	trinitd [-addr :8080] [-synthetic] [-people N] [-seed S] [-data DIR] [-pprof localhost:6060]
 //
 // By default the server hosts the paper's worked example (Figures 1-4);
 // with -synthetic it generates the synthetic world, builds the XKG from
-// its corpus, and mines relaxation rules. With -pprof, net/http/pprof is
-// served on a separate address, so a production profile of the query
-// pipeline (e.g. the parallel rewrite scheduler) is one
-// `go tool pprof http://host:6060/debug/pprof/profile` away; it is off
-// unless the flag is set, and never on the public listener.
+// its corpus, and mines relaxation rules. With -data the engine is
+// durable: the directory's checksummed snapshot is loaded and its
+// write-ahead delta log replayed (or, on first run, the selected dataset
+// is persisted into it), the listener answers probes while recovery
+// runs, and rule edits made over the API survive a crash or restart.
+// With -pprof, net/http/pprof is served on a separate address, so a
+// production profile of the query pipeline (e.g. the parallel rewrite
+// scheduler) is one `go tool pprof http://host:6060/debug/pprof/profile`
+// away; it is off unless the flag is set, and never on the public
+// listener.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -39,6 +45,7 @@ func main() {
 	people := flag.Int("people", 120, "synthetic world size (people)")
 	seed := flag.Int64("seed", 1, "synthetic world seed")
 	load := flag.String("load", "", "serve a saved XKG (.tnt file) instead of demo/synthetic data")
+	dataDir := flag.String("data", "", "durable data directory: recover its snapshot + delta log, or bootstrap it from the selected dataset on first run")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout for in-flight requests")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	maxInflight := flag.Int("max-inflight-cost", 4*runtime.GOMAXPROCS(0),
@@ -70,41 +77,91 @@ func main() {
 		}()
 	}
 
-	var engine *trinit.Engine
-	if *load != "" {
-		e, err := trinit.LoadFile(*load, nil)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "trinitd: %v\n", err)
-			os.Exit(1)
+	// buildEngine assembles the in-memory dataset selected by flags —
+	// the -data recovery path only runs it when the directory is empty
+	// and needs bootstrapping.
+	buildEngine := func() (*trinit.Engine, error) {
+		if *load != "" {
+			e, err := trinit.LoadFile(*load, nil)
+			if err != nil {
+				return nil, err
+			}
+			e.Freeze()
+			return e, nil
 		}
-		e.Freeze()
-		engine = e
-	} else if *synthetic {
-		cfg := trinit.DefaultSyntheticConfig()
-		cfg.People = *people
-		cfg.Seed = *seed
-		e, _, err := trinit.NewSyntheticEngine(cfg, 0)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "trinitd: %v\n", err)
-			os.Exit(1)
+		if *synthetic {
+			cfg := trinit.DefaultSyntheticConfig()
+			cfg.People = *people
+			cfg.Seed = *seed
+			e, _, err := trinit.NewSyntheticEngine(cfg, 0)
+			return e, err
 		}
-		engine = e
-	} else {
-		engine = trinit.NewDemoEngine()
+		return trinit.NewDemoEngine(), nil
 	}
 
-	engine.SetAdmissionControl(*maxInflight, *admissionQueue)
-	if *queryBudget > 0 {
-		engine.SetDefaultBudget(trinit.Budget{JoinBranches: *queryBudget})
+	// loadEngine produces the engine to serve. With -data it recovers the
+	// directory (or bootstraps it on first run); without, it serves the
+	// in-memory dataset directly.
+	loadEngine := func() (*trinit.Engine, error) {
+		if *dataDir == "" {
+			return buildEngine()
+		}
+		if trinit.HasData(*dataDir) {
+			e, info, err := trinit.Open(*dataDir, nil)
+			if err != nil {
+				return nil, err
+			}
+			rebuilt := ""
+			if info.IndexesRebuilt {
+				rebuilt = ", indexes rebuilt"
+			}
+			torn := ""
+			if info.TornBytes > 0 {
+				torn = fmt.Sprintf(", %d torn tail bytes truncated", info.TornBytes)
+			}
+			log.Printf("trinitd: recovered %s: snapshot epoch %d (%d bytes%s), %d delta records replayed (%d stale skipped%s) in %v",
+				*dataDir, info.SnapshotEpoch, info.SnapshotBytes, rebuilt,
+				info.WALReplayed, info.WALSkipped, torn, info.LoadTime)
+			return e, nil
+		}
+		e, err := buildEngine()
+		if err != nil {
+			return nil, err
+		}
+		if err := e.Persist(*dataDir); err != nil {
+			return nil, err
+		}
+		log.Printf("trinitd: bootstrapped %s: snapshot written at epoch 1", *dataDir)
+		return e, nil
 	}
 
-	s := engine.Stats()
-	log.Printf("trinitd: serving XKG with %d triples (%d KG + %d XKG), %d rules on %s",
-		s.Triples, s.KGTriples, s.XKGTriples, s.Rules, *addr)
-	if *maxInflight > 0 {
-		log.Printf("trinitd: admission capacity %d (queue %d), default budget %d join branches",
-			*maxInflight, *admissionQueue, *queryBudget)
-	}
+	// The listener comes up before recovery finishes: the server starts
+	// in a loading state (probes answer, API traffic gets 503 +
+	// Retry-After) and the engine is published when the data directory
+	// has replayed.
+	hs := server.NewLoading()
+	var published atomic.Pointer[trinit.Engine]
+	go func() {
+		engine, err := loadEngine()
+		if err != nil {
+			log.Printf("trinitd: %v", err)
+			os.Exit(1)
+		}
+		engine.SetAdmissionControl(*maxInflight, *admissionQueue)
+		if *queryBudget > 0 {
+			engine.SetDefaultBudget(trinit.Budget{JoinBranches: *queryBudget})
+		}
+		published.Store(engine)
+		hs.Publish(engine)
+
+		s := engine.Stats()
+		log.Printf("trinitd: serving XKG with %d triples (%d KG + %d XKG), %d rules on %s",
+			s.Triples, s.KGTriples, s.XKGTriples, s.Rules, *addr)
+		if *maxInflight > 0 {
+			log.Printf("trinitd: admission capacity %d (queue %d), default budget %d join branches",
+				*maxInflight, *admissionQueue, *queryBudget)
+		}
+	}()
 
 	// Request handlers pass r.Context() into QueryContext, so draining
 	// a shutdown also cancels any query still joining when the drain
@@ -112,7 +169,7 @@ func main() {
 	// SSE endpoint holds a response open for the lifetime of a query.
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(engine),
+		Handler:           hs,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      5 * time.Minute,
@@ -137,6 +194,13 @@ func main() {
 		if err := srv.Shutdown(sctx); err != nil {
 			log.Printf("trinitd: drain incomplete: %v", err)
 			_ = srv.Close()
+		}
+	}
+	// Release the write-ahead log after the drain so in-flight rule
+	// edits finish logging first; surfaces any sticky durability error.
+	if e := published.Load(); e != nil {
+		if err := e.Close(); err != nil {
+			log.Printf("trinitd: close: %v", err)
 		}
 	}
 }

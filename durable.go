@@ -1,0 +1,412 @@
+package trinit
+
+// Durability: crash-safe persistence of the engine behind a data
+// directory.
+//
+// A data directory holds at most two files — snapshot.trnt, a
+// checksummed binary segment image of the frozen store plus rules at one
+// epoch, and wal.log, the write-ahead delta log of everything that
+// happened since (triple ingest before Freeze, rule edits after it).
+// Open loads the snapshot, replays the log, and verifies every checksum;
+// Checkpoint folds the log into a fresh snapshot via temp-file + fsync +
+// atomic rename.
+//
+// The protocol invariants:
+//
+//   - A mutation is acknowledged only after its WAL record is fsynced;
+//     rule mutations append before publishing in memory, batch ingest
+//     appends before returning to the caller.
+//   - WAL records carry the epoch they apply on top of. Recovery applies
+//     records at the snapshot's epoch, skips older ones (a crash between
+//     publishing a new snapshot and rotating the log leaves both — the
+//     snapshot already contains those deltas), and rejects newer ones as
+//     corruption.
+//   - Durability fails stop: after any write-ahead or checkpoint error
+//     the on-disk state may no longer mirror memory, so the engine
+//     refuses further durable mutations with the original error and the
+//     directory must be reopened. Recovery then lands on the last
+//     acknowledged consistent state.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"trinit/internal/rdf"
+	"trinit/internal/relax"
+	"trinit/internal/serial"
+	"trinit/internal/suggest"
+)
+
+const (
+	snapshotFile = "snapshot.trnt"
+	walFile      = "wal.log"
+)
+
+// ErrCorrupt is the typed error for damaged on-disk state: checksum
+// mismatches, truncated snapshots, mid-file WAL corruption, or log
+// records inconsistent with the snapshot they accompany. It aliases
+// internal/serial's sentinel so errors.Is works across the API boundary.
+var ErrCorrupt = serial.ErrCorrupt
+
+// durability is the engine's attachment to a data directory.
+type durability struct {
+	mu    sync.Mutex
+	dir   string
+	wal   *serial.WAL
+	epoch uint64
+	// err is sticky: the first durability failure. Once set, disk and
+	// memory may diverge, so every later durable mutation fails with it.
+	err error
+}
+
+// append stamps the records with the current epoch and writes them ahead
+// of publication. Callers hold d.mu.
+func (d *durability) append(recs ...serial.WALRecord) error {
+	if d.err != nil {
+		return fmt.Errorf("trinit: durability disabled by earlier failure: %w", d.err)
+	}
+	for i := range recs {
+		recs[i].Epoch = d.epoch
+	}
+	if err := d.wal.Append(recs...); err != nil {
+		d.err = err
+		return fmt.Errorf("trinit: write-ahead log append: %w", err)
+	}
+	return nil
+}
+
+// HasData reports whether dir already holds a snapshot or write-ahead
+// log — i.e. whether Open would recover state rather than start empty.
+// Callers bootstrapping a directory (build an engine, Persist it) use
+// this to decide between the two paths.
+func HasData(dir string) bool {
+	for _, name := range []string{snapshotFile, walFile} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// RecoveryInfo reports what Open found and did.
+type RecoveryInfo struct {
+	// SnapshotEpoch is the loaded snapshot's epoch; 0 means the
+	// directory held no snapshot yet.
+	SnapshotEpoch uint64
+	// SnapshotBytes is the snapshot file size (0 without a snapshot).
+	SnapshotBytes int64
+	// IndexesRebuilt reports that the snapshot predated the current
+	// index format, so the permutation indexes were re-sorted from the
+	// triple column instead of loaded eagerly.
+	IndexesRebuilt bool
+	// WALReplayed counts delta-log records applied on top of the
+	// snapshot; WALSkipped counts stale records from older epochs.
+	WALReplayed, WALSkipped int
+	// TornBytes counts the bytes of a torn WAL tail that recovery
+	// truncated away (an interrupted append; its mutation was never
+	// acknowledged).
+	TornBytes int
+	// LoadTime is the wall-clock duration of Open.
+	LoadTime time.Duration
+}
+
+// Open loads the engine persisted in dir, creating the directory if
+// needed. With a snapshot present the store loads frozen and the delta
+// log replays rule edits on top; without one, the log replays triple
+// ingest into an unfrozen engine that may keep ingesting. Every
+// checksum is verified; damage surfaces as an error wrapping ErrCorrupt,
+// never as a silently partial store. Pass nil opts for defaults.
+//
+// The returned engine appends its mutations to dir's write-ahead log;
+// call Checkpoint to fold the log into a fresh snapshot and Close when
+// done.
+func Open(dir string, opts *Options) (*Engine, *RecoveryInfo, error) {
+	start := time.Now()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	// Sweep temp files: a crash mid-checkpoint leaves snapshot.trnt.tmp
+	// behind, and the next checkpoint would truncate it anyway.
+	if stale, err := filepath.Glob(filepath.Join(dir, "*.tmp")); err == nil {
+		for _, p := range stale {
+			os.Remove(p)
+		}
+	}
+
+	info := &RecoveryInfo{}
+	var e *Engine
+	snapPath := filepath.Join(dir, snapshotFile)
+	if _, err := os.Stat(snapPath); err == nil {
+		snap, err := serial.ReadSnapshotFile(snapPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		e = engineFromSnapshot(snap, opts)
+		info.SnapshotEpoch = snap.Epoch
+		info.SnapshotBytes = snap.Bytes
+		info.IndexesRebuilt = snap.IndexesRebuilt
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, err
+	} else {
+		e = New(opts)
+	}
+
+	wal, replay, err := serial.OpenWAL(filepath.Join(dir, walFile))
+	if err != nil {
+		return nil, nil, err
+	}
+	info.TornBytes = replay.TornBytes
+	for _, rec := range replay.Records {
+		switch {
+		case rec.Epoch < info.SnapshotEpoch:
+			// Folded into the snapshot already: a crash hit between the
+			// snapshot rename and the log rotation.
+			info.WALSkipped++
+			continue
+		case rec.Epoch > info.SnapshotEpoch:
+			wal.Close()
+			return nil, nil, fmt.Errorf("%w: delta-log record at epoch %d, snapshot at epoch %d",
+				ErrCorrupt, rec.Epoch, info.SnapshotEpoch)
+		}
+		if err := e.applyWALRecord(rec); err != nil {
+			wal.Close()
+			return nil, nil, err
+		}
+		info.WALReplayed++
+	}
+	if !e.frozen {
+		// Mirror further batch ingest into the log (replayed rows are
+		// drained away first so they are not logged twice).
+		e.st.DrainAdds()
+		e.st.TrackAdds(true)
+	}
+	e.dur.Store(&durability{dir: dir, wal: wal, epoch: info.SnapshotEpoch})
+	info.LoadTime = time.Since(start)
+	return e, info, nil
+}
+
+// engineFromSnapshot assembles a frozen, queryable engine around a
+// decoded snapshot.
+func engineFromSnapshot(snap *serial.Snapshot, opts *Options) *Engine {
+	o := opts.withDefaults()
+	e := &Engine{
+		opts:      o,
+		st:        snap.Store,
+		rules:     snap.Rules,
+		admit:     newAdmission(o.AdmissionCapacity, o.AdmissionQueue),
+		defBudget: o.DefaultBudget,
+	}
+	e.suggester = suggest.New(e.st)
+	e.initQueryPipeline()
+	e.frozen = true
+	return e
+}
+
+// applyWALRecord replays one delta-log record during Open. The engine is
+// single-owner here, so no locks are taken.
+func (e *Engine) applyWALRecord(rec serial.WALRecord) error {
+	switch rec.Op {
+	case serial.WALTriple:
+		if e.frozen {
+			return fmt.Errorf("%w: triple delta-log record at the snapshot's epoch (the store froze before the snapshot)", ErrCorrupt)
+		}
+		prov := rdf.NoProv
+		if rec.Doc != "" || rec.Sentence != "" {
+			prov = e.st.Prov().Add(rdf.Prov{Doc: rec.Doc, Sentence: rec.Sentence})
+		}
+		e.st.AddFact(rec.S, rec.P, rec.O, rec.Source, rec.Conf, prov)
+	case serial.WALRuleAdd:
+		r, err := relax.ParseRule(rec.RuleID, rec.RuleText, rec.RuleWeight, rec.RuleOrigin)
+		if err != nil {
+			return fmt.Errorf("%w: delta-log rule %q: %v", ErrCorrupt, rec.RuleID, err)
+		}
+		e.rules = append(e.rules, r)
+	case serial.WALRuleRemove:
+		kept := e.rules[:0:0]
+		for _, r := range e.rules {
+			if r.ID != rec.RuleID {
+				kept = append(kept, r)
+			}
+		}
+		e.rules = kept
+	case serial.WALRuleClear:
+		e.rules = nil
+	default:
+		return fmt.Errorf("%w: unknown delta-log op %d", ErrCorrupt, rec.Op)
+	}
+	return nil
+}
+
+// Persist attaches a durable data directory to a frozen in-memory engine
+// (demo, synthetic, or TNT-loaded): it writes the initial snapshot at
+// epoch 1 and opens a fresh write-ahead log. The directory must not
+// already hold a snapshot or log — reopen those with Open instead.
+func (e *Engine) Persist(dir string) error {
+	if e.dur.Load() != nil {
+		return fmt.Errorf("trinit: engine is already durable")
+	}
+	e.mu.RLock()
+	frozen, st, rules := e.frozen, e.st, e.rules
+	e.mu.RUnlock()
+	if !frozen {
+		return fmt.Errorf("%w: Persist requires a frozen engine", ErrNotFrozen)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range []string{snapshotFile, walFile} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
+			return fmt.Errorf("trinit: %s already exists in %s (use Open)", name, dir)
+		}
+	}
+	if err := serial.WriteSnapshotFile(filepath.Join(dir, snapshotFile), st, rules, 1); err != nil {
+		return err
+	}
+	wal, _, err := serial.OpenWAL(filepath.Join(dir, walFile))
+	if err != nil {
+		return err
+	}
+	e.dur.Store(&durability{dir: dir, wal: wal, epoch: 1})
+	return nil
+}
+
+// Checkpoint folds the write-ahead log into a fresh snapshot at the next
+// epoch: the snapshot is written atomically (temp file, fsync, rename,
+// directory fsync), then the log is rotated. A crash between the rename
+// and the rotation is safe — recovery skips the log's now-stale records
+// by epoch. The engine must be frozen and durable. On failure the
+// engine's durability fails stop (see the package invariants): the
+// directory still holds a consistent state, but it must be reopened.
+func (e *Engine) Checkpoint() error {
+	d := e.dur.Load()
+	if d == nil {
+		return fmt.Errorf("trinit: engine has no data directory (use Open or Persist)")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.err != nil {
+		return fmt.Errorf("trinit: durability disabled by earlier failure: %w", d.err)
+	}
+	e.mu.RLock()
+	frozen, st, rules := e.frozen, e.st, e.rules
+	e.mu.RUnlock()
+	if !frozen {
+		return fmt.Errorf("%w: Checkpoint requires a frozen engine", ErrNotFrozen)
+	}
+	// st is immutable after Freeze and the rules slice is copy-on-write,
+	// so the snapshot encodes a consistent view without holding e.mu;
+	// concurrent rule mutations serialize behind d.mu.
+	if err := serial.WriteSnapshotFile(filepath.Join(d.dir, snapshotFile), st, rules, d.epoch+1); err != nil {
+		// The rename may or may not have happened; either way the
+		// on-disk state is consistent, but continuing to append at the
+		// old epoch could lose acknowledged mutations if it did.
+		d.err = err
+		return err
+	}
+	d.epoch++
+	if err := d.wal.Rotate(); err != nil {
+		d.err = err
+		return err
+	}
+	return nil
+}
+
+// Close detaches the engine from its data directory, closing the
+// write-ahead log. The engine stays queryable in memory. Close returns
+// the sticky durability error, if any, so a fail-stopped engine cannot
+// shut down looking healthy.
+func (e *Engine) Close() error {
+	d := e.dur.Swap(nil)
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	err := d.wal.Close()
+	if d.err != nil {
+		return d.err
+	}
+	return err
+}
+
+// durLocked acquires the durability lock when the engine is durable and
+// returns (d, unlock). Mutating methods take it before e.mu — the lock
+// order that lets Checkpoint hold d.mu across a long snapshot write
+// while queries keep reading — and release it after publishing.
+func (e *Engine) durLocked() (*durability, func()) {
+	d := e.dur.Load()
+	if d == nil {
+		return nil, func() {}
+	}
+	d.mu.Lock()
+	return d, d.mu.Unlock
+}
+
+// logDrainedAdds mirrors the store rows inserted or replaced by the
+// just-finished batch into the write-ahead log. Callers hold e.mu and
+// d.mu. The rows are already applied in memory: a failure here therefore
+// fails stop (sticky error) and the caller surfaces it.
+func (e *Engine) logDrainedAdds(d *durability) error {
+	ids := e.st.DrainAdds()
+	if len(ids) == 0 {
+		return nil
+	}
+	dict, prov := e.st.Dict(), e.st.Prov()
+	recs := make([]serial.WALRecord, len(ids))
+	for i, id := range ids {
+		t := e.st.Triple(id)
+		pv := prov.Get(t.Prov)
+		recs[i] = serial.WALRecord{
+			Op:       serial.WALTriple,
+			S:        dict.Term(t.S),
+			P:        dict.Term(t.P),
+			O:        dict.Term(t.O),
+			Source:   t.Source,
+			Conf:     t.Conf,
+			Doc:      pv.Doc,
+			Sentence: pv.Sentence,
+		}
+	}
+	return d.append(recs...)
+}
+
+// ruleAddRecord encodes a rule for the write-ahead log, in the same
+// re-parseable text form the snapshot's rule section uses.
+func ruleAddRecord(r *relax.Rule) serial.WALRecord {
+	return serial.WALRecord{
+		Op:         serial.WALRuleAdd,
+		RuleID:     r.ID,
+		RuleText:   serial.RuleText(r),
+		RuleWeight: r.Weight,
+		RuleOrigin: r.Origin,
+	}
+}
+
+// SaveSnapshot writes a standalone binary snapshot of the frozen engine
+// (store + rules) to path, atomically. Standalone snapshots always carry
+// epoch 1; they are complete images with no accompanying delta log, made
+// for the REPL's .save/.load and for benchmarks. Restore with
+// LoadSnapshot.
+func (e *Engine) SaveSnapshot(path string) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if !e.frozen {
+		return fmt.Errorf("%w: SaveSnapshot requires a frozen engine", ErrNotFrozen)
+	}
+	return serial.WriteSnapshotFile(path, e.st, e.rules, 1)
+}
+
+// LoadSnapshot restores a frozen, queryable engine from a snapshot file
+// written by SaveSnapshot (or from a data directory's snapshot.trnt,
+// ignoring any delta log next to it). Pass nil opts for defaults.
+func LoadSnapshot(path string, opts *Options) (*Engine, error) {
+	snap, err := serial.ReadSnapshotFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return engineFromSnapshot(snap, opts), nil
+}

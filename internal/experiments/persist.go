@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"trinit/internal/rdf"
+	"trinit/internal/relax"
+	"trinit/internal/serial"
+	"trinit/internal/store"
+)
+
+// ---------------------------------------------------------------------------
+// E9 — durability: segment-snapshot and delta-log cost at scale.
+// ---------------------------------------------------------------------------
+
+// E9PersistRow is one store size's persistence measurements: how long a
+// checksummed snapshot takes to write and to load (eagerly, trusting the
+// serialised permutation indexes, and via the rebuild-by-sort fallback),
+// plus delta-log append/replay throughput at that scale.
+type E9PersistRow struct {
+	Triples        int     `json:"triples"`
+	SnapshotBytes  int64   `json:"snapshot_bytes"`
+	BytesPerTriple float64 `json:"bytes_per_triple"`
+	WriteMillis    float64 `json:"write_millis"`
+	LoadMillis     float64 `json:"load_millis"`    // eager index load
+	RebuildMillis  float64 `json:"rebuild_millis"` // index rebuild-by-sort load
+	WALRecords     int     `json:"wal_records"`
+	WALAppendUs    float64 `json:"wal_append_us_per_record"`
+	WALReplayMs    float64 `json:"wal_replay_millis"`
+}
+
+// persistStore synthesises a frozen store of about n triples in the shape
+// the engine persists: KG resource facts, KG literal facts, and XKG token
+// triples with provenance, one third each.
+func persistStore(n int) (*store.Store, []*relax.Rule) {
+	st := store.New(nil, nil)
+	people := n / 3
+	for i := 0; i < people; i++ {
+		p := rdf.Resource(fmt.Sprintf("Person%d", i))
+		org := fmt.Sprintf("Org%d", i%101)
+		st.AddKG(p, rdf.Resource("worksAt"), rdf.Resource(org))
+		st.AddFact(p, rdf.Resource("bornOn"), rdf.Literal(fmt.Sprintf("19%02d-01-%02d", i%100, 1+i%28)),
+			rdf.SourceKG, 1, rdf.NoProv)
+		prov := st.Prov().Add(rdf.Prov{
+			Doc:      fmt.Sprintf("doc-%d", i%9973),
+			Sentence: fmt.Sprintf("Person%d lectured at %s.", i, org),
+		})
+		st.AddFact(p, rdf.Token("lectured at"), rdf.Token("the institute of "+org),
+			rdf.SourceXKG, 0.5+float64(i%5)/10, prov)
+	}
+	st.Freeze()
+	rules := []*relax.Rule{
+		relax.MustParseRule("persist-1", "?x worksAt ?y => ?x 'lectured at' ?y", 0.8, "manual"),
+		relax.MustParseRule("persist-2", "?x hasAdvisor ?y => ?y hasStudent ?x", 0.7, "manual"),
+	}
+	return st, rules
+}
+
+// RunE9Persist measures snapshot write/load wall-clock and bytes for each
+// store size, plus WAL append/replay throughput. Sizes default to 10k,
+// 100k and 1M triples — the last backs the "a 1M-triple snapshot loads in
+// seconds" durability claim.
+func RunE9Persist(sizes []int) ([]E9PersistRow, error) {
+	if len(sizes) == 0 {
+		sizes = []int{10_000, 100_000, 1_000_000}
+	}
+	dir, err := os.MkdirTemp("", "trinit-persist")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	var rows []E9PersistRow
+	for _, n := range sizes {
+		st, rules := persistStore(n)
+		path := filepath.Join(dir, fmt.Sprintf("snap-%d.trnt", n))
+
+		start := time.Now()
+		if err := serial.WriteSnapshotFile(path, st, rules, 1); err != nil {
+			return nil, fmt.Errorf("write %d-triple snapshot: %w", n, err)
+		}
+		writeMs := float64(time.Since(start).Microseconds()) / 1000
+
+		start = time.Now()
+		snap, err := serial.ReadSnapshotFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("load %d-triple snapshot: %w", n, err)
+		}
+		loadMs := float64(time.Since(start).Microseconds()) / 1000
+		if snap.Store.Len() != st.Len() {
+			return nil, fmt.Errorf("snapshot round trip lost triples: %d vs %d", snap.Store.Len(), st.Len())
+		}
+
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		start = time.Now()
+		if _, err := serial.DecodeSnapshotForceRebuild(data); err != nil {
+			return nil, fmt.Errorf("rebuild-load %d-triple snapshot: %w", n, err)
+		}
+		rebuildMs := float64(time.Since(start).Microseconds()) / 1000
+
+		// Delta-log throughput: one appended mutation per 100 snapshot
+		// triples, replayed back on reopen.
+		walPath := filepath.Join(dir, fmt.Sprintf("wal-%d.log", n))
+		w, _, err := serial.OpenWAL(walPath)
+		if err != nil {
+			return nil, err
+		}
+		walN := n / 100
+		if walN < 100 {
+			walN = 100
+		}
+		start = time.Now()
+		for i := 0; i < walN; i++ {
+			rec := serial.WALRecord{
+				Epoch: 1, Op: serial.WALTriple,
+				S: rdf.Resource(fmt.Sprintf("Person%d", i)), P: rdf.Token("visited"), O: rdf.Token(fmt.Sprintf("City%d", i%211)),
+				Source: rdf.SourceXKG, Conf: 0.6, Doc: "wal-doc", Sentence: "s",
+			}
+			if err := w.Append(rec); err != nil {
+				w.Close()
+				return nil, err
+			}
+		}
+		appendUs := float64(time.Since(start).Microseconds()) / float64(walN)
+		if err := w.Close(); err != nil {
+			return nil, err
+		}
+		start = time.Now()
+		w2, replay, err := serial.OpenWAL(walPath)
+		if err != nil {
+			return nil, err
+		}
+		replayMs := float64(time.Since(start).Microseconds()) / 1000
+		w2.Close()
+		if len(replay.Records) != walN {
+			return nil, fmt.Errorf("wal replay lost records: %d vs %d", len(replay.Records), walN)
+		}
+
+		rows = append(rows, E9PersistRow{
+			Triples:        st.Len(),
+			SnapshotBytes:  snap.Bytes,
+			BytesPerTriple: float64(snap.Bytes) / float64(st.Len()),
+			WriteMillis:    writeMs,
+			LoadMillis:     loadMs,
+			RebuildMillis:  rebuildMs,
+			WALRecords:     walN,
+			WALAppendUs:    appendUs,
+			WALReplayMs:    replayMs,
+		})
+	}
+	return rows, nil
+}
+
+// FormatE9Persist renders the persistence table.
+func FormatE9Persist(rows []E9PersistRow) string {
+	var b strings.Builder
+	b.WriteString("E9: durability cost — checksummed snapshot write/load and delta-log throughput\n")
+	fmt.Fprintf(&b, "%10s %12s %8s %10s %10s %12s %10s %12s %12s\n",
+		"triples", "bytes", "B/triple", "write.ms", "load.ms", "rebuild.ms", "wal.recs", "append.us/r", "replay.ms")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%10d %12d %8.1f %10.1f %10.1f %12.1f %10d %12.2f %12.1f\n",
+			r.Triples, r.SnapshotBytes, r.BytesPerTriple, r.WriteMillis, r.LoadMillis, r.RebuildMillis,
+			r.WALRecords, r.WALAppendUs, r.WALReplayMs)
+	}
+	return b.String()
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunE9Persist runs the durability experiment at a toy size: the
+// snapshot must round-trip, the WAL must replay completely, and every
+// measured quantity must be populated.
+func TestRunE9Persist(t *testing.T) {
+	rows, err := RunE9Persist([]int{3_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Triples < 2_900 || r.Triples > 3_100 {
+		t.Fatalf("triples = %d, want ~3000", r.Triples)
+	}
+	if r.SnapshotBytes <= 0 || r.BytesPerTriple <= 0 {
+		t.Fatalf("snapshot size not recorded: %+v", r)
+	}
+	if r.WALRecords <= 0 {
+		t.Fatalf("wal records = %d", r.WALRecords)
+	}
+	out := FormatE9Persist(rows)
+	if !strings.Contains(out, "E9: durability cost") || !strings.Contains(out, "3000") {
+		t.Fatalf("format output:\n%s", out)
+	}
+}

@@ -43,6 +43,29 @@ const (
 	// SiteBlockFlush fires every time the block kernel flushes a full
 	// frontier block, with an empty key.
 	SiteBlockFlush Site = "block-flush"
+
+	// I/O fault sites on the durability path. These fire through FireErr:
+	// an error-returning hook simulates the disk failing — or the process
+	// being killed — at that exact point, and the caller leaves whatever
+	// partial on-disk state a real crash would leave.
+
+	// SiteSnapshotWrite fires on every write of snapshot bytes to the
+	// temp file, keyed by the write ordinal. An error here produces a
+	// short write: half the chunk lands on disk, the rest never does.
+	SiteSnapshotWrite Site = "snapshot-write"
+	// SiteWALAppend fires on every write-ahead-log append, keyed by the
+	// record kind. An error here tears the record: a prefix of the frame
+	// reaches the file, simulating a crash mid-append.
+	SiteWALAppend Site = "wal-append"
+	// SiteFsync fires before each fsync, keyed by what is being synced
+	// ("snapshot", "wal", "dir"). An error here means the data may or may
+	// not have reached the platter; the writer must treat it as failure.
+	SiteFsync Site = "fsync"
+	// SiteRename fires around the snapshot's atomic rename, keyed
+	// "before" or "after". An error at "before" simulates a kill with the
+	// temp file written but never published; at "after", a kill between
+	// publishing the snapshot and rotating the WAL.
+	SiteRename Site = "rename"
 )
 
 // Fn is an installed hook: it receives every Fire call and may sleep,
@@ -50,9 +73,15 @@ const (
 // use — parallel workers fire sites concurrently.
 type Fn func(site Site, key string)
 
+// ErrFn is an installed error hook: it receives every FireErr call and
+// may return a non-nil error to make the I/O site fail. It must be safe
+// for concurrent use.
+type ErrFn func(site Site, key string) error
+
 var (
 	enabled atomic.Bool
 	hook    atomic.Pointer[Fn]
+	errHook atomic.Pointer[ErrFn]
 )
 
 // Enabled reports whether a hook is installed. Call sites use it to
@@ -70,6 +99,20 @@ func Fire(site Site, key string) {
 	}
 }
 
+// FireErr invokes the installed error hook, if any, and returns its
+// verdict. I/O sites call it before (or instead of) the real operation;
+// a non-nil return makes the operation fail as if the disk — or the
+// process — died right there. Production cost: one atomic load.
+func FireErr(site Site, key string) error {
+	if !enabled.Load() {
+		return nil
+	}
+	if f := errHook.Load(); f != nil {
+		return (*f)(site, key)
+	}
+	return nil
+}
+
 // Set installs fn as the process-wide hook. Tests must Clear when done
 // (t.Cleanup(faultinject.Clear)); installing is not meant to be raced
 // with other tests that also inject.
@@ -78,10 +121,18 @@ func Set(fn Fn) {
 	enabled.Store(true)
 }
 
-// Clear removes the installed hook, restoring the production behaviour.
+// SetErr installs fn as the process-wide error hook for I/O sites.
+// Tests must Clear when done.
+func SetErr(fn ErrFn) {
+	errHook.Store(&fn)
+	enabled.Store(true)
+}
+
+// Clear removes every installed hook, restoring the production behaviour.
 func Clear() {
 	enabled.Store(false)
 	hook.Store(nil)
+	errHook.Store(nil)
 }
 
 // Script is a deterministic injector: an ordered set of rules matched
@@ -100,7 +151,8 @@ type rule struct {
 	nth   int    // fire on the nth matching occurrence; 0 fires on every occurrence
 	count int
 	fired int
-	act   func()
+	act   func() // side-effect rule, matched by Fn
+	err   error  // error rule, matched by ErrFn
 }
 
 // NewScript returns an empty script.
@@ -126,6 +178,17 @@ func (s *Script) CallOn(site Site, key string, nth int, fn func()) *Script {
 	return s.on(site, key, nth, fn)
 }
 
+// ErrorOn makes the nth occurrence of I/O site with key ("" = any key)
+// return err through FireErr; nth 0 fails every occurrence. The caller
+// of the fault site decides what partial state the failure leaves, so an
+// ErrorOn at SiteWALAppend produces a torn record, not a clean no-op.
+func (s *Script) ErrorOn(site Site, key string, nth int, err error) *Script {
+	s.mu.Lock()
+	s.rules = append(s.rules, &rule{site: site, key: key, nth: nth, err: err})
+	s.mu.Unlock()
+	return s
+}
+
 func (s *Script) on(site Site, key string, nth int, act func()) *Script {
 	s.mu.Lock()
 	s.rules = append(s.rules, &rule{site: site, key: key, nth: nth, act: act})
@@ -140,7 +203,7 @@ func (s *Script) Fn(site Site, key string) {
 	var acts []func()
 	s.mu.Lock()
 	for _, r := range s.rules {
-		if r.site != site || (r.key != "" && r.key != key) {
+		if r.err != nil || r.site != site || (r.key != "" && r.key != key) {
 			continue
 		}
 		r.count++
@@ -155,10 +218,32 @@ func (s *Script) Fn(site Site, key string) {
 	}
 }
 
-// Install sets the script as the process-wide hook and returns Clear
-// for deferring: defer s.Install()().
+// ErrFn is the Script's error hook: the first matching ErrorOn rule due
+// to fire decides the site's fate. Side-effect rules never match here,
+// so a script mixing both kinds counts each rule exactly once per Fire
+// or FireErr.
+func (s *Script) ErrFn(site Site, key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.rules {
+		if r.err == nil || r.site != site || (r.key != "" && r.key != key) {
+			continue
+		}
+		r.count++
+		if r.nth == 0 || r.count == r.nth {
+			r.fired++
+			return r.err
+		}
+	}
+	return nil
+}
+
+// Install sets the script as the process-wide hook — both the
+// side-effect and the error hook — and returns Clear for deferring:
+// defer s.Install()().
 func (s *Script) Install() func() {
 	Set(s.Fn)
+	SetErr(s.ErrFn)
 	return Clear
 }
 

@@ -21,6 +21,23 @@ func NewDict() *Dict {
 	}
 }
 
+// Reserve pre-sizes the dictionary for n additional terms. Snapshot
+// loading knows the exact term count up front, so the decode loop never
+// regrows the term slice or rehashes the index.
+func (d *Dict) Reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	terms := make([]Term, len(d.terms), len(d.terms)+n)
+	copy(terms, d.terms)
+	d.terms = terms
+	index := make(map[Term]TermID, len(d.index)+n)
+	for t, id := range d.index {
+		index[t] = id
+	}
+	d.index = index
+}
+
 // Intern returns the ID for the given term, assigning a fresh one if the
 // term has not been seen before.
 func (d *Dict) Intern(t Term) TermID {

@@ -48,6 +48,16 @@ type ProvTable struct {
 // NewProvTable returns an empty provenance table.
 func NewProvTable() *ProvTable { return &ProvTable{recs: make([]Prov, 1)} }
 
+// Reserve pre-sizes the table for n additional records (see Dict.Reserve).
+func (pt *ProvTable) Reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	recs := make([]Prov, len(pt.recs), len(pt.recs)+n)
+	copy(recs, pt.recs)
+	pt.recs = recs
+}
+
 // Add stores a provenance record and returns its ID.
 func (pt *ProvTable) Add(p Prov) ProvID {
 	pt.recs = append(pt.recs, p)

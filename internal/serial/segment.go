@@ -1,0 +1,668 @@
+package serial
+
+// Binary segment snapshots of a frozen store.
+//
+// A snapshot is the durable image of the XKG at one epoch: dictionary,
+// provenance, the triple column, the three columnar permutation indexes,
+// and the relaxation rules, each in its own CRC-framed section:
+//
+//	magic "TRNTSEG1"
+//	u32 format version | u32 index version | u64 epoch | u32 header CRC
+//	sections, each: u8 id | u64 payload length | payload | u32 payload CRC
+//	end marker: section id 0xFF with empty payload
+//
+// All integers are little-endian; checksums are CRC-32C (Castagnoli).
+// Sections appear in a fixed canonical order, and the end marker means a
+// truncated file is always detectable. The index sections carry exactly
+// what store.Freeze would have sorted; when the file's index version
+// predates store.IndexFormatVersion the decoder checksums but skips them
+// and rebuilds by sorting the triple column instead — an older snapshot
+// is a slower open, never a wrong one.
+//
+// Every decoding failure surfaces as an error wrapping ErrCorrupt. The
+// decoder validates section lengths and record counts against the bytes
+// actually present before allocating, so a length-field lie cannot make
+// it over-allocate, and a snapshot can never load partially: the caller
+// gets the whole frozen store or a typed error.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"trinit/internal/faultinject"
+	"trinit/internal/rdf"
+	"trinit/internal/relax"
+	"trinit/internal/store"
+)
+
+// ErrCorrupt is wrapped by every error reporting damaged or inconsistent
+// on-disk data — checksum mismatches, truncation, length-field lies,
+// records that fail validation. Callers test with errors.Is.
+var ErrCorrupt = errors.New("serial: corrupt data")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+}
+
+const (
+	snapMagic         = "TRNTSEG1"
+	snapFormatVersion = 1
+)
+
+const (
+	secDict    byte = 1
+	secProv    byte = 2
+	secTriples byte = 3
+	secSPO     byte = 4
+	secPOS     byte = 5
+	secOSP     byte = 6
+	secRules   byte = 7
+	secEnd     byte = 0xFF
+)
+
+// sectionOrder is the canonical section sequence of a snapshot file.
+var sectionOrder = []byte{secDict, secProv, secTriples, secSPO, secPOS, secOSP, secRules, secEnd}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Snapshot is a decoded segment snapshot: a frozen store plus the rules
+// and epoch it was written with.
+type Snapshot struct {
+	// Epoch is the snapshot's epoch stamp; WAL records carry the same
+	// stamp so recovery can tell live deltas from stale ones.
+	Epoch uint64
+	// IndexVersion is the index-format version the file was written
+	// under.
+	IndexVersion uint32
+	// IndexesRebuilt reports that the permutation indexes were re-sorted
+	// from the triple column instead of loaded eagerly, because the file
+	// predates store.IndexFormatVersion (or a rebuild was forced).
+	IndexesRebuilt bool
+	// Bytes is the encoded size, when known (ReadSnapshotFile sets it).
+	Bytes int64
+	// Store is the decoded store, already frozen.
+	Store *store.Store
+	// Rules holds the relaxation rules in file order.
+	Rules []*relax.Rule
+}
+
+// WriteSnapshot encodes a snapshot of the frozen store and rules at the
+// given epoch to w.
+func WriteSnapshot(w io.Writer, st *store.Store, rules []*relax.Rule, epoch uint64) error {
+	if !st.Frozen() {
+		return fmt.Errorf("serial: WriteSnapshot requires a frozen store")
+	}
+	var hdr [28]byte
+	copy(hdr[:8], snapMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], snapFormatVersion)
+	binary.LittleEndian.PutUint32(hdr[12:], store.IndexFormatVersion)
+	binary.LittleEndian.PutUint64(hdr[16:], epoch)
+	binary.LittleEndian.PutUint32(hdr[24:], crc32.Checksum(hdr[:24], castagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+
+	idx := st.IndexSnapshot()
+	sections := []struct {
+		id     byte
+		encode func(buf []byte) []byte
+	}{
+		{secDict, func(buf []byte) []byte { return appendDict(buf, st.Dict()) }},
+		{secProv, func(buf []byte) []byte { return appendProv(buf, st.Prov()) }},
+		{secTriples, func(buf []byte) []byte { return appendTriples(buf, st) }},
+		{secSPO, func(buf []byte) []byte { return appendIndex(buf, idx.SPO) }},
+		{secPOS, func(buf []byte) []byte { return appendIndex(buf, idx.POS) }},
+		{secOSP, func(buf []byte) []byte { return appendIndex(buf, idx.OSP) }},
+		{secRules, func(buf []byte) []byte { return appendRules(buf, rules) }},
+		{secEnd, func(buf []byte) []byte { return buf }},
+	}
+	var payload []byte
+	for _, s := range sections {
+		payload = s.encode(payload[:0])
+		var frame [9]byte
+		frame[0] = s.id
+		binary.LittleEndian.PutUint64(frame[1:], uint64(len(payload)))
+		if _, err := w.Write(frame[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, castagnoli))
+		if _, err := w.Write(crc[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSnapshotFile writes the snapshot atomically: encode to path+".tmp",
+// fsync the file, rename over path, fsync the directory. Readers see the
+// old snapshot or the new one, never a mix. On failure the temp file is
+// left behind — exactly the state a crash would leave — and recovery
+// sweeps stale temp files on open.
+func WriteSnapshotFile(path string, st *store.Store, rules []*relax.Rule, epoch uint64) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := WriteSnapshot(&faultWriter{w: f}, st, rules, epoch); err != nil {
+		f.Close()
+		return err
+	}
+	if err := faultinject.FireErr(faultinject.SiteFsync, "snapshot"); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := faultinject.FireErr(faultinject.SiteRename, "before"); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if err := faultinject.FireErr(faultinject.SiteRename, "after"); err != nil {
+		return err
+	}
+	if err := faultinject.FireErr(faultinject.SiteFsync, "dir"); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a completed rename is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// faultWriter injects short writes at SiteSnapshotWrite: on an injected
+// error, half the chunk reaches the underlying file and the rest never
+// does — the on-disk state a power cut mid-write leaves behind.
+type faultWriter struct {
+	w io.Writer
+	n int
+}
+
+func (fw *faultWriter) Write(p []byte) (int, error) {
+	fw.n++
+	key := ""
+	if faultinject.Enabled() {
+		key = strconv.Itoa(fw.n)
+	}
+	if err := faultinject.FireErr(faultinject.SiteSnapshotWrite, key); err != nil {
+		half := len(p) / 2
+		if half > 0 {
+			fw.w.Write(p[:half])
+		}
+		return half, err
+	}
+	return fw.w.Write(p)
+}
+
+// ReadSnapshotFile reads and decodes a snapshot file.
+func ReadSnapshotFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := DecodeSnapshot(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	snap.Bytes = int64(len(data))
+	return snap, nil
+}
+
+// DecodeSnapshot decodes an in-memory snapshot image into a frozen store.
+// Any damage — truncation, checksum mismatch, invalid records — returns
+// an error wrapping ErrCorrupt.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	return decodeSnapshot(data, false)
+}
+
+// DecodeSnapshotForceRebuild decodes like DecodeSnapshot but ignores the
+// eager index sections (after checksumming them) and re-sorts the
+// permutation indexes from the triple column — the path every snapshot
+// takes after an index-format bump. Benchmarks and tests use it to
+// compare eager load against rebuild.
+func DecodeSnapshotForceRebuild(data []byte) (*Snapshot, error) {
+	return decodeSnapshot(data, true)
+}
+
+func decodeSnapshot(data []byte, forceRebuild bool) (*Snapshot, error) {
+	if len(data) < 28 {
+		return nil, corruptf("snapshot header truncated (%d bytes)", len(data))
+	}
+	if string(data[:8]) != snapMagic {
+		return nil, corruptf("bad snapshot magic")
+	}
+	if crc := binary.LittleEndian.Uint32(data[24:]); crc != crc32.Checksum(data[:24], castagnoli) {
+		return nil, corruptf("snapshot header checksum mismatch")
+	}
+	version := binary.LittleEndian.Uint32(data[8:])
+	if version != snapFormatVersion {
+		return nil, corruptf("unsupported snapshot format version %d", version)
+	}
+	snap := &Snapshot{
+		Epoch:        binary.LittleEndian.Uint64(data[16:]),
+		IndexVersion: binary.LittleEndian.Uint32(data[12:]),
+	}
+	loadIndexes := !forceRebuild && snap.IndexVersion == store.IndexFormatVersion
+
+	dict := rdf.NewDict()
+	prov := rdf.NewProvTable()
+	st := store.New(dict, prov)
+	var idx store.IndexSnapshot
+
+	off := 28
+	for _, want := range sectionOrder {
+		if off+9 > len(data) {
+			return nil, corruptf("snapshot truncated at section header (offset %d)", off)
+		}
+		id := data[off]
+		if id != want {
+			return nil, corruptf("snapshot section %#x out of order (want %#x)", id, want)
+		}
+		n := binary.LittleEndian.Uint64(data[off+1 : off+9])
+		off += 9
+		if n > uint64(len(data)-off) {
+			return nil, corruptf("section %#x claims %d bytes, only %d remain", id, n, len(data)-off)
+		}
+		payload := data[off : off+int(n)]
+		off += int(n)
+		if off+4 > len(data) {
+			return nil, corruptf("snapshot truncated at section %#x checksum", id)
+		}
+		if crc := binary.LittleEndian.Uint32(data[off:]); crc != crc32.Checksum(payload, castagnoli) {
+			return nil, corruptf("section %#x checksum mismatch", id)
+		}
+		off += 4
+
+		var err error
+		switch id {
+		case secDict:
+			err = decodeDict(payload, dict)
+		case secProv:
+			err = decodeProv(payload, prov)
+		case secTriples:
+			err = decodeTriples(payload, st)
+		case secSPO, secPOS, secOSP:
+			if loadIndexes {
+				var cols store.IndexColumns
+				cols, err = decodeIndex(payload)
+				switch id {
+				case secSPO:
+					idx.SPO = cols
+				case secPOS:
+					idx.POS = cols
+				case secOSP:
+					idx.OSP = cols
+				}
+			}
+		case secRules:
+			snap.Rules, err = decodeRules(payload)
+		case secEnd:
+			if n != 0 {
+				err = corruptf("end marker carries %d payload bytes", n)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if off != len(data) {
+		return nil, corruptf("%d trailing bytes after end marker", len(data)-off)
+	}
+
+	if loadIndexes {
+		if err := st.FreezeWithIndexes(idx); err != nil {
+			return nil, corruptf("%v", err)
+		}
+	} else {
+		st.Freeze()
+		snap.IndexesRebuilt = true
+	}
+	snap.Store = st
+	return snap, nil
+}
+
+// --- section payloads ---
+
+func appendDict(buf []byte, d *rdf.Dict) []byte {
+	buf = binary.AppendUvarint(buf, uint64(d.Len()))
+	d.All(func(_ rdf.TermID, t rdf.Term) bool {
+		buf = append(buf, byte(t.Kind))
+		buf = binary.AppendUvarint(buf, uint64(len(t.Text)))
+		buf = append(buf, t.Text...)
+		return true
+	})
+	return buf
+}
+
+func decodeDict(payload []byte, d *rdf.Dict) error {
+	r := &byteReader{data: payload}
+	count, err := r.count("dict terms", 2)
+	if err != nil {
+		return err
+	}
+	d.Reserve(count)
+	for i := 0; i < count; i++ {
+		kind, err := r.u8()
+		if err != nil {
+			return err
+		}
+		if kind > uint8(rdf.KindToken) {
+			return corruptf("dict term %d has unknown kind %d", i, kind)
+		}
+		text, err := r.str("dict term text")
+		if err != nil {
+			return err
+		}
+		t := rdf.Term{Kind: rdf.TermKind(kind), Text: text}
+		if id := d.Intern(t); int(id) != i+1 {
+			return corruptf("dict term %d duplicates term %d", i+1, id)
+		}
+	}
+	return r.done()
+}
+
+func appendProv(buf []byte, pt *rdf.ProvTable) []byte {
+	buf = binary.AppendUvarint(buf, uint64(pt.Len()))
+	for i := 1; i <= pt.Len(); i++ {
+		p := pt.Get(rdf.ProvID(i))
+		buf = binary.AppendUvarint(buf, uint64(len(p.Doc)))
+		buf = append(buf, p.Doc...)
+		buf = binary.AppendUvarint(buf, uint64(len(p.Sentence)))
+		buf = append(buf, p.Sentence...)
+	}
+	return buf
+}
+
+func decodeProv(payload []byte, pt *rdf.ProvTable) error {
+	r := &byteReader{data: payload}
+	count, err := r.count("provenance records", 2)
+	if err != nil {
+		return err
+	}
+	pt.Reserve(count)
+	for i := 0; i < count; i++ {
+		doc, err := r.str("provenance doc")
+		if err != nil {
+			return err
+		}
+		sentence, err := r.str("provenance sentence")
+		if err != nil {
+			return err
+		}
+		pt.Add(rdf.Prov{Doc: doc, Sentence: sentence})
+	}
+	return r.done()
+}
+
+func appendTriples(buf []byte, st *store.Store) []byte {
+	buf = binary.AppendUvarint(buf, uint64(st.Len()))
+	for i := 0; i < st.Len(); i++ {
+		t := st.Triple(store.ID(i))
+		buf = binary.AppendUvarint(buf, uint64(t.S))
+		buf = binary.AppendUvarint(buf, uint64(t.P))
+		buf = binary.AppendUvarint(buf, uint64(t.O))
+		buf = append(buf, byte(t.Source))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(t.Conf))
+		buf = binary.AppendUvarint(buf, uint64(t.Prov))
+	}
+	return buf
+}
+
+func decodeTriples(payload []byte, st *store.Store) error {
+	r := &byteReader{data: payload}
+	count, err := r.count("triples", 13)
+	if err != nil {
+		return err
+	}
+	dict, prov := st.Dict(), st.Prov()
+	for i := 0; i < count; i++ {
+		s, err1 := r.uvarint()
+		p, err2 := r.uvarint()
+		o, err3 := r.uvarint()
+		src, err4 := r.u8()
+		bits, err5 := r.u64()
+		pv, err6 := r.uvarint()
+		if err := firstErr(err1, err2, err3, err4, err5, err6); err != nil {
+			return corruptf("triple %d truncated: %v", i, err)
+		}
+		t := rdf.Triple{
+			S:      rdf.TermID(s),
+			P:      rdf.TermID(p),
+			O:      rdf.TermID(o),
+			Source: rdf.Source(src),
+			Conf:   math.Float64frombits(bits),
+			Prov:   rdf.ProvID(pv),
+		}
+		if !dict.Valid(t.S) || !dict.Valid(t.P) || !dict.Valid(t.O) {
+			return corruptf("triple %d references a term outside the dictionary", i)
+		}
+		if src > uint8(rdf.SourceXKG) {
+			return corruptf("triple %d has unknown source %d", i, src)
+		}
+		if !(t.Conf > 0 && t.Conf <= 1) {
+			return corruptf("triple %d confidence %v outside (0, 1]", i, t.Conf)
+		}
+		if t.Prov != rdf.NoProv && int(t.Prov) > prov.Len() {
+			return corruptf("triple %d references provenance record %d of %d", i, t.Prov, prov.Len())
+		}
+		if id := st.Add(t); int(id) != i {
+			return corruptf("triple %d duplicates triple %d", i, id)
+		}
+	}
+	return r.done()
+}
+
+func appendIndex(buf []byte, c store.IndexColumns) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(c.IDs)))
+	for _, id := range c.IDs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
+	}
+	for _, k := range c.K1 {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(k))
+	}
+	for _, k := range c.K2 {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(k))
+	}
+	return buf
+}
+
+func decodeIndex(payload []byte) (store.IndexColumns, error) {
+	r := &byteReader{data: payload}
+	n, err := r.count("index entries", 12)
+	if err != nil {
+		return store.IndexColumns{}, err
+	}
+	c := store.IndexColumns{
+		IDs: make([]store.ID, n),
+		K1:  make([]rdf.TermID, n),
+		K2:  make([]rdf.TermID, n),
+	}
+	for i := range c.IDs {
+		v, err := r.u32()
+		if err != nil {
+			return store.IndexColumns{}, err
+		}
+		c.IDs[i] = store.ID(v)
+	}
+	for i := range c.K1 {
+		v, err := r.u32()
+		if err != nil {
+			return store.IndexColumns{}, err
+		}
+		c.K1[i] = rdf.TermID(v)
+	}
+	for i := range c.K2 {
+		v, err := r.u32()
+		if err != nil {
+			return store.IndexColumns{}, err
+		}
+		c.K2[i] = rdf.TermID(v)
+	}
+	if err := r.done(); err != nil {
+		return store.IndexColumns{}, err
+	}
+	return c, nil
+}
+
+func appendRules(buf []byte, rules []*relax.Rule) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(rules)))
+	for _, r := range rules {
+		buf = appendStr(buf, r.ID)
+		buf = appendStr(buf, r.Origin)
+		buf = appendStr(buf, RuleText(r))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Weight))
+	}
+	return buf
+}
+
+func decodeRules(payload []byte) ([]*relax.Rule, error) {
+	r := &byteReader{data: payload}
+	count, err := r.count("rules", 11)
+	if err != nil {
+		return nil, err
+	}
+	rules := make([]*relax.Rule, 0, count)
+	for i := 0; i < count; i++ {
+		id, err1 := r.str("rule id")
+		origin, err2 := r.str("rule origin")
+		text, err3 := r.str("rule text")
+		bits, err4 := r.u64()
+		if err := firstErr(err1, err2, err3, err4); err != nil {
+			return nil, err
+		}
+		rule, perr := relax.ParseRule(id, text, math.Float64frombits(bits), origin)
+		if perr != nil {
+			return nil, corruptf("rule %d: %v", i, perr)
+		}
+		rules = append(rules, rule)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return rules, nil
+}
+
+func appendStr(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// byteReader is a bounds-checked cursor over one section payload. Every
+// read that would pass the end returns ErrCorrupt, and count() validates
+// a declared record count against the bytes actually present before the
+// caller allocates — the defence against length-field lies.
+type byteReader struct {
+	data []byte
+	off  int
+}
+
+func (r *byteReader) remaining() int { return len(r.data) - r.off }
+
+func (r *byteReader) u8() (uint8, error) {
+	if r.remaining() < 1 {
+		return 0, corruptf("payload truncated")
+	}
+	v := r.data[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *byteReader) u32() (uint32, error) {
+	if r.remaining() < 4 {
+		return 0, corruptf("payload truncated")
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *byteReader) u64() (uint64, error) {
+	if r.remaining() < 8 {
+		return 0, corruptf("payload truncated")
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *byteReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		return 0, corruptf("bad varint")
+	}
+	r.off += n
+	return v, nil
+}
+
+// count reads a record count and rejects it unless count*minRecordSize
+// fits in the remaining payload.
+func (r *byteReader) count(what string, minRecordSize int) (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(r.remaining()/minRecordSize) {
+		return 0, corruptf("%s count %d exceeds payload capacity (%d bytes)", what, v, r.remaining())
+	}
+	return int(v), nil
+}
+
+// str reads a length-prefixed string, bounding the length by the bytes
+// present.
+func (r *byteReader) str(what string) (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(r.remaining()) {
+		return "", corruptf("%s length %d exceeds payload", what, n)
+	}
+	s := string(r.data[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+// done asserts the payload was consumed exactly.
+func (r *byteReader) done() error {
+	if r.remaining() != 0 {
+		return corruptf("%d trailing bytes in section payload", r.remaining())
+	}
+	return nil
+}

@@ -74,6 +74,13 @@ func WriteRules(w io.Writer, rules []*relax.Rule) error {
 	return bw.Flush()
 }
 
+// RuleText renders a rule as the "LHS => RHS" text relax.ParseRule
+// accepts — the rule body every serial format (TNT, snapshot, WAL)
+// persists.
+func RuleText(r *relax.Rule) string {
+	return patternsText(r.LHS) + " => " + patternsText(r.RHS)
+}
+
 // patternsText renders rule patterns in re-parseable query syntax. Rule
 // terms are identifier-like resources, quoted tokens, or variables, all of
 // which round-trip through relax.ParseRule.

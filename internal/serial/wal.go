@@ -1,0 +1,379 @@
+package serial
+
+// The write-ahead delta log.
+//
+// Mutations that arrive between snapshots — triple ingest before Freeze,
+// rule edits after it — append one CRC-framed record each to wal.log
+// before they are published in memory, so a crash at any byte offset
+// recovers to the last complete record:
+//
+//	magic "TRNTWAL1"
+//	records, each: u32 payload length | u32 payload CRC | payload
+//	payload: uvarint epoch | u8 op | op fields
+//
+// Recovery classifies damage by position. An incomplete or CRC-failed
+// frame at the very end of the file is a torn tail — the record that was
+// being appended when the process died — and is truncated away with a
+// warning (WALReplay.TornBytes). The same damage followed by further
+// intact bytes is mid-file corruption and returns ErrCorrupt: bits
+// changed under records that were once durable, and silently dropping
+// them would un-happen acknowledged writes.
+//
+// Records carry the epoch of the snapshot they apply on top of. Recovery
+// skips records from older epochs (a crash between publishing a new
+// snapshot and rotating the log leaves both on disk — the snapshot
+// already contains those deltas) and rejects records from future epochs
+// as corruption.
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"trinit/internal/faultinject"
+	"trinit/internal/rdf"
+)
+
+const (
+	walMagic = "TRNTWAL1"
+	// maxWALRecord bounds a single record's declared payload size; a
+	// complete in-bounds frame above it is corruption, not data.
+	maxWALRecord = 16 << 20
+)
+
+// WALOp identifies a delta-log record kind.
+type WALOp uint8
+
+const (
+	// WALTriple is a triple added before Freeze, with terms by value.
+	WALTriple WALOp = 1
+	// WALRuleAdd is a relaxation rule added or replaced.
+	WALRuleAdd WALOp = 2
+	// WALRuleRemove removes a rule by ID.
+	WALRuleRemove WALOp = 3
+	// WALRuleClear removes all rules.
+	WALRuleClear WALOp = 4
+)
+
+func (op WALOp) String() string {
+	switch op {
+	case WALTriple:
+		return "triple"
+	case WALRuleAdd:
+		return "rule-add"
+	case WALRuleRemove:
+		return "rule-remove"
+	case WALRuleClear:
+		return "rule-clear"
+	default:
+		return "unknown"
+	}
+}
+
+// WALRecord is one delta-log record. Triples are stored by term value,
+// not TermID — the log must replay into a store whose dictionary grew
+// differently than the writer's.
+type WALRecord struct {
+	Epoch uint64
+	Op    WALOp
+
+	// WALTriple fields.
+	S, P, O       rdf.Term
+	Source        rdf.Source
+	Conf          float64
+	Doc, Sentence string
+
+	// WALRuleAdd / WALRuleRemove fields.
+	RuleID     string
+	RuleText   string
+	RuleWeight float64
+	RuleOrigin string
+}
+
+// WALReplay reports what OpenWAL found in an existing log.
+type WALReplay struct {
+	// Records holds every complete record, in append order.
+	Records []WALRecord
+	// TornBytes counts the bytes of a torn tail that were truncated
+	// away; 0 means the log ended cleanly.
+	TornBytes int
+}
+
+// WAL is an append handle on the delta log.
+type WAL struct {
+	f    *os.File
+	path string
+	buf  []byte
+}
+
+// OpenWAL opens the delta log at path, creating it if absent, replays
+// every complete record, truncates a torn tail, and returns an append
+// handle positioned at the end. Mid-file damage returns ErrCorrupt and
+// no handle.
+func OpenWAL(path string) (*WAL, *WALReplay, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+
+	replay := &WALReplay{}
+	if len(data) < len(walMagic) {
+		// Nothing durable yet: either a fresh log or a crash while the
+		// header itself was being written. Anything that is not a
+		// prefix of the magic is foreign data, not a torn header.
+		if string(data) != walMagic[:len(data)] {
+			f.Close()
+			return nil, nil, corruptf("%s: bad delta-log magic", path)
+		}
+		replay.TornBytes = len(data)
+		if err := resetWAL(f, len(data) > 0); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return &WAL{f: f, path: path}, replay, nil
+	}
+	if string(data[:len(walMagic)]) != walMagic {
+		f.Close()
+		return nil, nil, corruptf("%s: bad delta-log magic", path)
+	}
+
+	off := len(walMagic)
+	end := off // offset just past the last complete record
+	for off < len(data) {
+		if len(data)-off < 8 {
+			break // torn frame header
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		frameEnd := off + 8 + int(n)
+		if n == 0 {
+			// A zero frame is what a zero-filled tail (preallocated
+			// blocks after a crash) parses as; it is never written.
+			break
+		}
+		if int(n) > len(data)-off-8 {
+			break // frame extends past EOF: torn
+		}
+		payload := data[off+8 : frameEnd]
+		if n > maxWALRecord || crc32.Checksum(payload, castagnoli) != crc {
+			if frameEnd >= len(data) {
+				break // damaged final frame: torn
+			}
+			f.Close()
+			return nil, nil, corruptf("%s: record at offset %d fails checksum with %d intact bytes after it",
+				path, off, len(data)-frameEnd)
+		}
+		rec, err := decodeWALRecord(payload)
+		if err != nil {
+			f.Close()
+			return nil, nil, corruptf("%s: record at offset %d: %v", path, off, err)
+		}
+		replay.Records = append(replay.Records, rec)
+		off = frameEnd
+		end = off
+	}
+	if end < len(data) {
+		replay.TornBytes = len(data) - end
+		if err := f.Truncate(int64(end)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(int64(end), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &WAL{f: f, path: path}, replay, nil
+}
+
+// resetWAL rewrites the log to an empty one (magic only).
+func resetWAL(f *os.File, truncate bool) error {
+	if truncate {
+		if err := f.Truncate(0); err != nil {
+			return err
+		}
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if _, err := f.WriteString(walMagic); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// Append frames and writes the records, then fsyncs once. The records
+// are durable — and may be published in memory — only when Append
+// returns nil. An injected fault tears the frame mid-write, leaving
+// exactly the bytes a crash would have left.
+func (w *WAL) Append(recs ...WALRecord) error {
+	for _, rec := range recs {
+		payload := encodeWALRecord(w.buf[:0], rec)
+		w.buf = payload
+		var frame [8]byte
+		binary.LittleEndian.PutUint32(frame[:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
+		if err := faultinject.FireErr(faultinject.SiteWALAppend, rec.Op.String()); err != nil {
+			// Tear the record: the frame header and part of the payload
+			// reach the file, the rest never does.
+			w.f.Write(frame[:])
+			w.f.Write(payload[:len(payload)/2])
+			return err
+		}
+		if _, err := w.f.Write(frame[:]); err != nil {
+			return err
+		}
+		if _, err := w.f.Write(payload); err != nil {
+			return err
+		}
+	}
+	if err := faultinject.FireErr(faultinject.SiteFsync, "wal"); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Rotate empties the log after a snapshot has been published: every
+// record it held is covered by the snapshot's epoch.
+func (w *WAL) Rotate() error {
+	return resetWAL(w.f, true)
+}
+
+// Close closes the append handle.
+func (w *WAL) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+func encodeWALRecord(buf []byte, rec WALRecord) []byte {
+	buf = binary.AppendUvarint(buf, rec.Epoch)
+	buf = append(buf, byte(rec.Op))
+	switch rec.Op {
+	case WALTriple:
+		buf = appendWALTerm(buf, rec.S)
+		buf = appendWALTerm(buf, rec.P)
+		buf = appendWALTerm(buf, rec.O)
+		buf = append(buf, byte(rec.Source))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(rec.Conf))
+		buf = appendStr(buf, rec.Doc)
+		buf = appendStr(buf, rec.Sentence)
+	case WALRuleAdd:
+		buf = appendStr(buf, rec.RuleID)
+		buf = appendStr(buf, rec.RuleOrigin)
+		buf = appendStr(buf, rec.RuleText)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(rec.RuleWeight))
+	case WALRuleRemove:
+		buf = appendStr(buf, rec.RuleID)
+	case WALRuleClear:
+	}
+	return buf
+}
+
+func decodeWALRecord(payload []byte) (WALRecord, error) {
+	r := &byteReader{data: payload}
+	var rec WALRecord
+	var err error
+	if rec.Epoch, err = r.uvarint(); err != nil {
+		return rec, err
+	}
+	op, err := r.u8()
+	if err != nil {
+		return rec, err
+	}
+	rec.Op = WALOp(op)
+	switch rec.Op {
+	case WALTriple:
+		if rec.S, err = readWALTerm(r); err != nil {
+			return rec, err
+		}
+		if rec.P, err = readWALTerm(r); err != nil {
+			return rec, err
+		}
+		if rec.O, err = readWALTerm(r); err != nil {
+			return rec, err
+		}
+		src, err := r.u8()
+		if err != nil {
+			return rec, err
+		}
+		if src > uint8(rdf.SourceXKG) {
+			return rec, corruptf("unknown triple source %d", src)
+		}
+		rec.Source = rdf.Source(src)
+		bits, err := r.u64()
+		if err != nil {
+			return rec, err
+		}
+		rec.Conf = math.Float64frombits(bits)
+		if !(rec.Conf > 0 && rec.Conf <= 1) {
+			return rec, corruptf("triple confidence %v outside (0, 1]", rec.Conf)
+		}
+		if rec.Doc, err = r.str("provenance doc"); err != nil {
+			return rec, err
+		}
+		if rec.Sentence, err = r.str("provenance sentence"); err != nil {
+			return rec, err
+		}
+	case WALRuleAdd:
+		if rec.RuleID, err = r.str("rule id"); err != nil {
+			return rec, err
+		}
+		if rec.RuleOrigin, err = r.str("rule origin"); err != nil {
+			return rec, err
+		}
+		if rec.RuleText, err = r.str("rule text"); err != nil {
+			return rec, err
+		}
+		bits, err := r.u64()
+		if err != nil {
+			return rec, err
+		}
+		rec.RuleWeight = math.Float64frombits(bits)
+	case WALRuleRemove:
+		if rec.RuleID, err = r.str("rule id"); err != nil {
+			return rec, err
+		}
+	case WALRuleClear:
+	default:
+		return rec, corruptf("unknown record op %d", op)
+	}
+	if err := r.done(); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}
+
+func appendWALTerm(buf []byte, t rdf.Term) []byte {
+	buf = append(buf, byte(t.Kind))
+	return appendStr(buf, t.Text)
+}
+
+func readWALTerm(r *byteReader) (rdf.Term, error) {
+	kind, err := r.u8()
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	if kind > uint8(rdf.KindToken) {
+		return rdf.Term{}, corruptf("unknown term kind %d", kind)
+	}
+	text, err := r.str("term text")
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	return rdf.Term{Kind: rdf.TermKind(kind), Text: text}, nil
+}

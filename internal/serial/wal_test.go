@@ -1,0 +1,252 @@
+package serial
+
+// Delta-log contract: records round-trip through append/reopen, a crash
+// at any byte offset recovers to the last complete record (truncating
+// the torn tail), and damage under once-durable records — mid-file bit
+// flips — is refused as ErrCorrupt rather than silently un-happening
+// acknowledged writes.
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"trinit/internal/rdf"
+)
+
+func walRecords() []WALRecord {
+	return []WALRecord{
+		{
+			Epoch: 2, Op: WALTriple,
+			S: rdf.Resource("AlbertEinstein"), P: rdf.Token("lectured at"), O: rdf.Token("the institute"),
+			Source: rdf.SourceXKG, Conf: 0.9, Doc: "doc-1", Sentence: "He lectured at the institute.",
+		},
+		{
+			Epoch: 2, Op: WALRuleAdd,
+			RuleID: "r1", RuleText: "?x worksAt ?y => ?x 'lectured at' ?y", RuleWeight: 0.8, RuleOrigin: "manual",
+		},
+		{Epoch: 2, Op: WALRuleRemove, RuleID: "r1"},
+		{Epoch: 2, Op: WALRuleClear},
+	}
+}
+
+// writeWAL creates a log at path holding the records and returns the
+// file's bytes.
+func writeWAL(t testing.TB, path string, recs []WALRecord) []byte {
+	t.Helper()
+	w, replay, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replay.Records) != 0 || replay.TornBytes != 0 {
+		t.Fatalf("fresh log replayed %+v", replay)
+	}
+	if err := w.Append(recs...); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	recs := walRecords()
+	writeWAL(t, path, recs)
+
+	w, replay, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if replay.TornBytes != 0 {
+		t.Fatalf("clean log reported %d torn bytes", replay.TornBytes)
+	}
+	if len(replay.Records) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(replay.Records), len(recs))
+	}
+	for i, got := range replay.Records {
+		if got != recs[i] {
+			t.Fatalf("record %d: %+v, want %+v", i, got, recs[i])
+		}
+	}
+	// The handle appends after the replayed tail, not over it.
+	extra := WALRecord{Epoch: 2, Op: WALRuleClear}
+	if err := w.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	_, replay2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replay2.Records) != len(recs)+1 {
+		t.Fatalf("after extra append: %d records, want %d", len(replay2.Records), len(recs)+1)
+	}
+}
+
+// TestWALTornTailEveryOffset simulates a crash at every byte offset of
+// the log: the truncated file must always reopen, recovering exactly
+// the records whose frames are complete and truncating the rest.
+func TestWALTornTailEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	recs := walRecords()
+	full := writeWAL(t, filepath.Join(dir, "full.log"), recs)
+
+	// recordEnds[i] = file offset just past record i.
+	var recordEnds []int
+	{
+		_, replay, err := OpenWAL(filepath.Join(dir, "full.log"))
+		if err != nil || len(replay.Records) != len(recs) {
+			t.Fatalf("full log replay: %v, %d records", err, len(replay.Records))
+		}
+	}
+	off := len(walMagic)
+	for range recs {
+		n := int(uint32(full[off]) | uint32(full[off+1])<<8 | uint32(full[off+2])<<16 | uint32(full[off+3])<<24)
+		off += 8 + n
+		recordEnds = append(recordEnds, off)
+	}
+	if off != len(full) {
+		t.Fatalf("frame walk ended at %d of %d", off, len(full))
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		path := filepath.Join(dir, "torn.log")
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w, replay, err := OpenWAL(path)
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		w.Close()
+		wantComplete := 0
+		for _, end := range recordEnds {
+			if end <= cut {
+				wantComplete++
+			}
+		}
+		if len(replay.Records) != wantComplete {
+			t.Fatalf("cut at %d: recovered %d records, want %d", cut, len(replay.Records), wantComplete)
+		}
+		wantEnd := len(walMagic)
+		if wantComplete > 0 {
+			wantEnd = recordEnds[wantComplete-1]
+		}
+		if cut < len(walMagic) {
+			wantEnd = len(walMagic) // header rewritten in place
+		}
+		if wantTorn := cut - wantEnd; wantTorn >= 0 && replay.TornBytes != wantTorn {
+			t.Fatalf("cut at %d: torn bytes %d, want %d", cut, replay.TornBytes, wantTorn)
+		}
+		// The torn tail is gone: a second open is clean and idempotent.
+		w2, replay2, err := OpenWAL(path)
+		if err != nil {
+			t.Fatalf("cut at %d, reopen: %v", cut, err)
+		}
+		w2.Close()
+		if replay2.TornBytes != 0 || len(replay2.Records) != wantComplete {
+			t.Fatalf("cut at %d: reopen not clean (%d torn, %d records)", cut, replay2.TornBytes, len(replay2.Records))
+		}
+	}
+}
+
+// TestWALMidFileCorruption: a bit flip under a record that has intact
+// records after it is not a torn tail — recovery must refuse with
+// ErrCorrupt instead of dropping acknowledged writes.
+func TestWALMidFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	full := writeWAL(t, filepath.Join(dir, "full.log"), walRecords())
+
+	// Flip a payload byte of the first record (frame starts after the
+	// magic; payload starts 8 bytes later).
+	mut := bytes.Clone(full)
+	mut[len(walMagic)+8] ^= 0x40
+	path := filepath.Join(dir, "mid.log")
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenWAL(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-file flip: err=%v, want ErrCorrupt", err)
+	}
+	// The same flip in the final record is a torn tail: truncate-and-warn.
+	mut2 := bytes.Clone(full)
+	mut2[len(full)-1] ^= 0x40
+	path2 := filepath.Join(dir, "tail.log")
+	if err := os.WriteFile(path2, mut2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, replay, err := OpenWAL(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if replay.TornBytes == 0 {
+		t.Fatal("damaged final frame not reported as torn")
+	}
+	if len(replay.Records) != len(walRecords())-1 {
+		t.Fatalf("recovered %d records, want %d", len(replay.Records), len(walRecords())-1)
+	}
+}
+
+// TestWALZeroFilledTail: a zero-filled tail (preallocated blocks after
+// a crash) parses as a zero frame and is truncated, not replayed.
+func TestWALZeroFilledTail(t *testing.T) {
+	dir := t.TempDir()
+	full := writeWAL(t, filepath.Join(dir, "full.log"), walRecords()[:2])
+	path := filepath.Join(dir, "zeros.log")
+	if err := os.WriteFile(path, append(bytes.Clone(full), make([]byte, 64)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, replay, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if len(replay.Records) != 2 || replay.TornBytes != 64 {
+		t.Fatalf("zero tail: %d records, %d torn", len(replay.Records), replay.TornBytes)
+	}
+}
+
+func TestWALBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	if err := os.WriteFile(path, []byte("NOTAWAL0"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenWAL(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestWALRotateEmptiesLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(walRecords()...); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(WALRecord{Epoch: 3, Op: WALRuleClear}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	_, replay, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replay.Records) != 1 || replay.Records[0].Epoch != 3 {
+		t.Fatalf("after rotate: %+v", replay.Records)
+	}
+}

@@ -10,7 +10,11 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
+
+	"trinit"
 )
 
 // handleHealthz is the liveness probe: the process is up and the
@@ -24,13 +28,31 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleReadyz is the readiness probe: 200 when the engine can usefully
 // accept a query right now (frozen, and admission — when enabled — not
-// saturated), 503 otherwise so load balancers steer traffic away while
-// the engine warms up or sheds.
+// saturated), 503 otherwise so load balancers steer traffic away. The
+// body names the distinct cause — "loading" (recovery still replaying
+// the data directory), "not frozen", or "saturated" — and 503s carry a
+// Retry-After hint: a fixed second for loading/not-frozen, the
+// admission queue's EWMA wait when saturated.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if !s.engine.Ready() {
+	e := s.eng()
+	if e == nil {
+		w.Header().Set("Retry-After", "1")
 		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "not ready")
+		fmt.Fprintln(w, "loading")
+		return
+	}
+	state := e.ReadyState()
+	if state != trinit.ReadyOK {
+		retry := time.Second
+		if state == trinit.ReadySaturated {
+			if avg := e.ServingStats().Admission.AvgWait; avg > retry {
+				retry = avg
+			}
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(int(retry.Round(time.Second)/time.Second)))
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, state.String())
 		return
 	}
 	w.WriteHeader(http.StatusOK)
@@ -47,9 +69,16 @@ func metric(b *strings.Builder, name, typ, help string, value any) {
 // exhaustions, recovered panics), admission state, match-list cache
 // activity, and store size.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	serving := s.engine.ServingStats()
-	cache := s.engine.CacheStats()
-	stats := s.engine.Stats()
+	e := s.eng()
+	if e == nil {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "loading")
+		return
+	}
+	serving := e.ServingStats()
+	cache := e.CacheStats()
+	stats := e.Stats()
 
 	var b strings.Builder
 	metric(&b, "trinit_queries_total", "counter",

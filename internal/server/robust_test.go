@@ -36,8 +36,60 @@ func TestReadyzTracksEngineState(t *testing.T) {
 		t.Fatalf("readyz on a frozen engine: %d", rec.Code)
 	}
 	unfrozen := New(trinit.New(nil))
-	if rec := get(t, unfrozen, "/readyz"); rec.Code != http.StatusServiceUnavailable {
+	rec := get(t, unfrozen, "/readyz")
+	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("readyz on an unfrozen engine: %d, want 503", rec.Code)
+	}
+	// "not frozen" must not be conflated with "loading": the engine
+	// exists, it just cannot answer queries yet.
+	if body := strings.TrimSpace(rec.Body.String()); body != "not frozen" {
+		t.Fatalf("readyz body on an unfrozen engine = %q, want %q", body, "not frozen")
+	}
+}
+
+// TestLoadingStateUntilPublish: a NewLoading server distinguishes
+// "still recovering from disk" from every other unready state — probes
+// answer, API traffic gets 503 + Retry-After — and flips atomically to
+// serving when the engine is published.
+func TestLoadingStateUntilPublish(t *testing.T) {
+	s := NewLoading()
+
+	if rec := get(t, s, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("healthz while loading: %d", rec.Code)
+	}
+	rec := get(t, s, "/readyz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while loading: %d, want 503", rec.Code)
+	}
+	if body := strings.TrimSpace(rec.Body.String()); body != "loading" {
+		t.Fatalf("readyz body while loading = %q, want %q", body, "loading")
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("readyz while loading: missing Retry-After")
+	}
+	for _, path := range []string{
+		"/api/query?q=" + escaped("AlbertEinstein hasAdvisor ?x"),
+		"/api/stats",
+		"/api/rules",
+	} {
+		rec := get(t, s, path)
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("%s while loading: %d, want 503", path, rec.Code)
+		}
+		if rec.Header().Get("Retry-After") == "" {
+			t.Fatalf("%s while loading: missing Retry-After", path)
+		}
+	}
+	if rec := get(t, s, "/metrics"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("metrics while loading: %d, want 503", rec.Code)
+	}
+
+	s.Publish(trinit.NewDemoEngine())
+	if rec := get(t, s, "/readyz"); rec.Code != http.StatusOK {
+		t.Fatalf("readyz after publish: %d", rec.Code)
+	}
+	if rec := get(t, s, "/api/query?q="+escaped("AlbertEinstein hasAdvisor ?x")); rec.Code != http.StatusOK {
+		t.Fatalf("query after publish: %d", rec.Code)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"trinit"
@@ -22,14 +23,30 @@ import (
 // one goroutine per request, as net/http does by default — since the
 // frozen engine's read path (Query, Ask, Complete, Stats) takes no
 // engine-wide lock; concurrent requests share the match-list cache.
+//
+// The engine slot is an atomic pointer so the daemon can start its
+// listener before recovery finishes: NewLoading serves probes (and 503s
+// API traffic with a Retry-After) until Publish installs the recovered
+// engine.
 type Server struct {
-	engine *trinit.Engine
+	engine atomic.Pointer[trinit.Engine]
 	mux    *http.ServeMux
 }
 
 // New builds a server around a frozen engine.
 func New(e *trinit.Engine) *Server {
-	s := &Server{engine: e, mux: http.NewServeMux()}
+	s := NewLoading()
+	s.Publish(e)
+	return s
+}
+
+// NewLoading builds a server with no engine yet — the daemon's
+// listen-first mode while Open replays the data directory. Until
+// Publish, /healthz reports the process alive, /readyz reports
+// "loading" with 503 + Retry-After, and API requests are rejected the
+// same way.
+func NewLoading() *Server {
+	s := &Server{mux: http.NewServeMux()}
 	s.mux.HandleFunc("/api/query", s.handleQuery)
 	s.mux.HandleFunc("/api/query/stream", s.handleQueryStream)
 	s.mux.HandleFunc("/api/ask", s.handleAsk)
@@ -43,8 +60,34 @@ func New(e *trinit.Engine) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// Publish installs the engine, atomically flipping the server from
+// loading to serving. Requests already past the loading check keep the
+// nil-engine 503 they were routed to; new ones see the engine.
+func (s *Server) Publish(e *trinit.Engine) { s.engine.Store(e) }
+
+// eng returns the published engine, or nil while loading. Handlers past
+// the ServeHTTP loading gate may assume non-nil: the slot is write-once.
+func (s *Server) eng() *trinit.Engine { return s.engine.Load() }
+
+// errLoading is the 503 body served while recovery is still running.
+var errLoading = errors.New("loading: the engine is still recovering from disk")
+
+// ServeHTTP implements http.Handler. While no engine is published, only
+// the operational endpoints and the UI pass through; API requests are
+// told to come back (503 + Retry-After) rather than being conflated
+// with "not frozen".
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.eng() == nil {
+		switch r.URL.Path {
+		case "/healthz", "/readyz", "/metrics", "/":
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, errLoading)
+			return
+		}
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -95,7 +138,7 @@ func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
 	status := statusFor(err)
 	if status == http.StatusTooManyRequests {
 		retry := time.Second
-		if avg := s.engine.ServingStats().Admission.AvgWait; avg > retry {
+		if avg := s.eng().ServingStats().Admission.AvgWait; avg > retry {
 			retry = avg.Round(time.Second)
 		}
 		secs := int(retry / time.Second)
@@ -229,7 +272,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// it at all on the common path.
 		opts = append(opts, trinit.WithoutTrace())
 	}
-	res, err := s.engine.QueryContext(r.Context(), q, opts...)
+	res, err := s.eng().QueryContext(r.Context(), q, opts...)
 	if err != nil && !degradedPartial(r, res, err) {
 		s.writeQueryError(w, err)
 		return
@@ -315,7 +358,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opts = append(opts, trinit.WithoutExplanations(), trinit.WithoutTrace())
-	res, err := s.engine.QueryStream(r.Context(), q, func(ev trinit.AnswerEvent) error {
+	res, err := s.eng().QueryStream(r.Context(), q, func(ev trinit.AnswerEvent) error {
 		// A dropped client surfaces here before any doomed write: the
 		// request context is cancelled by the server on disconnect, and
 		// returning its error stops the underlying query at the
@@ -383,7 +426,7 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	}
 	// The ask response never serializes a trace.
 	opts = append(opts, trinit.WithoutTrace())
-	res, translated, err := s.engine.AskContext(r.Context(), question, opts...)
+	res, translated, err := s.eng().AskContext(r.Context(), question, opts...)
 	if err != nil && !degradedPartial(r, res, err) {
 		s.writeQueryError(w, err)
 		return
@@ -418,7 +461,7 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 			limit = n
 		}
 	}
-	comps := s.engine.Complete(prefix, limit)
+	comps := s.eng().Complete(prefix, limit)
 	if comps == nil {
 		comps = []trinit.Completion{}
 	}
@@ -435,8 +478,8 @@ type StatsResponse struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Stats: s.engine.Stats(),
-		Cache: s.engine.CacheStats(),
+		Stats: s.eng().Stats(),
+		Cache: s.eng().CacheStats(),
 	})
 }
 
@@ -450,7 +493,7 @@ type ruleRequest struct {
 func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
-		rules := s.engine.Rules()
+		rules := s.eng().Rules()
 		if rules == nil {
 			rules = []trinit.RuleSpec{}
 		}
@@ -461,7 +504,7 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		if err := s.engine.AddRule(req.ID, req.Rule, req.Weight); err != nil {
+		if err := s.eng().AddRule(req.ID, req.Rule, req.Weight); err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -472,7 +515,7 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("missing id parameter"))
 			return
 		}
-		if !s.engine.RemoveRule(id) {
+		if !s.eng().RemoveRule(id) {
 			writeError(w, http.StatusNotFound, fmt.Errorf("no rule with id %q", id))
 			return
 		}

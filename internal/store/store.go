@@ -45,6 +45,12 @@ type Store struct {
 	tokens *tokenIndex
 
 	numKG, numXKG int
+
+	// addLog records the IDs of triples inserted or replaced since the
+	// last DrainAdds, when tracking is enabled. The durable engine uses
+	// it to mirror batch ingest into the write-ahead log.
+	addLog    []ID
+	trackAdds bool
 }
 
 // ID identifies a triple inside a Store.
@@ -90,6 +96,9 @@ func (st *Store) Add(t rdf.Triple) ID {
 			st.countSource(st.triples[id].Source, -1)
 			st.triples[id] = t
 			st.countSource(t.Source, +1)
+			if st.trackAdds {
+				st.addLog = append(st.addLog, id)
+			}
 		}
 		return id
 	}
@@ -97,7 +106,26 @@ func (st *Store) Add(t rdf.Triple) ID {
 	st.triples = append(st.triples, t)
 	st.byKey[t.Key()] = id
 	st.countSource(t.Source, +1)
+	if st.trackAdds {
+		st.addLog = append(st.addLog, id)
+	}
 	return id
+}
+
+// TrackAdds enables or disables recording of inserted/replaced triple IDs.
+// The durable engine turns it on so that batch ingest (document pipelines
+// that write straight into the store) can be mirrored into the write-ahead
+// log after the fact.
+func (st *Store) TrackAdds(on bool) { st.trackAdds = on }
+
+// DrainAdds returns the IDs recorded since the last drain and resets the
+// log. A replaced triple (same key, higher confidence) appears again with
+// its original ID, so replaying the drained rows in order reproduces the
+// final state.
+func (st *Store) DrainAdds() []ID {
+	out := st.addLog
+	st.addLog = nil
+	return out
 }
 
 func (st *Store) countSource(s rdf.Source, d int) {
@@ -200,6 +228,14 @@ func (st *Store) Freeze() {
 	st.spo = st.buildPermIndex(st.lessSPO, func(t rdf.Triple) (rdf.TermID, rdf.TermID) { return t.S, t.P })
 	st.pos = st.buildPermIndex(st.lessPOS, func(t rdf.Triple) (rdf.TermID, rdf.TermID) { return t.P, t.O })
 	st.osp = st.buildPermIndex(st.lessOSP, func(t rdf.Triple) (rdf.TermID, rdf.TermID) { return t.O, t.S })
+	st.finishFreeze()
+}
+
+// finishFreeze builds everything Freeze derives besides the permutation
+// indexes — token index, per-term token sets, predicate statistics — and
+// marks the store frozen. Shared by Freeze (which sorts the indexes) and
+// FreezeWithIndexes (which installs pre-built ones from a snapshot).
+func (st *Store) finishFreeze() {
 	st.buildTokenIndex()
 	st.termSets = make([]text.TokenSet, st.dict.Len()+1)
 	for id := 1; id < len(st.termSets); id++ {

@@ -308,6 +308,11 @@ type Engine struct {
 	admit     *admission.Controller
 	defBudget Budget
 
+	// dur is the engine's attachment to a durable data directory (nil
+	// for in-memory engines); set once by Open or Persist, cleared by
+	// Close. See durable.go for the write-ahead protocol.
+	dur atomic.Pointer[durability]
+
 	// Serving counters, exposed through ServingStats and /metrics.
 	queriesTotal    atomic.Uint64
 	queriesShed     atomic.Uint64
@@ -364,23 +369,33 @@ func (e *Engine) SetDefaultBudget(b Budget) {
 
 // AddKGFact adds a curated KG fact between resources (confidence 1).
 func (e *Engine) AddKGFact(subject, predicate, object string) error {
+	d, unlock := e.durLocked()
+	defer unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.frozen {
 		return ErrFrozen
 	}
 	e.st.AddKG(rdf.Resource(subject), rdf.Resource(predicate), rdf.Resource(object))
+	if d != nil {
+		return e.logDrainedAdds(d)
+	}
 	return nil
 }
 
 // AddKGLiteral adds a curated KG fact whose object is a literal value.
 func (e *Engine) AddKGLiteral(subject, predicate, literal string) error {
+	d, unlock := e.durLocked()
+	defer unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.frozen {
 		return ErrFrozen
 	}
 	e.st.AddFact(rdf.Resource(subject), rdf.Resource(predicate), rdf.Literal(literal), rdf.SourceKG, 1, rdf.NoProv)
+	if d != nil {
+		return e.logDrainedAdds(d)
+	}
 	return nil
 }
 
@@ -388,6 +403,8 @@ func (e *Engine) AddKGLiteral(subject, predicate, literal string) error {
 // resources when they name known entities — pass viaEntity true — and
 // token phrases otherwise).
 func (e *Engine) AddTokenTriple(subject, relation, object string, confidence float64, doc, sentence string) error {
+	d, unlock := e.durLocked()
+	defer unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.frozen {
@@ -409,6 +426,9 @@ func (e *Engine) AddTokenTriple(subject, relation, object string, confidence flo
 		o = rdf.Resource(object)
 	}
 	e.st.AddFact(s, rdf.Token(relation), o, rdf.SourceXKG, confidence, prov)
+	if d != nil {
+		return e.logDrainedAdds(d)
+	}
 	return nil
 }
 
@@ -421,6 +441,8 @@ func (e *Engine) ExtendFromDocuments(docs []Document) (ExtendStats, error) {
 
 // ExtendFromDocumentsWith is ExtendFromDocuments with explicit config.
 func (e *Engine) ExtendFromDocumentsWith(docs []Document, cfg ExtendConfig) (ExtendStats, error) {
+	d, unlock := e.durLocked()
+	defer unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.frozen {
@@ -439,6 +461,11 @@ func (e *Engine) ExtendFromDocumentsWith(docs []Document, cfg ExtendConfig) (Ext
 		MinRelPairs:  cfg.MinRelationPairs,
 		LinkEntities: !cfg.DisableEntityLinking,
 	})
+	if d != nil {
+		if err := e.logDrainedAdds(d); err != nil {
+			return ExtendStats{}, err
+		}
+	}
 	return ExtendStats{
 		Documents:      stats.Documents,
 		Sentences:      stats.Sentences,
@@ -521,8 +548,17 @@ func (e *Engine) AddRule(id, rule string, weight float64) error {
 	if err != nil {
 		return err
 	}
+	d, unlock := e.durLocked()
+	defer unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if d != nil {
+		// Write-ahead: the rule is published only once its record is
+		// durable, so a crash can never reveal a rule the log lacks.
+		if err := d.append(ruleAddRecord(r)); err != nil {
+			return err
+		}
+	}
 	e.appendRules(r)
 	return nil
 }
@@ -541,6 +577,8 @@ func (e *Engine) appendRules(rs ...*relax.Rule) {
 // inversion, and composition rules; §3) and registers them. It returns the
 // mined rules as specs. The engine must be frozen.
 func (e *Engine) MineRules(cfg MiningConfig) ([]RuleSpec, error) {
+	d, unlock := e.durLocked()
+	defer unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !e.frozen {
@@ -592,6 +630,15 @@ func (e *Engine) MineRules(cfg MiningConfig) ([]RuleSpec, error) {
 		}
 		mined = append(mined, rel...)
 	}
+	if d != nil && len(mined) > 0 {
+		recs := make([]serial.WALRecord, len(mined))
+		for i, r := range mined {
+			recs[i] = ruleAddRecord(r)
+		}
+		if err := d.append(recs...); err != nil {
+			return nil, err
+		}
+	}
 	e.appendRules(mined...)
 	specs := make([]RuleSpec, len(mined))
 	for i, r := range mined {
@@ -630,9 +677,20 @@ func (e *Engine) RunOperators() error {
 			parsed = append(parsed, r)
 		}
 	}
+	d, unlock := e.durLocked()
+	defer unlock()
 	e.mu.Lock()
+	defer e.mu.Unlock()
+	if d != nil && len(parsed) > 0 {
+		recs := make([]serial.WALRecord, len(parsed))
+		for i, r := range parsed {
+			recs[i] = ruleAddRecord(r)
+		}
+		if err := d.append(recs...); err != nil {
+			return err
+		}
+	}
 	e.appendRules(parsed...)
-	e.mu.Unlock()
 	return nil
 }
 
@@ -649,8 +707,11 @@ func (e *Engine) Rules() []RuleSpec {
 }
 
 // RemoveRule deletes the rule(s) with the given ID; it reports whether any
-// rule was removed.
+// rule was removed. On a durable engine whose write-ahead log has failed,
+// the rules are left in place and RemoveRule reports false.
 func (e *Engine) RemoveRule(id string) bool {
+	d, unlock := e.durLocked()
+	defer unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	kept := make([]*relax.Rule, 0, len(e.rules))
@@ -662,14 +723,30 @@ func (e *Engine) RemoveRule(id string) bool {
 		}
 		kept = append(kept, r)
 	}
+	if !removed {
+		return false
+	}
+	if d != nil {
+		if err := d.append(serial.WALRecord{Op: serial.WALRuleRemove, RuleID: id}); err != nil {
+			return false
+		}
+	}
 	e.rules = kept
-	return removed
+	return true
 }
 
-// ClearRules removes all registered rules.
+// ClearRules removes all registered rules. On a durable engine whose
+// write-ahead log has failed, the rules are left in place.
 func (e *Engine) ClearRules() {
+	d, unlock := e.durLocked()
+	defer unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if d != nil {
+		if err := d.append(serial.WALRecord{Op: serial.WALRuleClear}); err != nil {
+			return
+		}
+	}
 	e.rules = nil
 }
 
@@ -1442,14 +1519,56 @@ func (e *Engine) ServingStats() ServingStats {
 	}
 }
 
-// Ready reports whether the engine can usefully accept a new query
-// right now: frozen, and admission (when enabled) is not saturated —
-// the /readyz signal.
-func (e *Engine) Ready() bool {
+// ReadyState classifies why an engine can or cannot usefully accept a
+// new query — the /readyz signal. (A fourth state, "still loading from
+// disk", exists only at the serving layer: before Open returns there is
+// no engine to ask.)
+type ReadyState int
+
+const (
+	// ReadyOK: frozen and accepting queries.
+	ReadyOK ReadyState = iota
+	// ReadyNotFrozen: the graph is still being built; queries would
+	// fail with ErrNotFrozen.
+	ReadyNotFrozen
+	// ReadySaturated: admission control is at capacity with a full
+	// wait queue; new queries would be shed.
+	ReadySaturated
+)
+
+// String names the state as /readyz reports it.
+func (s ReadyState) String() string {
+	switch s {
+	case ReadyOK:
+		return "ready"
+	case ReadyNotFrozen:
+		return "not frozen"
+	case ReadySaturated:
+		return "saturated"
+	default:
+		return fmt.Sprintf("ReadyState(%d)", int(s))
+	}
+}
+
+// ReadyState reports the engine's current readiness.
+func (e *Engine) ReadyState() ReadyState {
 	e.mu.RLock()
 	frozen, admit := e.frozen, e.admit
 	e.mu.RUnlock()
-	return frozen && !admit.Saturated()
+	switch {
+	case !frozen:
+		return ReadyNotFrozen
+	case admit.Saturated():
+		return ReadySaturated
+	default:
+		return ReadyOK
+	}
+}
+
+// Ready reports whether the engine can usefully accept a new query
+// right now: frozen, and admission (when enabled) is not saturated.
+func (e *Engine) Ready() bool {
+	return e.ReadyState() == ReadyOK
 }
 
 // NewDemoEngine returns an engine preloaded with the paper's running

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	trinitd [-addr :8080] [-synthetic] [-people N] [-seed S] [-data DIR] [-pprof localhost:6060]
+//	trinitd [-addr :8080] [-synthetic] [-people N] [-seed S] [-data DIR] [-shards N] [-pprof localhost:6060]
 //
 // By default the server hosts the paper's worked example (Figures 1-4);
 // with -synthetic it generates the synthetic world, builds the XKG from
@@ -54,6 +54,8 @@ func main() {
 		"admission wait-queue bound; beyond it queries are shed with 429 (0 = 4x capacity)")
 	queryBudget := flag.Int64("query-budget", 0,
 		"default per-query cost budget in join branches; exceeding it returns a partial result (0 = unlimited)")
+	shards := flag.Int("shards", 1,
+		"partition the store into N shards and scatter-gather queries across them (1 = unsharded)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -151,6 +153,13 @@ func main() {
 		if *queryBudget > 0 {
 			engine.SetDefaultBudget(trinit.Budget{JoinBranches: *queryBudget})
 		}
+		if *shards > 1 {
+			// Degrade to unsharded rather than refuse to serve: the data
+			// is identical either way, only the execution layout differs.
+			if err := engine.Reshard(*shards); err != nil {
+				log.Printf("trinitd: sharding disabled: %v", err)
+			}
+		}
 		published.Store(engine)
 		hs.Publish(engine)
 
@@ -160,6 +169,10 @@ func main() {
 		if *maxInflight > 0 {
 			log.Printf("trinitd: admission capacity %d (queue %d), default budget %d join branches",
 				*maxInflight, *admissionQueue, *queryBudget)
+		}
+		if ss := engine.ShardingStats(); ss.Shards > 0 {
+			log.Printf("trinitd: sharded execution across %d shards: triples per shard %v (owned %v), %d replicated predicates, skew %.2f",
+				ss.Shards, ss.Triples, ss.Owned, ss.ReplicatedPreds, ss.Skew)
 		}
 	}()
 

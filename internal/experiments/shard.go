@@ -1,0 +1,113 @@
+package experiments
+
+// E10 — sharded scatter-gather execution. The store is hash-partitioned
+// by subject with hub predicates replicated for join co-location, each
+// shard runs the incremental top-k processor over the co-located
+// rewrites while a shared atomic bound propagates every shard's k-th
+// score, rewrites the partitioning cannot co-locate fall back to the
+// coordinator's residual full-store run, and the coordinator merges the
+// rankings. Answers are byte-identical to the unsharded run at every N
+// (pinned by the repo-root TestShardDifferential); this experiment
+// measures the wall-clock and pruning effects plus the partitioning
+// quality. On a single-core host sharded rows degrade to roughly serial
+// cost plus coordination overhead; the speedup column is meaningful on
+// multi-core hosts.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"trinit/internal/dataset"
+	"trinit/internal/shard"
+	"trinit/internal/topk"
+)
+
+// E10ShardRow is one shard count measured over the wide-rewrite
+// workload.
+type E10ShardRow struct {
+	Shards           int     `json:"shards"`
+	MeanMillis       float64 `json:"mean_millis"`
+	NsPerOp          float64 `json:"ns_per_op"`
+	Speedup          float64 `json:"speedup_vs_unsharded"`
+	Skew             float64 `json:"skew"`
+	ReplicatedPreds  int     `json:"replicated_preds"`
+	BoundBroadcasts  int64   `json:"bound_broadcasts"`
+	CrossShardPrunes int64   `json:"cross_shard_prunes"`
+	ResidualRewrites int64   `json:"residual_rewrites"`
+}
+
+// RunE10Shards measures coordinated scatter-gather execution at each
+// shard count against the unsharded executor on the wide-rewrite
+// workload (depth-3 expansion, up to 256 rewrites per query), at k
+// answers per query. The unsharded run anchors the speedup column; every
+// configuration is warmed before timing so each sees identical
+// list-build work.
+func RunE10Shards(w *dataset.World, numQueries, k int, shardCounts []int) []E10ShardRow {
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2, 3, 4}
+	}
+	inst := Build(w, System{Name: "full", UseXKG: true, UseRelax: true})
+	jobs := wideRewriteWorkload(inst, w, numQueries)
+	cfg := topk.RunConfig{NoTrace: true}
+
+	ev := topk.New(inst.Store, topk.Options{K: k})
+	for _, j := range jobs {
+		ev.Run(context.Background(), j.Query, j.Rewrites, cfg)
+	}
+	var baseMs float64
+	for _, j := range jobs {
+		start := time.Now()
+		ev.Run(context.Background(), j.Query, j.Rewrites, cfg)
+		baseMs += float64(time.Since(start).Microseconds()) / 1000
+	}
+	baseMs /= float64(len(jobs))
+
+	var rows []E10ShardRow
+	for _, n := range shardCounts {
+		g, err := shard.NewGroup(inst.Store, n, topk.Options{K: k}, shard.PartitionOptions{})
+		if err != nil {
+			continue
+		}
+		for _, j := range jobs {
+			// Warm-up: builds every shard's match lists and hash indexes.
+			g.Run(context.Background(), j.Query, j.Rewrites, cfg)
+		}
+		row := E10ShardRow{
+			Shards:          n,
+			Skew:            g.Stats().Skew,
+			ReplicatedPreds: g.Stats().ReplicatedPreds,
+		}
+		var ms float64
+		for _, j := range jobs {
+			start := time.Now()
+			res, _ := g.Run(context.Background(), j.Query, j.Rewrites, cfg)
+			ms += float64(time.Since(start).Microseconds()) / 1000
+			row.BoundBroadcasts += res.Broadcasts
+			row.CrossShardPrunes += int64(res.Metrics.CrossShardPrunes)
+			row.ResidualRewrites += int64(res.Residual)
+		}
+		row.MeanMillis = ms / float64(len(jobs))
+		row.NsPerOp = row.MeanMillis * 1e6
+		if row.MeanMillis > 0 {
+			row.Speedup = baseMs / row.MeanMillis
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatE10Shards renders the E10 table.
+func FormatE10Shards(rows []E10ShardRow) string {
+	var b strings.Builder
+	b.WriteString("E10: sharded scatter-gather execution on the wide-rewrite workload (depth-3 expansion, k=10; answers byte-identical at every N)\n")
+	fmt.Fprintf(&b, "%6s %10s %14s %8s %6s %9s %11s %9s %9s\n",
+		"shards", "ms/query", "ns/op", "speedup", "skew", "repl.pred", "bound.bcast", "xs.prune", "residual")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d %10.3f %14.0f %7.2fx %6.2f %9d %11d %9d %9d\n",
+			r.Shards, r.MeanMillis, r.NsPerOp, r.Speedup, r.Skew,
+			r.ReplicatedPreds, r.BoundBroadcasts, r.CrossShardPrunes, r.ResidualRewrites)
+	}
+	return b.String()
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestE10ShardRows: one row per shard count, each carrying the
+// partitioning quality (skew >= 1, replicated predicates) and the
+// coordination counters; the multi-shard rows exchange bounds or fall
+// back to residual evaluation, and the table renders every column.
+func TestE10ShardRows(t *testing.T) {
+	w := smallWorld()
+	rows := RunE10Shards(w, 8, 10, []int{1, 2, 4})
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeanMillis <= 0 || r.NsPerOp <= 0 || r.Speedup <= 0 {
+			t.Errorf("N=%d: non-positive timing %+v", r.Shards, r)
+		}
+		if r.Skew < 1 {
+			t.Errorf("N=%d: skew %v < 1", r.Shards, r.Skew)
+		}
+		if r.Shards == 1 && r.ResidualRewrites != 0 {
+			t.Errorf("N=1 evaluated %d rewrites residually", r.ResidualRewrites)
+		}
+		if r.Shards > 1 && r.BoundBroadcasts == 0 && r.ResidualRewrites == 0 {
+			t.Errorf("N=%d: no bound broadcasts and no residual work", r.Shards)
+		}
+	}
+	out := FormatE10Shards(rows)
+	for _, col := range []string{"shards", "speedup", "skew", "bound.bcast", "residual"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("table missing column %q:\n%s", col, out)
+		}
+	}
+}

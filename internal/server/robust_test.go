@@ -124,6 +124,41 @@ func TestMetricsEndpoint(t *testing.T) {
 			t.Fatalf("metrics missing %q:\n%s", want, body)
 		}
 	}
+	if strings.Contains(body, "trinit_shards") {
+		t.Fatal("unsharded engine exposes shard metrics")
+	}
+}
+
+// TestMetricsEndpointSharded: a sharded engine additionally exposes the
+// partitioning gauges — per-shard triple counts under a shard label —
+// and the coordinator counters, and they move with traffic.
+func TestMetricsEndpointSharded(t *testing.T) {
+	e := trinit.NewDemoEngine()
+	if err := e.Reshard(2); err != nil {
+		t.Fatal(err)
+	}
+	s := New(e)
+	if rec := get(t, s, "/api/query?q="+escaped("AlbertEinstein hasAdvisor ?x")); rec.Code != http.StatusOK {
+		t.Fatalf("query: %d", rec.Code)
+	}
+	body := get(t, s, "/metrics").Body.String()
+	for _, want := range []string{
+		"trinit_shards 2",
+		`trinit_shard_triples{shard="0"}`,
+		`trinit_shard_triples{shard="1"}`,
+		`trinit_shard_owned_triples{shard="0"}`,
+		"trinit_shard_skew",
+		"trinit_shard_replicated_predicates",
+		"trinit_sharded_queries_total 1",
+		"trinit_bound_broadcasts_total",
+		"trinit_cross_shard_prunes_total",
+		"trinit_residual_rewrites_total",
+		"trinit_shard_merge_seconds_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("sharded metrics missing %q:\n%s", want, body)
+		}
+	}
 }
 
 // holdQuery parks the next engine evaluations on the returned channel

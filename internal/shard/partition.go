@@ -1,0 +1,167 @@
+package shard
+
+import (
+	"fmt"
+
+	"trinit/internal/rdf"
+	"trinit/internal/store"
+)
+
+// PartitionOptions tunes the partitioner.
+type PartitionOptions struct {
+	// ReplicateFactor decides which predicates are replicated to every
+	// shard instead of hash-partitioned: predicate p is replicated when
+	// distinctSubjects(p) * ReplicateFactor <= distinctSubjects(store).
+	// The intent is co-location of join edges: join variables in this
+	// corpus bind hub entities (universities, cities, leagues) that are
+	// the subjects of a handful of containment predicates (locatedIn,
+	// member, partOf, …) with few distinct subjects each, while fan-out
+	// predicates (person-subject facts) cover most of the subject
+	// universe and partition cleanly. Replicating the former keeps every
+	// star-plus-containment join shard-local at a small storage cost.
+	// 0 means the default of 8; negative disables replication.
+	ReplicateFactor int
+}
+
+// DefaultReplicateFactor is the replication threshold used when
+// PartitionOptions.ReplicateFactor is 0.
+const DefaultReplicateFactor = 8
+
+// PartitionStats describes one partitioning: per-shard sizes, the
+// replication decisions, and the ownership skew.
+type PartitionStats struct {
+	// Shards is the shard count N.
+	Shards int
+	// Owned[j] counts the triples shard j owns by subject hash.
+	Owned []int
+	// Triples[j] is shard j's total size, replicated copies included.
+	Triples []int
+	// ReplicatedPreds counts the predicates replicated to every shard.
+	ReplicatedPreds int
+	// ReplicatedTriples counts the source triples belonging to
+	// replicated predicates (each present on all N shards).
+	ReplicatedTriples int
+	// Skew is max(Owned) / mean(Owned): 1.0 is a perfect balance. 0
+	// when the store is empty.
+	Skew float64
+	// Replicated is the set of replicated predicates — the coordinator
+	// consults it to decide which rewrites are fully co-located on the
+	// shards and which need its residual full-store run.
+	Replicated map[rdf.TermID]bool
+}
+
+// Partition splits a frozen source store into n shard stores. Every
+// triple goes to the shard its subject hashes to; triples of replicated
+// predicates (see PartitionOptions.ReplicateFactor) additionally go to
+// every other shard. The shard stores share the source's dictionary and
+// provenance table — the in-process form of the replicated dictionary —
+// so TermIDs, answer bindings and ranking keys are identical across
+// shards and to the source.
+//
+// Shard 0 of a 1-shard partition receives every triple in source
+// triple-ID order, which makes its store — and its snapshot bytes —
+// identical to a store rebuilt from the source sequence: the N=1 ≡
+// unsharded guarantee starts here.
+func Partition(src *store.Store, n int, o PartitionOptions) ([]*store.Store, PartitionStats, error) {
+	if !src.Frozen() {
+		return nil, PartitionStats{}, fmt.Errorf("shard: partition of an unfrozen store")
+	}
+	if n < 1 {
+		return nil, PartitionStats{}, fmt.Errorf("shard: partition into %d shards", n)
+	}
+
+	replicated := replicatedPreds(src, o)
+	stats := PartitionStats{
+		Shards:          n,
+		Owned:           make([]int, n),
+		Triples:         make([]int, n),
+		ReplicatedPreds: len(replicated),
+		Replicated:      replicated,
+	}
+	for p := range replicated {
+		stats.ReplicatedTriples += src.Count(rdf.NoTerm, p, rdf.NoTerm)
+	}
+
+	shards := make([]*store.Store, n)
+	for j := 0; j < n; j++ {
+		dst := store.New(src.Dict(), src.Prov())
+		// Pass 1: owned triples, in source triple-ID order. With n == 1
+		// this is the whole store in its original sequence.
+		src.PartitionEach(j, n, func(id store.ID) bool {
+			dst.Add(src.Triple(id))
+			return true
+		})
+		stats.Owned[j] = dst.Len()
+		// Pass 2: replicated copies owned elsewhere, predicate by
+		// predicate in ascending TermID order (deterministic across
+		// runs; a no-op at n == 1, where every owner is shard 0).
+		for _, ps := range src.Predicates() {
+			if !replicated[ps.Pred] {
+				continue
+			}
+			src.MatchEach(rdf.NoTerm, ps.Pred, rdf.NoTerm, func(id store.ID) bool {
+				t := src.Triple(id)
+				if src.SubjectOwner(t.S, n) != j {
+					dst.Add(t)
+				}
+				return true
+			})
+		}
+		stats.Triples[j] = dst.Len()
+		dst.Freeze()
+		shards[j] = dst
+	}
+
+	if total := totalOwned(stats.Owned); total > 0 {
+		maxOwned := 0
+		for _, c := range stats.Owned {
+			if c > maxOwned {
+				maxOwned = c
+			}
+		}
+		stats.Skew = float64(maxOwned) * float64(n) / float64(total)
+	}
+	return shards, stats, nil
+}
+
+func totalOwned(owned []int) int {
+	total := 0
+	for _, c := range owned {
+		total += c
+	}
+	return total
+}
+
+// replicatedPreds selects the predicates to replicate: those whose
+// distinct-subject count is small relative to the store's, per the
+// ReplicateFactor rule.
+func replicatedPreds(src *store.Store, o PartitionOptions) map[rdf.TermID]bool {
+	factor := o.ReplicateFactor
+	if factor == 0 {
+		factor = DefaultReplicateFactor
+	}
+	if factor < 0 {
+		return nil
+	}
+
+	allSubjects := make(map[rdf.TermID]struct{})
+	perPred := make(map[rdf.TermID]map[rdf.TermID]struct{})
+	for _, ps := range src.Predicates() {
+		subs := make(map[rdf.TermID]struct{})
+		src.MatchEach(rdf.NoTerm, ps.Pred, rdf.NoTerm, func(id store.ID) bool {
+			s := src.Triple(id).S
+			subs[s] = struct{}{}
+			allSubjects[s] = struct{}{}
+			return true
+		})
+		perPred[ps.Pred] = subs
+	}
+
+	out := make(map[rdf.TermID]bool)
+	for p, subs := range perPred {
+		if len(subs)*factor <= len(allSubjects) {
+			out[p] = true
+		}
+	}
+	return out
+}

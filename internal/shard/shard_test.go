@@ -1,0 +1,147 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"trinit/internal/rdf"
+	"trinit/internal/store"
+)
+
+func TestBoundBroadcastKeepsMax(t *testing.T) {
+	var b BoundBroadcast
+	if b.Load() != 0 {
+		t.Fatalf("zero broadcast loads %v", b.Load())
+	}
+	b.Publish(0.5)
+	b.Publish(0.3) // lower: no-op
+	if got := b.Load(); got != 0.5 {
+		t.Fatalf("Load = %v, want 0.5", got)
+	}
+	b.Publish(0.5) // equal: no-op
+	b.Publish(0.7)
+	if got := b.Load(); got != 0.7 {
+		t.Fatalf("Load = %v, want 0.7", got)
+	}
+	if got := b.Broadcasts(); got != 2 {
+		t.Fatalf("Broadcasts = %d, want 2 (only raising publishes count)", got)
+	}
+}
+
+// hubWorld builds a store shaped like the corpus: many person-subject
+// facts (partitioned) pointing at a few hub entities that are themselves
+// subjects of a containment predicate (replicated).
+func hubWorld(people int) *store.Store {
+	st := store.New(nil, nil)
+	for i := 0; i < people; i++ {
+		p := rdf.Resource(fmt.Sprintf("Person%03d", i))
+		st.AddKG(p, rdf.Resource("affiliation"), rdf.Resource(fmt.Sprintf("Uni%d", i%4)))
+		st.AddKG(p, rdf.Resource("bornIn"), rdf.Resource(fmt.Sprintf("City%d", i%3)))
+	}
+	for u := 0; u < 4; u++ {
+		st.AddKG(rdf.Resource(fmt.Sprintf("Uni%d", u)), rdf.Resource("locatedIn"), rdf.Resource(fmt.Sprintf("City%d", u%3)))
+	}
+	st.Freeze()
+	return st
+}
+
+func TestPartitionErrors(t *testing.T) {
+	unfrozen := store.New(nil, nil)
+	if _, _, err := Partition(unfrozen, 2, PartitionOptions{}); err == nil {
+		t.Error("partition of unfrozen store did not fail")
+	}
+	st := hubWorld(8)
+	if _, _, err := Partition(st, 0, PartitionOptions{}); err == nil {
+		t.Error("partition into 0 shards did not fail")
+	}
+}
+
+func TestPartitionInvariants(t *testing.T) {
+	src := hubWorld(40)
+	for _, n := range []int{1, 2, 3, 4} {
+		shards, stats, err := Partition(src, n, PartitionOptions{})
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		if len(shards) != n || stats.Shards != n {
+			t.Fatalf("N=%d: got %d shards, stats say %d", n, len(shards), stats.Shards)
+		}
+
+		// Owned sets are disjoint and cover the source exactly.
+		totalOwned := 0
+		for _, c := range stats.Owned {
+			totalOwned += c
+		}
+		if totalOwned != src.Len() {
+			t.Fatalf("N=%d: owned triples sum to %d, source has %d", n, totalOwned, src.Len())
+		}
+
+		// locatedIn is a hub predicate (4 distinct subjects out of 44+):
+		// its triples must be present on every shard.
+		locIn, _ := src.Dict().Lookup(rdf.Resource("locatedIn"))
+		want := src.Count(rdf.NoTerm, locIn, rdf.NoTerm)
+		for j, sh := range shards {
+			if got := sh.Count(rdf.NoTerm, locIn, rdf.NoTerm); got != want {
+				t.Errorf("N=%d shard %d: %d locatedIn triples, want all %d replicated", n, j, got, want)
+			}
+			if !sh.Frozen() {
+				t.Errorf("N=%d shard %d: not frozen", n, j)
+			}
+		}
+		if stats.ReplicatedPreds == 0 || stats.ReplicatedTriples == 0 {
+			t.Errorf("N=%d: no replication recorded (%+v)", n, stats)
+		}
+
+		// Every shard triple is either owned by that shard or carries a
+		// replicated predicate; per-shard sizes match the stats.
+		for j, sh := range shards {
+			if sh.Len() != stats.Triples[j] {
+				t.Errorf("N=%d shard %d: Len %d, stats.Triples %d", n, j, sh.Len(), stats.Triples[j])
+			}
+		}
+
+		if n == 1 {
+			// The single shard replays the exact source sequence.
+			if shards[0].Len() != src.Len() {
+				t.Fatalf("N=1: shard has %d triples, source %d", shards[0].Len(), src.Len())
+			}
+			for id := 0; id < src.Len(); id++ {
+				if shards[0].Triple(store.ID(id)) != src.Triple(store.ID(id)) {
+					t.Fatalf("N=1: triple %d differs from source", id)
+				}
+			}
+			if stats.Skew != 1 {
+				t.Errorf("N=1: skew %v, want 1", stats.Skew)
+			}
+		} else if stats.Skew < 1 {
+			t.Errorf("N=%d: skew %v < 1", n, stats.Skew)
+		}
+	}
+}
+
+func TestPartitionSharesDictionary(t *testing.T) {
+	src := hubWorld(12)
+	shards, _, err := Partition(src, 3, PartitionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, sh := range shards {
+		if sh.Dict() != src.Dict() {
+			t.Errorf("shard %d has a private dictionary", j)
+		}
+		if sh.Prov() != src.Prov() {
+			t.Errorf("shard %d has a private provenance table", j)
+		}
+	}
+}
+
+func TestReplicateFactorDisabled(t *testing.T) {
+	src := hubWorld(40)
+	_, stats, err := Partition(src, 2, PartitionOptions{ReplicateFactor: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ReplicatedPreds != 0 || stats.ReplicatedTriples != 0 {
+		t.Fatalf("replication disabled but stats record %+v", stats)
+	}
+}

@@ -1,0 +1,69 @@
+package store
+
+import (
+	"trinit/internal/rdf"
+)
+
+// fnvOffset and fnvPrime are the FNV-1a 64-bit parameters.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// SubjectHash returns a stable partition hash of the subject term. It is
+// computed from the term's kind and surface text — not its TermID — so two
+// stores that interned terms in different orders (or a future network peer
+// that never saw this dictionary) agree on every triple's owner shard.
+func (st *Store) SubjectHash(s rdf.TermID) uint64 {
+	t := st.dict.Term(s)
+	h := fnvOffset
+	h ^= uint64(t.Kind)
+	h *= fnvPrime
+	for i := 0; i < len(t.Text); i++ {
+		h ^= uint64(t.Text[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// SubjectOwner returns the shard in [0, of) that owns triples with
+// subject s under hash partitioning.
+func (st *Store) SubjectOwner(s rdf.TermID, of int) int {
+	return int(st.SubjectHash(s) % uint64(of))
+}
+
+// PartitionEach calls fn for every triple owned by partition part out of
+// of, in ascending triple-ID order (the insertion order of the store). fn
+// returning false stops the iteration. With of == 1 every triple is
+// visited, so a single-shard partition reproduces the source store's
+// triple sequence exactly. PartitionEach does not require a frozen store.
+func (st *Store) PartitionEach(part, of int, fn func(ID) bool) {
+	if of <= 0 {
+		panic("store: PartitionEach with non-positive shard count")
+	}
+	for id := range st.triples {
+		if st.SubjectOwner(st.triples[id].S, of) != part {
+			continue
+		}
+		if !fn(ID(id)) {
+			return
+		}
+	}
+}
+
+// MatchPartition is MatchEach restricted to the triples owned by partition
+// part out of of: fn sees exactly the matching triples whose subject hashes
+// to part, in the same deterministic order MatchEach yields them. It
+// supports all eight bound/unbound slot combinations and requires a frozen
+// store, like MatchEach.
+func (st *Store) MatchPartition(s, p, o rdf.TermID, part, of int, fn func(ID) bool) {
+	if of <= 0 {
+		panic("store: MatchPartition with non-positive shard count")
+	}
+	st.MatchEach(s, p, o, func(id ID) bool {
+		if st.SubjectOwner(st.triples[id].S, of) != part {
+			return true
+		}
+		return fn(id)
+	})
+}

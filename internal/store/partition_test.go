@@ -1,0 +1,143 @@
+package store
+
+import (
+	"reflect"
+	"testing"
+
+	"trinit/internal/rdf"
+)
+
+// TestSubjectHashDictIndependent interns the same terms in two different
+// orders and checks the hash depends only on the term, not its TermID.
+func TestSubjectHashDictIndependent(t *testing.T) {
+	a := New(nil, nil)
+	a.AddKG(rdf.Resource("AlbertEinstein"), rdf.Resource("bornIn"), rdf.Resource("Ulm"))
+	a.AddKG(rdf.Resource("Ulm"), rdf.Resource("locatedIn"), rdf.Resource("Germany"))
+
+	b := New(nil, nil)
+	b.AddKG(rdf.Resource("Ulm"), rdf.Resource("locatedIn"), rdf.Resource("Germany"))
+	b.AddKG(rdf.Resource("AlbertEinstein"), rdf.Resource("bornIn"), rdf.Resource("Ulm"))
+
+	for _, name := range []string{"AlbertEinstein", "Ulm", "Germany"} {
+		ida, _ := a.Dict().Lookup(rdf.Resource(name))
+		idb, _ := b.Dict().Lookup(rdf.Resource(name))
+		if a.SubjectHash(ida) != b.SubjectHash(idb) {
+			t.Errorf("SubjectHash(%s) differs across dictionaries", name)
+		}
+	}
+	// Kind participates: a token and a resource with the same text must
+	// not collide by construction.
+	ta := a.Dict().Intern(rdf.Token("Ulm"))
+	ra, _ := a.Dict().Lookup(rdf.Resource("Ulm"))
+	if a.SubjectHash(ta) == a.SubjectHash(ra) {
+		t.Errorf("SubjectHash ignores term kind")
+	}
+}
+
+// TestPartitionEachCoversExactly checks that partitions are disjoint, cover
+// every triple, and preserve triple-ID order; of == 1 must reproduce the
+// full store sequence.
+func TestPartitionEachCoversExactly(t *testing.T) {
+	st := figure1()
+	extend(st)
+	for _, n := range []int{1, 2, 3, 4} {
+		seen := make(map[ID]int)
+		for part := 0; part < n; part++ {
+			last := -1
+			st.PartitionEach(part, n, func(id ID) bool {
+				if int(id) <= last {
+					t.Fatalf("n=%d part=%d: out-of-order id %d after %d", n, part, id, last)
+				}
+				last = int(id)
+				seen[id]++
+				return true
+			})
+		}
+		if len(seen) != st.Len() {
+			t.Fatalf("n=%d: %d triples seen, want %d", n, len(seen), st.Len())
+		}
+		for id, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: triple %d seen %d times", n, id, c)
+			}
+		}
+	}
+
+	// of == 1 yields the identity sequence.
+	var ids []ID
+	st.PartitionEach(0, 1, func(id ID) bool { ids = append(ids, id); return true })
+	for i, id := range ids {
+		if int(id) != i {
+			t.Fatalf("of=1: position %d holds id %d", i, id)
+		}
+	}
+
+	// Early stop.
+	calls := 0
+	st.PartitionEach(0, 1, func(ID) bool { calls++; return false })
+	if calls != 1 {
+		t.Fatalf("early stop: fn called %d times, want 1", calls)
+	}
+}
+
+// TestMatchPartitionAllSlotCombinations drives MatchPartition through all
+// eight bound/unbound slot combinations and compares against MatchEach
+// filtered by subject ownership.
+func TestMatchPartitionAllSlotCombinations(t *testing.T) {
+	st := figure1()
+	extend(st)
+	st.Freeze()
+
+	s := term(st, rdf.Resource("AlbertEinstein"))
+	p := term(st, rdf.Resource("bornIn"))
+	o := term(st, rdf.Resource("Ulm"))
+	if s == rdf.NoTerm || p == rdf.NoTerm || o == rdf.NoTerm {
+		t.Fatal("fixture terms missing")
+	}
+
+	patterns := []struct {
+		name    string
+		s, p, o rdf.TermID
+	}{
+		{"---", rdf.NoTerm, rdf.NoTerm, rdf.NoTerm},
+		{"s--", s, rdf.NoTerm, rdf.NoTerm},
+		{"-p-", rdf.NoTerm, p, rdf.NoTerm},
+		{"--o", rdf.NoTerm, rdf.NoTerm, o},
+		{"sp-", s, p, rdf.NoTerm},
+		{"s-o", s, rdf.NoTerm, o},
+		{"-po", rdf.NoTerm, p, o},
+		{"spo", s, p, o},
+	}
+	for _, n := range []int{1, 2, 3, 4} {
+		for _, pat := range patterns {
+			total := 0
+			for part := 0; part < n; part++ {
+				var want, got []ID
+				st.MatchEach(pat.s, pat.p, pat.o, func(id ID) bool {
+					if st.SubjectOwner(st.Triple(id).S, n) == part {
+						want = append(want, id)
+					}
+					return true
+				})
+				st.MatchPartition(pat.s, pat.p, pat.o, part, n, func(id ID) bool {
+					got = append(got, id)
+					return true
+				})
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("n=%d part=%d pattern %s: got %v, want %v", n, part, pat.name, got, want)
+				}
+				total += len(got)
+			}
+			if want := st.Count(pat.s, pat.p, pat.o); total != want {
+				t.Errorf("n=%d pattern %s: partitions yield %d matches, Count says %d", n, pat.name, total, want)
+			}
+		}
+	}
+
+	// Early stop propagates.
+	calls := 0
+	st.MatchPartition(rdf.NoTerm, rdf.NoTerm, rdf.NoTerm, 0, 1, func(ID) bool { calls++; return false })
+	if calls != 1 {
+		t.Fatalf("early stop: fn called %d times, want 1", calls)
+	}
+}

@@ -146,7 +146,12 @@ func (r *run) blockExtend(e *joinEnv, d int) {
 	// recorded answers that tightened it — not per tuple, so it is only
 	// ever staler (never tighter) than the tuple kernel's bound.
 	var thLimit float64
+	// thRemote marks that the captured bound was driven by a remote
+	// shard's broadcast rather than local answers, attributing this
+	// block's tail cuts to cross-shard pruning.
+	var thRemote bool
 	if incremental {
+		thRemote = e.state.remoteAhead()
 		thLimit = e.state.threshold()
 	}
 
@@ -171,6 +176,7 @@ func (r *run) blockExtend(e *joinEnv, d int) {
 		}
 		out.resetRows()
 		if incremental {
+			thRemote = e.state.remoteAhead()
 			thLimit = e.state.threshold()
 		}
 		return true
@@ -225,6 +231,9 @@ func (r *run) blockExtend(e *joinEnv, d int) {
 			// probability, so the whole tail is below the bound.
 			e.m.PrunedBranches++
 			e.m.BlockRowsFiltered += total - consumed
+			if thRemote {
+				e.m.CrossShardPrunes++
+			}
 		}
 		for j := 0; j < consumed; j++ {
 			p := j

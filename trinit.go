@@ -42,6 +42,7 @@ import (
 	"trinit/internal/rdf"
 	"trinit/internal/relax"
 	"trinit/internal/serial"
+	"trinit/internal/shard"
 	"trinit/internal/store"
 	"trinit/internal/suggest"
 	"trinit/internal/topk"
@@ -158,6 +159,25 @@ type Options struct {
 	// not set its own WithBudget. The zero value is unlimited.
 	// Adjustable after construction with SetDefaultBudget.
 	DefaultBudget Budget
+	// Shards splits the frozen store into that many subject-hashed
+	// partitions evaluated by a scatter-gather coordinator (see package
+	// internal/shard and README "Sharded execution"). 0 or 1 keeps the
+	// classic single-store pipeline. Rankings are byte-identical at
+	// every shard count; shards exchange their running k-th-score bound
+	// so incremental pruning keeps working across the split. Overridable
+	// per query with WithoutSharding.
+	Shards int
+	// ShardReplicateFactor tunes which predicates the partitioner
+	// replicates to every shard for join co-location (see
+	// shard.PartitionOptions.ReplicateFactor): 0 uses the default,
+	// negative disables replication. Ignored without Shards > 1.
+	ShardReplicateFactor int
+}
+
+// WithShards returns Options running the engine's queries over n
+// subject-hashed shards — convenience for trinit.New(trinit.WithShards(4)).
+func WithShards(n int) *Options {
+	return &Options{Shards: n}
 }
 
 // Budget caps the evaluation work of one query: join branches explored,
@@ -301,6 +321,21 @@ type Engine struct {
 	// when the engine freezes.
 	cache *topk.Cache
 	execs sync.Pool
+
+	// group is the sharded-execution coordinator (nil when Options.Shards
+	// <= 1): per-shard stores, caches and executor pools behind one
+	// scatter-gather merge. Built when the engine freezes, guarded by mu
+	// like cache. The full store e.st is retained either way — it serves
+	// as the corpus-wide normalisation-mass oracle, the WithoutSharding
+	// path, and the durability image.
+	group *shard.Group
+
+	// Sharding counters, exposed through ShardingStats and /metrics.
+	shardedQueries   atomic.Uint64
+	boundBroadcasts  atomic.Int64
+	crossShardPrunes atomic.Int64
+	shardMergeNanos  atomic.Int64
+	residualRewrites atomic.Int64
 
 	// admit gates query admission (nil = admission disabled); guarded
 	// by mu for replacement, snapshotted per query. defBudget is the
@@ -478,26 +513,23 @@ func (e *Engine) ExtendFromDocumentsWith(docs []Document, cfg ExtendConfig) (Ext
 }
 
 // initQueryPipeline wires the shared match-list cache and the executor
-// pool. Called once, when the engine freezes.
+// pool — and, with Options.Shards > 1, partitions the frozen store and
+// builds the shard coordinator. Called once, when the engine freezes.
 func (e *Engine) initQueryPipeline() {
 	e.cache = topk.NewCache(e.opts.MatchCacheSize)
-	mode := topk.Incremental
-	if e.opts.Exhaustive {
-		mode = topk.Exhaustive
-	}
-	opts := topk.Options{
-		K:            e.opts.K,
-		Mode:         mode,
-		MinTokenSim:  e.opts.MinTokenSimilarity,
-		NoPlan:       e.opts.NoPlanner,
-		NoHashJoin:   e.opts.NoHashJoin,
-		NoSemiJoin:   e.opts.NoSemiJoin,
-		NoBlockJoin:  e.opts.NoBlockJoin,
-		NoTokenIndex: e.opts.NoTokenIndex,
-		Parallelism:  e.opts.Parallelism,
-	}
+	opts := e.topkOptions()
 	st, cache := e.st, e.cache
 	e.execs.New = func() any { return topk.NewExecutor(st, cache, opts) }
+	if e.opts.Shards > 1 && e.st.Frozen() {
+		g, err := shard.NewGroup(e.st, e.opts.Shards,
+			opts, shard.PartitionOptions{ReplicateFactor: e.opts.ShardReplicateFactor})
+		if err == nil {
+			e.group = g
+		}
+		// Partition can only fail on an unfrozen store or n < 1, both
+		// excluded here; if it ever does, the engine degrades to the
+		// (identical-answer) unsharded pipeline rather than failing.
+	}
 }
 
 // executor borrows a pooled executor, initialising the query pipeline
@@ -844,6 +876,14 @@ type Metrics struct {
 	// BlockRowsFiltered counts candidate join rows the block kernel cut
 	// with the shared top-k bound before they were materialised.
 	BlockRowsFiltered int
+	// BoundBroadcasts counts bound-raising k-th-score exchanges between
+	// shards during this query (0 on unsharded engines and under
+	// WithoutSharding).
+	BoundBroadcasts int
+	// CrossShardPrunes counts prune decisions taken against a bound that
+	// arrived from another shard — work the bound exchange saved that
+	// shard-local knowledge alone would not have.
+	CrossShardPrunes int
 }
 
 // TraceEntry is one internal processing step: a rewrite considered by the
@@ -876,6 +916,10 @@ type TraceEntry struct {
 	SemiJoinKept []int
 	// Answers counts answers created or improved by the rewrite.
 	Answers int
+	// Shard is the shard whose run produced this entry (always 0 on
+	// unsharded engines; on a sharded engine the trace carries every
+	// shard's entries, shard-major).
+	Shard int
 }
 
 // Result is the outcome of one query.
@@ -896,6 +940,9 @@ type Result struct {
 	// context was cancelled or its deadline expired — and Answers holds
 	// only what had been found by then.
 	Partial bool
+	// Shards is the number of shards the query was scattered over (0
+	// when it ran the single-store pipeline).
+	Shards int
 
 	// src links back to the engine state needed to render explanations
 	// on demand (nil on results restored from serialisation).
@@ -909,6 +956,18 @@ type resultSource struct {
 	engine *Engine
 	query  *query.Query
 	raw    []topk.Answer
+	// stores[i] is the store raw[i]'s derivation must be resolved
+	// against — the winning shard's store on a sharded run, whose triple
+	// IDs are shard-local. nil means every answer reads engine.st.
+	stores []*store.Store
+}
+
+// store returns the store answer i's derivation resolves against.
+func (s *resultSource) store(i int) *store.Store {
+	if s.stores != nil && i < len(s.stores) && s.stores[i] != nil {
+		return s.stores[i]
+	}
+	return s.engine.st
 }
 
 // Explain renders the explanation of Answers[i] (0-based), computing it
@@ -926,7 +985,7 @@ func (r *Result) Explain(i int) (Explanation, error) {
 	if r.src == nil || i >= len(r.src.raw) {
 		return Explanation{}, errors.New("trinit: result carries no explanation source")
 	}
-	ex := explain.Explain(r.src.engine.st, r.src.query, r.src.raw[i])
+	ex := explain.Explain(r.src.store(i), r.src.query, r.src.raw[i])
 	pub := publicExplanation(ex)
 	r.Answers[i].Explanation = pub
 	return pub, nil
@@ -955,6 +1014,7 @@ type queryConfig struct {
 	budget      Budget
 	noTrace     bool
 	noExplain   bool
+	noShard     bool
 }
 
 // QueryOption is a per-query knob of QueryContext, QueryStream and
@@ -996,6 +1056,16 @@ func WithoutTrace() QueryOption {
 // demand through Result.Explain.
 func WithoutExplanations() QueryOption {
 	return func(c *queryConfig) { c.noExplain = true }
+}
+
+// WithoutSharding runs this one query on the engine's full store
+// through the single-store pipeline, bypassing the shard coordinator of
+// an Options.Shards engine. Answers are identical by the sharding
+// guarantee — this is the in-API oracle for differential testing, and
+// an escape hatch for latency-critical point queries on small stores.
+// A no-op on unsharded engines.
+func WithoutSharding() QueryOption {
+	return func(c *queryConfig) { c.noShard = true }
 }
 
 // WithMode overrides the engine's processing mode for this query.
@@ -1138,23 +1208,31 @@ func (e *Engine) queryContext(ctx context.Context, text string, fn func(AnswerEv
 	}
 	e.mu.RLock()
 	frozen, rules, suggester := e.frozen, e.rules, e.suggester
-	admit, defBudget := e.admit, e.defBudget
+	admit, defBudget, group := e.admit, e.defBudget, e.group
 	e.mu.RUnlock()
 	if !frozen {
 		return nil, fmt.Errorf("%w (call Freeze before querying)", ErrNotFrozen)
+	}
+	if cfg.noShard {
+		group = nil
 	}
 	q.Projection = q.ProjectedVars()
 
 	// Admission: a query weighs as many units as evaluation goroutines
 	// it may occupy, so capacity bounds total evaluation concurrency,
 	// not query count. Shed queries never reach expansion — no work is
-	// wasted on a query the engine cannot run.
+	// wasted on a query the engine cannot run. A sharded query scatters
+	// its evaluation over every shard at once, so it weighs N times a
+	// single-store query of the same parallelism.
 	e.queriesTotal.Add(1)
 	p := cfg.parallelism
 	if p == 0 {
 		p = e.opts.Parallelism
 	}
 	weight := int64(topk.EffectiveParallelism(p))
+	if group != nil {
+		weight *= int64(group.Shards())
+	}
 	if err := admit.Acquire(ctx, weight); err != nil {
 		if errors.Is(err, admission.ErrQueueFull) || errors.Is(err, admission.ErrDeadline) {
 			e.queriesShed.Add(1)
@@ -1206,7 +1284,40 @@ func (e *Engine) queryContext(ctx context.Context, text string, fn func(AnswerEv
 	var answers []topk.Answer
 	var metrics topk.Metrics
 	var traces []TraceEntry
-	if runErr == nil {
+	var shardStores []*store.Store
+	var broadcasts int64
+	switch {
+	case runErr != nil:
+	case group != nil:
+		// Sharded scatter-gather. The coordinator is its own panic
+		// boundary — a shard panic cancels the siblings and surfaces as
+		// a *topk.PanicError return — so no recover is needed here.
+		e.shardedQueries.Add(1)
+		var sres shard.RunResult
+		sres, runErr = group.Run(runCtx, q, rewrites, rcfg)
+		answers, metrics, broadcasts = sres.Answers, sres.Metrics, sres.Broadcasts
+		// Explanations must resolve each answer's derivation against the
+		// store that produced it: derivation triple IDs are store-local,
+		// and residual answers live in the retained full store.
+		shardStores = make([]*store.Store, len(sres.Answers))
+		for i, si := range sres.Shards {
+			shardStores[i] = group.AnswerStore(si)
+		}
+		e.boundBroadcasts.Add(sres.Broadcasts)
+		e.crossShardPrunes.Add(int64(sres.Metrics.CrossShardPrunes))
+		e.shardMergeNanos.Add(int64(sres.MergeTime))
+		e.residualRewrites.Add(int64(sres.Residual))
+		if !cfg.noTrace {
+			// Shard-major: shard 0's full rewrite trace, then shard 1's…
+			// Each entry names its shard, so provenance survives the
+			// concatenation.
+			for si, tr := range sres.Traces {
+				for _, t := range tr {
+					traces = append(traces, publicTraceEntry(t, si))
+				}
+			}
+		}
+	default:
 		// The query-level panic boundary: a panic unwinding out of the
 		// serial evaluation path (worker panics are already recovered by
 		// the parallel scheduler and surface as a *topk.PanicError return)
@@ -1230,17 +1341,7 @@ func (e *Engine) queryContext(ctx context.Context, text string, fn func(AnswerEv
 			if n := ev.TraceLen(); !cfg.noTrace && n > 0 {
 				traces = make([]TraceEntry, 0, n)
 				for _, t := range ev.LastTrace() {
-					traces = append(traces, TraceEntry{
-						Query:          t.Query,
-						Weight:         t.Weight,
-						Rules:          t.Rules,
-						Status:         t.Status,
-						Detail:         t.Detail,
-						PatternMatches: t.PatternMatches,
-						Plan:           t.Plan,
-						SemiJoinKept:   t.SemiJoinKept,
-						Answers:        t.Answers,
-					})
+					traces = append(traces, publicTraceEntry(t, 0))
 				}
 			}
 		}()
@@ -1298,19 +1399,28 @@ func (e *Engine) queryContext(ctx context.Context, text string, fn func(AnswerEv
 			ScanFallbacks:     metrics.ScanFallbacks,
 			BlocksEmitted:     metrics.BlocksEmitted,
 			BlockRowsFiltered: metrics.BlockRowsFiltered,
+			BoundBroadcasts:   int(broadcasts),
+			CrossShardPrunes:  metrics.CrossShardPrunes,
 		},
+	}
+	if group != nil {
+		res.Shards = group.Shards()
 	}
 	if cfg.noExplain {
 		// Keep the raw answers only when Explain may still need them:
 		// on the eager path every explanation is already rendered, and
 		// retaining the derivations would just pin the rewrite data
 		// (and the engine) for the result's lifetime.
-		res.src = &resultSource{engine: e, query: q, raw: answers}
+		res.src = &resultSource{engine: e, query: q, raw: answers, stores: shardStores}
 	}
-	for _, a := range answers {
+	for i, a := range answers {
 		pub := e.publicAnswer(a)
 		if !cfg.noExplain {
-			pub.Explanation = publicExplanation(explain.Explain(e.st, q, a))
+			st := e.st
+			if shardStores != nil {
+				st = shardStores[i]
+			}
+			pub.Explanation = publicExplanation(explain.Explain(st, q, a))
 		}
 		res.Answers = append(res.Answers, pub)
 	}
@@ -1361,6 +1471,23 @@ func (e *Engine) queryContext(ctx context.Context, text string, fn func(AnswerEv
 // budgetLimited reports whether any cap of b is set.
 func budgetLimited(b Budget) bool {
 	return b.JoinBranches > 0 || b.HashProbes > 0 || b.Blocks > 0
+}
+
+// publicTraceEntry converts one processor trace record, tagging the
+// shard it came from (0 on the single-store pipeline).
+func publicTraceEntry(t topk.RewriteTrace, shard int) TraceEntry {
+	return TraceEntry{
+		Query:          t.Query,
+		Weight:         t.Weight,
+		Rules:          t.Rules,
+		Status:         t.Status,
+		Detail:         t.Detail,
+		PatternMatches: t.PatternMatches,
+		Plan:           t.Plan,
+		SemiJoinKept:   t.SemiJoinKept,
+		Answers:        t.Answers,
+		Shard:          shard,
+	}
 }
 
 // publicAnswer converts a processor answer to its public form, without
@@ -1516,6 +1643,113 @@ func (e *Engine) ServingStats() ServingStats {
 		BudgetExhausted: e.budgetExhausted.Load(),
 		PanicsRecovered: e.panicsRecovered.Load(),
 		Admission:       admit.Stats(),
+	}
+}
+
+// Reshard rebuilds the engine's sharded-execution coordinator over n
+// subject-hashed partitions; n <= 1 returns the engine to the
+// single-store pipeline. The engine must be frozen. Rankings are
+// byte-identical at every n, so resharding is safe mid-traffic:
+// in-flight queries keep the coordinator (or the unsharded pipeline)
+// they started with. The cumulative sharding counters are not reset.
+func (e *Engine) Reshard(n int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.frozen {
+		return fmt.Errorf("%w: Reshard requires a frozen engine", ErrNotFrozen)
+	}
+	if n <= 1 {
+		e.group = nil
+		return nil
+	}
+	g, err := shard.NewGroup(e.st, n, e.topkOptions(),
+		shard.PartitionOptions{ReplicateFactor: e.opts.ShardReplicateFactor})
+	if err != nil {
+		return err
+	}
+	e.group = g
+	return nil
+}
+
+// topkOptions maps the engine options onto the processor's option set —
+// the one configuration every executor (pooled, per-shard, resharded)
+// is built from.
+func (e *Engine) topkOptions() topk.Options {
+	mode := topk.Incremental
+	if e.opts.Exhaustive {
+		mode = topk.Exhaustive
+	}
+	return topk.Options{
+		K:            e.opts.K,
+		Mode:         mode,
+		MinTokenSim:  e.opts.MinTokenSimilarity,
+		NoPlan:       e.opts.NoPlanner,
+		NoHashJoin:   e.opts.NoHashJoin,
+		NoSemiJoin:   e.opts.NoSemiJoin,
+		NoBlockJoin:  e.opts.NoBlockJoin,
+		NoTokenIndex: e.opts.NoTokenIndex,
+		Parallelism:  e.opts.Parallelism,
+	}
+}
+
+// ShardingStats reports the partitioning and activity of an engine's
+// sharded execution. Zero on unsharded engines (Shards == 0).
+type ShardingStats struct {
+	// Shards is the shard count (Options.Shards), 0 when sharding is
+	// off.
+	Shards int
+	// Triples[j] is shard j's total store size, replicated copies
+	// included; Owned[j] counts only the triples shard j owns by subject
+	// hash.
+	Triples []int
+	Owned   []int
+	// ReplicatedPreds counts predicates replicated to every shard for
+	// join co-location; ReplicatedTriples counts the source triples
+	// those predicates contribute (each copied to all shards).
+	ReplicatedPreds   int
+	ReplicatedTriples int
+	// Skew is max(Owned) over mean(Owned): 1.0 is a perfect balance.
+	Skew float64
+	// ShardedQueries counts queries that ran through the coordinator
+	// (WithoutSharding queries are excluded).
+	ShardedQueries uint64
+	// BoundBroadcasts counts bound-raising k-th-score exchanges between
+	// shards; CrossShardPrunes counts prune decisions taken against a
+	// bound received from another shard. Both cumulative since
+	// construction.
+	BoundBroadcasts  int64
+	CrossShardPrunes int64
+	// MergeTime is the cumulative wall-clock time spent gathering and
+	// merging per-shard rankings.
+	MergeTime time.Duration
+	// ResidualRewrites counts rewrites the coordinator evaluated on the
+	// retained full store because the partitioning could not co-locate
+	// their joins on any single shard.
+	ResidualRewrites int64
+}
+
+// ShardingStats returns a snapshot of the engine's sharded-execution
+// state, or the zero value when the engine is unsharded.
+func (e *Engine) ShardingStats() ShardingStats {
+	e.mu.RLock()
+	group := e.group
+	e.mu.RUnlock()
+	if group == nil {
+		return ShardingStats{}
+	}
+	ps := group.Stats()
+	return ShardingStats{
+		Shards:            group.Shards(),
+		Triples:           append([]int(nil), ps.Triples...),
+		Owned:             append([]int(nil), ps.Owned...),
+		ReplicatedPreds:   ps.ReplicatedPreds,
+		ReplicatedTriples: ps.ReplicatedTriples,
+		Skew:              ps.Skew,
+		ShardedQueries:    e.shardedQueries.Load(),
+		BoundBroadcasts:   e.boundBroadcasts.Load(),
+		CrossShardPrunes:  e.crossShardPrunes.Load(),
+		MergeTime:         time.Duration(e.shardMergeNanos.Load()),
+		ResidualRewrites:  e.residualRewrites.Load(),
 	}
 }
 

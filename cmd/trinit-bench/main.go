@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	trinit-bench [-exp all|e1|...|e10|e5,e9,e10] [-scale small|bench] [-queries 70] [-seed 1] [-json BENCH_9.json]
+//	trinit-bench [-exp all|e1|...|e10|e5,e9,e10] [-scale small|bench|benchxN] [-queries 70] [-seed 1] [-json BENCH_10.json]
+//
+// -scale benchxN multiplies the bench world's entity counts by N (e.g.
+// benchx100 for a ~100× world) — the regime where zero-copy mapped
+// segments pay off.
 //
 // -exp accepts a comma-separated list. With -json, the E5 efficiency
 // metrics (main table, join-kernel ablation, token-matching ablation,
@@ -20,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -56,15 +61,27 @@ type benchArtifact struct {
 
 func main() {
 	exp := flag.String("exp", "all", "experiments to run: all, or a comma list of e1..e10")
-	scale := flag.String("scale", "small", "world scale: small or bench")
+	scale := flag.String("scale", "small", "world scale: small, bench, or benchxN for an N-times bench world")
 	queries := flag.Int("queries", 70, "workload size (paper: 70)")
 	seed := flag.Int64("seed", 1, "world seed")
 	jsonPath := flag.String("json", "", "write E5 metrics to this file as JSON (requires e5 to run)")
 	flag.Parse()
 
 	cfg := dataset.DefaultConfig()
-	if *scale == "bench" {
+	switch {
+	case *scale == "small":
+	case *scale == "bench":
 		cfg = dataset.BenchConfig()
+	case strings.HasPrefix(*scale, "benchx"):
+		factor, err := strconv.Atoi(strings.TrimPrefix(*scale, "benchx"))
+		if err != nil || factor < 1 {
+			fmt.Fprintf(os.Stderr, "trinit-bench: bad -scale %q (want benchxN with N >= 1)\n", *scale)
+			os.Exit(2)
+		}
+		cfg = dataset.BenchConfig().Scaled(factor)
+	default:
+		fmt.Fprintf(os.Stderr, "trinit-bench: unknown -scale %q (use small, bench, or benchxN)\n", *scale)
+		os.Exit(2)
 	}
 	cfg.Seed = *seed
 
@@ -125,7 +142,7 @@ func main() {
 		blocks := experiments.RunE5Blocks(world(), e5Queries, 10)
 		fmt.Println(experiments.FormatE5Blocks(blocks))
 		art = &benchArtifact{
-			Schema:                   "trinit-bench/e5/v5",
+			Schema:                   "trinit-bench/e5/v6",
 			Scale:                    *scale,
 			Queries:                  e5Queries,
 			Seed:                     *seed,

@@ -209,8 +209,12 @@ func runREPL(engine *trinit.Engine, in io.Reader, out io.Writer) {
 			}
 			engine, last = e, nil
 			s := engine.Stats()
-			fmt.Fprintf(out, "loaded snapshot %s: %d triples (%d KG, %d XKG), %d rules\n",
-				path, s.Triples, s.KGTriples, s.XKGTriples, s.Rules)
+			residency := ""
+			if ms := engine.MemoryStats(); ms.Mapped {
+				residency = fmt.Sprintf(", served zero-copy from a %d-byte mapping", ms.MappedBytes)
+			}
+			fmt.Fprintf(out, "loaded snapshot %s: %d triples (%d KG, %d XKG), %d rules%s\n",
+				path, s.Triples, s.KGTriples, s.XKGTriples, s.Rules, residency)
 		case strings.HasPrefix(line, ".complete "):
 			prefix := strings.TrimSpace(strings.TrimPrefix(line, ".complete"))
 			for _, c := range engine.Complete(prefix, 10) {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	trinitd [-addr :8080] [-synthetic] [-people N] [-seed S] [-data DIR] [-shards N] [-pprof localhost:6060]
+//	trinitd [-addr :8080] [-synthetic] [-people N] [-seed S] [-data DIR] [-shards N] [-mmap=false] [-pprof localhost:6060]
 //
 // By default the server hosts the paper's worked example (Figures 1-4);
 // with -synthetic it generates the synthetic world, builds the XKG from
@@ -56,7 +56,11 @@ func main() {
 		"default per-query cost budget in join branches; exceeding it returns a partial result (0 = unlimited)")
 	shards := flag.Int("shards", 1,
 		"partition the store into N shards and scatter-gather queries across them (1 = unsharded)")
+	mmap := flag.Bool("mmap", true,
+		"serve the -data snapshot zero-copy from a memory-mapped segment when the file and host allow it (-mmap=false forces eager decode)")
 	flag.Parse()
+
+	engineOpts := &trinit.Options{NoMapSegments: !*mmap}
 
 	if *pprofAddr != "" {
 		// Profiling listens on its own address — the main listener never
@@ -109,7 +113,7 @@ func main() {
 			return buildEngine()
 		}
 		if trinit.HasData(*dataDir) {
-			e, info, err := trinit.Open(*dataDir, nil)
+			e, info, err := trinit.Open(*dataDir, engineOpts)
 			if err != nil {
 				return nil, err
 			}
@@ -121,8 +125,12 @@ func main() {
 			if info.TornBytes > 0 {
 				torn = fmt.Sprintf(", %d torn tail bytes truncated", info.TornBytes)
 			}
-			log.Printf("trinitd: recovered %s: snapshot epoch %d (%d bytes%s), %d delta records replayed (%d stale skipped%s) in %v",
-				*dataDir, info.SnapshotEpoch, info.SnapshotBytes, rebuilt,
+			residency := "decoded onto the heap"
+			if info.Mapped {
+				residency = fmt.Sprintf("mapped zero-copy (%d bytes)", info.MappedBytes)
+			}
+			log.Printf("trinitd: recovered %s: snapshot epoch %d (%d bytes%s) %s, %d delta records replayed (%d stale skipped%s) in %v",
+				*dataDir, info.SnapshotEpoch, info.SnapshotBytes, rebuilt, residency,
 				info.WALReplayed, info.WALSkipped, torn, info.LoadTime)
 			return e, nil
 		}
@@ -166,6 +174,10 @@ func main() {
 		s := engine.Stats()
 		log.Printf("trinitd: serving XKG with %d triples (%d KG + %d XKG), %d rules on %s",
 			s.Triples, s.KGTriples, s.XKGTriples, s.Rules, *addr)
+		if ms := engine.MemoryStats(); ms.Mapped {
+			log.Printf("trinitd: base segment at epoch %d served from a %d-byte memory mapping; live ingest folds at checkpoint",
+				ms.Epoch, ms.MappedBytes)
+		}
 		if *maxInflight > 0 {
 			log.Printf("trinitd: admission capacity %d (queue %d), default budget %d join branches",
 				*maxInflight, *admissionQueue, *queryBudget)

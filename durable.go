@@ -35,11 +35,11 @@ import (
 	"sync"
 	"time"
 
+	"trinit/internal/faultinject"
 	"trinit/internal/rdf"
 	"trinit/internal/relax"
 	"trinit/internal/serial"
 	"trinit/internal/store"
-	"trinit/internal/suggest"
 )
 
 const (
@@ -104,6 +104,11 @@ type RecoveryInfo struct {
 	// index format, so the permutation indexes were re-sorted from the
 	// triple column instead of loaded eagerly.
 	IndexesRebuilt bool
+	// Mapped reports that the snapshot is served zero-copy from a
+	// memory-mapped segment (v2 format, mappable host) rather than
+	// decoded onto the heap; MappedBytes is the mapping size.
+	Mapped      bool
+	MappedBytes int
 	// WALReplayed counts delta-log records applied on top of the
 	// snapshot; WALSkipped counts stale records from older epochs.
 	WALReplayed, WALSkipped int
@@ -142,14 +147,16 @@ func Open(dir string, opts *Options) (*Engine, *RecoveryInfo, error) {
 	var e *Engine
 	snapPath := filepath.Join(dir, snapshotFile)
 	if _, err := os.Stat(snapPath); err == nil {
-		snap, err := serial.ReadSnapshotFile(snapPath)
+		snap, mapped, err := openSnapshot(snapPath, opts)
 		if err != nil {
 			return nil, nil, err
 		}
-		e = engineFromSnapshot(snap, opts)
+		e = engineFromSnapshot(snap, mapped, opts)
 		info.SnapshotEpoch = snap.Epoch
 		info.SnapshotBytes = snap.Bytes
 		info.IndexesRebuilt = snap.IndexesRebuilt
+		info.Mapped = mapped != nil
+		info.MappedBytes = mapped.MappedBytes()
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, nil, err
 	} else {
@@ -161,6 +168,7 @@ func Open(dir string, opts *Options) (*Engine, *RecoveryInfo, error) {
 		return nil, nil, err
 	}
 	info.TornBytes = replay.TornBytes
+	var pendingIngest []serial.WALRecord
 	for _, rec := range replay.Records {
 		switch {
 		case rec.Epoch < info.SnapshotEpoch:
@@ -173,11 +181,25 @@ func Open(dir string, opts *Options) (*Engine, *RecoveryInfo, error) {
 			return nil, nil, fmt.Errorf("%w: delta-log record at epoch %d, snapshot at epoch %d",
 				ErrCorrupt, rec.Epoch, info.SnapshotEpoch)
 		}
+		if rec.Op == serial.WALTriple && e.frozen {
+			// Live-ingest records, appended after the snapshot froze:
+			// replayed as one delta batch once the rule records are in, so
+			// recovery rebuilds the same overlay IngestFacts published.
+			pendingIngest = append(pendingIngest, rec)
+			info.WALReplayed++
+			continue
+		}
 		if err := e.applyWALRecord(rec); err != nil {
 			wal.Close()
 			return nil, nil, err
 		}
 		info.WALReplayed++
+	}
+	if len(pendingIngest) > 0 {
+		if err := e.replayIngest(pendingIngest); err != nil {
+			wal.Close()
+			return nil, nil, err
+		}
 	}
 	if !e.frozen {
 		// Mirror further batch ingest into the log (replayed rows are
@@ -190,9 +212,34 @@ func Open(dir string, opts *Options) (*Engine, *RecoveryInfo, error) {
 	return e, info, nil
 }
 
+// openSnapshot opens the segment at path mapped when possible (and not
+// disabled by Options.NoMapSegments), falling back to the eager decoder
+// for structurally unmappable files. Damage surfaces as an error either
+// way — a corrupt file must never silently fall back to decoding the
+// same bad bytes.
+func openSnapshot(path string, opts *Options) (*serial.Snapshot, *serial.MappedSnapshot, error) {
+	if opts == nil || !opts.NoMapSegments {
+		m, err := serial.OpenSnapshotMapped(path)
+		switch {
+		case err == nil:
+			return &m.Snapshot, m, nil
+		case errors.Is(err, serial.ErrNotMappable):
+			// v1 segment, stale index version, or unmappable host: the
+			// eager decoder handles all of these.
+		default:
+			return nil, nil, err
+		}
+	}
+	snap, err := serial.ReadSnapshotFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return snap, nil, nil
+}
+
 // engineFromSnapshot assembles a frozen, queryable engine around a
-// decoded snapshot.
-func engineFromSnapshot(snap *serial.Snapshot, opts *Options) *Engine {
+// decoded or mapped snapshot (mapped is nil for heap-decoded ones).
+func engineFromSnapshot(snap *serial.Snapshot, mapped *serial.MappedSnapshot, opts *Options) *Engine {
 	o := opts.withDefaults()
 	e := &Engine{
 		opts:      o,
@@ -201,10 +248,47 @@ func engineFromSnapshot(snap *serial.Snapshot, opts *Options) *Engine {
 		admit:     newAdmission(o.AdmissionCapacity, o.AdmissionQueue),
 		defBudget: o.DefaultBudget,
 	}
-	e.suggester = suggest.New(e.st)
-	e.initQueryPipeline()
+	e.initQueryPipeline(newMappedRef(mapped), snap.Epoch)
 	e.frozen = true
 	return e
+}
+
+// replayIngest rebuilds the live-ingest delta overlay from the replayed
+// WAL records during Open. The engine is single-owner here, so the
+// records intern straight into the snapshot store's dictionary and the
+// batch is not re-logged — it is already in the log being replayed.
+func (e *Engine) replayIngest(recs []serial.WALRecord) error {
+	cur := e.currentVersion()
+	defer cur.unpin()
+	dict, prov := cur.st.Dict(), cur.st.Prov()
+	triples := make([]rdf.Triple, len(recs))
+	for i, rec := range recs {
+		pv := rdf.NoProv
+		if rec.Doc != "" || rec.Sentence != "" {
+			pv = prov.Add(rdf.Prov{Doc: rec.Doc, Sentence: rec.Sentence})
+		}
+		triples[i] = rdf.Triple{
+			S:      dict.Intern(rec.S),
+			P:      dict.Intern(rec.P),
+			O:      dict.Intern(rec.O),
+			Source: rec.Source,
+			Conf:   rec.Conf,
+			Prov:   pv,
+		}
+	}
+	delta, applied, err := store.BuildDelta(cur.base, dict, nil, triples)
+	if err != nil {
+		return fmt.Errorf("%w: delta-log ingest replay: %v", ErrCorrupt, err)
+	}
+	if len(applied) == 0 {
+		return nil
+	}
+	overlay := cur.base.WithDelta(delta, dict, prov)
+	e.mu.Lock()
+	e.publishLocked(newStoreVersion(e, overlay, cur.base, delta, cur.mapped, cur.epoch))
+	e.mu.Unlock()
+	e.ingestedFacts.Add(uint64(len(applied)))
+	return nil
 }
 
 // applyWALRecord replays one delta-log record during Open. The engine is
@@ -258,7 +342,7 @@ func (e *Engine) Persist(dir string) error {
 		return fmt.Errorf("trinit: engine is already durable")
 	}
 	e.mu.RLock()
-	frozen, st, rules := e.frozen, e.st, e.rules
+	frozen, rules := e.frozen, e.rules
 	e.mu.RUnlock()
 	if !frozen {
 		return fmt.Errorf("%w: Persist requires a frozen engine", ErrNotFrozen)
@@ -271,7 +355,7 @@ func (e *Engine) Persist(dir string) error {
 			return fmt.Errorf("trinit: %s already exists in %s (use Open)", name, dir)
 		}
 	}
-	if err := serial.WriteSnapshotFile(filepath.Join(dir, snapshotFile), st, rules, 1); err != nil {
+	if err := serial.WriteSnapshotFile(filepath.Join(dir, snapshotFile), e.snapshotStore(), rules, 1); err != nil {
 		return err
 	}
 	wal, _, err := serial.OpenWAL(filepath.Join(dir, walFile))
@@ -298,19 +382,31 @@ func (e *Engine) Checkpoint() error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
 	if d.err != nil {
 		return fmt.Errorf("trinit: durability disabled by earlier failure: %w", d.err)
 	}
 	e.mu.RLock()
-	frozen, st, rules := e.frozen, e.st, e.rules
+	frozen, rules := e.frozen, e.rules
 	e.mu.RUnlock()
 	if !frozen {
 		return fmt.Errorf("%w: Checkpoint requires a frozen engine", ErrNotFrozen)
 	}
-	// st is immutable after Freeze and the rules slice is copy-on-write,
-	// so the snapshot encodes a consistent view without holding e.mu;
-	// concurrent rule mutations serialize behind d.mu.
-	if err := serial.WriteSnapshotFile(filepath.Join(d.dir, snapshotFile), st, rules, d.epoch+1); err != nil {
+	// Every published version is immutable and the rules slice is
+	// copy-on-write, so the snapshot encodes a consistent view without
+	// holding e.mu; concurrent rule mutations serialize behind d.mu, and
+	// concurrent ingest behind ingestMu. A live delta overlay is folded
+	// into a merged image first — the snapshot is always one segment.
+	cur := e.currentVersion()
+	defer cur.unpin()
+	st := cur.st
+	hadDelta := cur.delta.Rows()+cur.delta.Overrides() > 0
+	if hadDelta {
+		st = materializeStore(st)
+	}
+	snapPath := filepath.Join(d.dir, snapshotFile)
+	if err := serial.WriteSnapshotFile(snapPath, st, rules, d.epoch+1); err != nil {
 		// The rename may or may not have happened; either way the
 		// on-disk state is consistent, but continuing to append at the
 		// old epoch could lose acknowledged mutations if it did.
@@ -322,7 +418,50 @@ func (e *Engine) Checkpoint() error {
 		d.err = err
 		return err
 	}
+	// The rotation truncated the log in place and fsynced the file, but
+	// only a directory fsync makes the truncation's metadata durable on
+	// every filesystem; without it, a crash can resurrect pre-rotation
+	// records whose epoch now collides with post-checkpoint appends.
+	if err := syncDir(d.dir); err != nil {
+		d.err = err
+		return err
+	}
+	if hadDelta {
+		// Publish the folded image so queries stop paying the two-source
+		// merge — remapped zero-copy from the fresh segment when possible,
+		// the merged heap store otherwise.
+		newSt := st
+		var mapped *mappedRef
+		if !e.opts.NoMapSegments {
+			if m, err := serial.OpenSnapshotMapped(snapPath); err == nil {
+				newSt = m.Store
+				mapped = newMappedRef(m)
+			}
+		}
+		e.mu.Lock()
+		e.publishLocked(newStoreVersion(e, newSt, newSt, nil, mapped, d.epoch))
+		e.mu.Unlock()
+		e.compactions.Add(1)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory so renames and truncations inside it are
+// durable. The faultinject site simulates the disk (or process) dying at
+// exactly this point.
+func syncDir(dir string) error {
+	if err := faultinject.FireErr(faultinject.SiteFsync, "wal-dir"); err != nil {
+		return err
+	}
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // Close detaches the engine from its data directory, closing the
@@ -403,11 +542,24 @@ func ruleAddRecord(r *relax.Rule) serial.WALRecord {
 // LoadSnapshot.
 func (e *Engine) SaveSnapshot(path string) error {
 	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if !e.frozen {
+	frozen, rules := e.frozen, e.rules
+	e.mu.RUnlock()
+	if !frozen {
 		return fmt.Errorf("%w: SaveSnapshot requires a frozen engine", ErrNotFrozen)
 	}
-	return serial.WriteSnapshotFile(path, e.st, e.rules, 1)
+	return serial.WriteSnapshotFile(path, e.snapshotStore(), rules, 1)
+}
+
+// snapshotStore returns the store to image in a snapshot: the current
+// version's store, with any live delta overlay folded into a merged heap
+// store first — a snapshot is always one self-contained segment.
+func (e *Engine) snapshotStore() *store.Store {
+	cur := e.currentVersion()
+	defer cur.unpin()
+	if cur.delta.Rows()+cur.delta.Overrides() > 0 {
+		return materializeStore(cur.st)
+	}
+	return cur.st
 }
 
 // SaveShardSnapshots writes one standalone snapshot per shard into dir
@@ -423,24 +575,26 @@ func (e *Engine) SaveSnapshot(path string) error {
 // partition replays the source store's exact triple sequence.
 func (e *Engine) SaveShardSnapshots(dir string) ([]string, error) {
 	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if !e.frozen {
+	frozen, rules, group := e.frozen, e.rules, e.group
+	e.mu.RUnlock()
+	if !frozen {
 		return nil, fmt.Errorf("%w: SaveShardSnapshots requires a frozen engine", ErrNotFrozen)
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	stores := []*store.Store{e.st}
-	if e.group != nil {
-		stores = stores[:0]
-		for i := 0; i < e.group.Shards(); i++ {
-			stores = append(stores, e.group.Store(i))
+	var stores []*store.Store
+	if group != nil {
+		for i := 0; i < group.Shards(); i++ {
+			stores = append(stores, group.Store(i))
 		}
+	} else {
+		stores = []*store.Store{e.snapshotStore()}
 	}
 	paths := make([]string, 0, len(stores))
 	for i, st := range stores {
 		p := filepath.Join(dir, fmt.Sprintf("shard-%03d.trnt", i))
-		if err := serial.WriteSnapshotFile(p, st, e.rules, 1); err != nil {
+		if err := serial.WriteSnapshotFile(p, st, rules, 1); err != nil {
 			return nil, err
 		}
 		paths = append(paths, p)
@@ -450,11 +604,14 @@ func (e *Engine) SaveShardSnapshots(dir string) ([]string, error) {
 
 // LoadSnapshot restores a frozen, queryable engine from a snapshot file
 // written by SaveSnapshot (or from a data directory's snapshot.trnt,
-// ignoring any delta log next to it). Pass nil opts for defaults.
+// ignoring any delta log next to it). v2 segments are served zero-copy
+// from a memory mapping when the host allows it (disable with
+// Options.NoMapSegments); v1 segments decode eagerly. Pass nil opts for
+// defaults.
 func LoadSnapshot(path string, opts *Options) (*Engine, error) {
-	snap, err := serial.ReadSnapshotFile(path)
+	snap, mapped, err := openSnapshot(path, opts)
 	if err != nil {
 		return nil, err
 	}
-	return engineFromSnapshot(snap, opts), nil
+	return engineFromSnapshot(snap, mapped, opts), nil
 }

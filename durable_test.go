@@ -359,10 +359,28 @@ func TestCrashRecoveryDifferential(t *testing.T) {
 	}
 
 	// Never-crashed oracles: one with the seed state, one with the chaos
-	// rule acknowledged.
+	// rule acknowledged, one with a batch of facts ingested live.
 	oracleBaseEngine, _ := openDir(t, newDir())
 	oracleBase := workload(oracleBaseEngine)
+	// The ingest batch references entities the seed world already binds,
+	// so the new facts land inside answers the workload actually ranks.
+	seedRes, err := oracleBaseEngine.QueryContext(context.Background(), "?x bornIn ?y")
+	if err != nil || len(seedRes.Answers) == 0 {
+		t.Fatalf("seed probe query: %v (%d answers)", err, len(seedRes.Answers))
+	}
+	person, city := seedRes.Answers[0].Bindings["x"], seedRes.Answers[0].Bindings["y"]
+	ingestBatch := []Fact{
+		{Subject: "IngestNewcomer", Predicate: "bornIn", Object: city},
+		{Subject: person, Predicate: "hasWonPrize", Object: "IngestPrize"},
+		{Subject: person, Predicate: "lectured at", Object: "IngestInstitute", XKG: true, Confidence: 0.99, Doc: "ingest-doc", Sentence: "ingest-sentence"},
+	}
 	oracleBaseEngine.Close()
+	oracleIngestEngine, _ := openDir(t, newDir())
+	if _, err := oracleIngestEngine.IngestFacts(ingestBatch); err != nil {
+		t.Fatal(err)
+	}
+	oracleIngest := workload(oracleIngestEngine)
+	oracleIngestEngine.Close()
 	oracleRuleEngine, _ := openDir(t, newDir())
 	if err := addChaosRule(oracleRuleEngine); err != nil {
 		t.Fatal(err)
@@ -379,6 +397,16 @@ func TestCrashRecoveryDifferential(t *testing.T) {
 	}
 	if !differs {
 		t.Fatal("chaos rule changes no workload answer; the differential is vacuous")
+	}
+	differs = false
+	for id := range oracleBase {
+		if oracleBase[id] != oracleIngest[id] {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("ingest batch changes no workload answer; the differential is vacuous")
 	}
 
 	scenarios := []struct {
@@ -505,6 +533,63 @@ func TestCrashRecoveryDifferential(t *testing.T) {
 			},
 		},
 		{
+			name: "ingest-then-kill",
+			wreck: func(t *testing.T, dir string) string {
+				e, _ := openDir(t, dir)
+				if _, err := e.IngestFacts(ingestBatch); err != nil {
+					t.Fatal(err)
+				}
+				return "ingest" // acknowledged → the batch must survive the kill
+			},
+			check: func(t *testing.T, info *RecoveryInfo) {
+				if info.WALReplayed == 0 {
+					t.Fatal("no ingest records replayed")
+				}
+			},
+		},
+		{
+			name: "torn-ingest-append",
+			wreck: func(t *testing.T, dir string) string {
+				e, _ := openDir(t, dir)
+				defer faultinject.NewScript().
+					ErrorOn(faultinject.SiteWALAppend, "triple", 1, errDisk).
+					Install()()
+				if _, err := e.IngestFacts(ingestBatch); !errors.Is(err, errDisk) {
+					t.Fatalf("IngestFacts under torn append: %v", err)
+				}
+				return "base" // never acknowledged → must not reappear
+			},
+			check: func(t *testing.T, info *RecoveryInfo) {
+				if info.TornBytes == 0 {
+					t.Fatal("no torn tail truncated")
+				}
+			},
+		},
+		{
+			name: "checkpoint-dir-fsync-error",
+			wreck: func(t *testing.T, dir string) string {
+				e, _ := openDir(t, dir)
+				if err := addChaosRule(e); err != nil {
+					t.Fatal(err)
+				}
+				// The data-directory fsync after the log rotation fails: the
+				// snapshot rename and rotation are already on disk, so the
+				// engine fails stop but recovery lands on the new epoch.
+				defer faultinject.NewScript().
+					ErrorOn(faultinject.SiteFsync, "wal-dir", 1, errDisk).
+					Install()()
+				if err := e.Checkpoint(); !errors.Is(err, errDisk) {
+					t.Fatalf("Checkpoint under directory fsync error: %v", err)
+				}
+				return "rule"
+			},
+			check: func(t *testing.T, info *RecoveryInfo) {
+				if info.SnapshotEpoch != 2 || info.WALReplayed != 0 {
+					t.Fatalf("recovery info: %+v", info)
+				}
+			},
+		},
+		{
 			name: "wal-mid-file-corruption",
 			wreck: func(t *testing.T, dir string) string {
 				e, _ := openDir(t, dir)
@@ -584,8 +669,11 @@ func TestCrashRecoveryDifferential(t *testing.T) {
 				t.Fatalf("stale temp files after recovery: %v", tmp)
 			}
 			oracle := oracleBase
-			if want == "rule" {
+			switch want {
+			case "rule":
 				oracle = oracleRule
+			case "ingest":
+				oracle = oracleIngest
 			}
 			compare(sc.name, workload(re), oracle)
 

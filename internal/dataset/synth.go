@@ -92,6 +92,25 @@ func BenchConfig() Config {
 	return c
 }
 
+// Scaled multiplies the world's entity counts by factor (≥1), keeping
+// the fraction knobs fixed. Fact and corpus volume grow roughly linearly
+// in the people count, so Scaled(100) on BenchConfig yields a world about
+// two orders of magnitude past the default bench scale — the regime
+// where mapped-segment open time and resident-set savings dominate.
+func (c Config) Scaled(factor int) Config {
+	if factor <= 1 {
+		return c
+	}
+	c.People *= factor
+	c.Cities *= factor
+	c.Countries *= factor
+	c.Universities *= factor
+	c.Fields *= factor
+	c.Prizes *= factor
+	c.Leagues *= factor
+	return c
+}
+
 // fact is a string-level triple destined for the KG; literal marks the
 // object as a literal value rather than a resource.
 type fact struct {

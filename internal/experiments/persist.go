@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -31,6 +33,27 @@ type E9PersistRow struct {
 	WALRecords     int     `json:"wal_records"`
 	WALAppendUs    float64 `json:"wal_append_us_per_record"`
 	WALReplayMs    float64 `json:"wal_replay_millis"`
+
+	// Zero-copy mapped open versus the eager decode of the same file.
+	// Heap figures are post-GC HeapAlloc deltas attributable to the opened
+	// snapshot; the mapped store's columns live in the page cache instead,
+	// so MappedHeapMB stays near-constant while EagerHeapMB scales with the
+	// store. Cold/warm first-query times measure the lazily built token
+	// index — the one per-query structure the mapped path defers.
+	MappedOpenMillis  float64 `json:"mapped_open_millis,omitempty"`
+	MappedOpenSpeedup float64 `json:"mapped_open_speedup,omitempty"` // load_millis / mapped_open_millis
+	EagerHeapMB       float64 `json:"eager_heap_mb,omitempty"`
+	MappedHeapMB      float64 `json:"mapped_heap_mb,omitempty"`
+	ColdQueryMillis   float64 `json:"mapped_cold_query_millis,omitempty"`
+	WarmQueryMillis   float64 `json:"mapped_warm_query_millis,omitempty"`
+}
+
+// heapAllocMB reports the live post-GC heap in MiB.
+func heapAllocMB() float64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.HeapAlloc) / (1 << 20)
 }
 
 // persistStore synthesises a frozen store of about n triples in the shape
@@ -143,7 +166,7 @@ func RunE9Persist(sizes []int) ([]E9PersistRow, error) {
 			return nil, fmt.Errorf("wal replay lost records: %d vs %d", len(replay.Records), walN)
 		}
 
-		rows = append(rows, E9PersistRow{
+		row := E9PersistRow{
 			Triples:        st.Len(),
 			SnapshotBytes:  snap.Bytes,
 			BytesPerTriple: float64(snap.Bytes) / float64(st.Len()),
@@ -153,7 +176,46 @@ func RunE9Persist(sizes []int) ([]E9PersistRow, error) {
 			WALRecords:     walN,
 			WALAppendUs:    appendUs,
 			WALReplayMs:    replayMs,
-		})
+		}
+
+		// Mapped-vs-eager open: wall-clock and resident heap. The eager
+		// decode is re-run inside a heap bracket so the delta is its alone.
+		st, snap = nil, nil
+		before := heapAllocMB()
+		eagerSnap, err := serial.DecodeSnapshot(data)
+		if err != nil {
+			return nil, err
+		}
+		row.EagerHeapMB = heapAllocMB() - before
+		runtime.KeepAlive(eagerSnap)
+		eagerSnap = nil
+
+		before = heapAllocMB()
+		start = time.Now()
+		msnap, err := serial.OpenSnapshotMapped(path)
+		switch {
+		case errors.Is(err, serial.ErrNotMappable):
+			// Host without mmap: the mapped columns stay zero in the row.
+		case err != nil:
+			return nil, fmt.Errorf("mapped open %d-triple snapshot: %w", n, err)
+		default:
+			row.MappedOpenMillis = float64(time.Since(start).Microseconds()) / 1000
+			if row.MappedOpenMillis > 0 {
+				row.MappedOpenSpeedup = row.LoadMillis / row.MappedOpenMillis
+			}
+			row.MappedHeapMB = heapAllocMB() - before
+
+			// First query on a mapped store pays the lazy token-index
+			// build; the second rides it.
+			start = time.Now()
+			msnap.Store.MatchToken("lectured at", store.MaskToken, 0.3, 10)
+			row.ColdQueryMillis = float64(time.Since(start).Microseconds()) / 1000
+			start = time.Now()
+			msnap.Store.MatchToken("institute", store.MaskToken, 0.3, 10)
+			row.WarmQueryMillis = float64(time.Since(start).Microseconds()) / 1000
+			msnap.Close()
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -168,6 +230,16 @@ func FormatE9Persist(rows []E9PersistRow) string {
 		fmt.Fprintf(&b, "%10d %12d %8.1f %10.1f %10.1f %12.1f %10d %12.2f %12.1f\n",
 			r.Triples, r.SnapshotBytes, r.BytesPerTriple, r.WriteMillis, r.LoadMillis, r.RebuildMillis,
 			r.WALRecords, r.WALAppendUs, r.WALReplayMs)
+	}
+	if len(rows) > 0 && rows[0].MappedOpenMillis > 0 {
+		b.WriteString("\nE9 mapped: zero-copy open vs eager decode\n")
+		fmt.Fprintf(&b, "%10s %10s %10s %10s %12s %12s %10s %10s\n",
+			"triples", "eager.ms", "mapped.ms", "speedup", "eager.MB", "mapped.MB", "cold.ms", "warm.ms")
+		for _, r := range rows {
+			fmt.Fprintf(&b, "%10d %10.1f %10.2f %9.0fx %12.1f %12.1f %10.2f %10.2f\n",
+				r.Triples, r.LoadMillis, r.MappedOpenMillis, r.MappedOpenSpeedup,
+				r.EagerHeapMB, r.MappedHeapMB, r.ColdQueryMillis, r.WarmQueryMillis)
+		}
 	}
 	return b.String()
 }

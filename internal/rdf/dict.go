@@ -100,3 +100,20 @@ func (d *Dict) All(fn func(TermID, Term) bool) {
 		}
 	}
 }
+
+// Clone returns an independent copy of the dictionary: same IDs for every
+// interned term, but interning into the clone never touches the original.
+// Live ingest clones the published dictionary before mapping a batch's
+// terms, so concurrent readers of the old dictionary are never racing a
+// mutation.
+func (d *Dict) Clone() *Dict {
+	cp := &Dict{
+		terms:      append([]Term(nil), d.terms...),
+		index:      make(map[Term]TermID, len(d.index)),
+		kindCounts: d.kindCounts,
+	}
+	for t, id := range d.index {
+		cp.index[t] = id
+	}
+	return cp
+}

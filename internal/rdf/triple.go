@@ -75,6 +75,12 @@ func (pt *ProvTable) Get(id ProvID) Prov {
 // Len returns the number of stored records.
 func (pt *ProvTable) Len() int { return len(pt.recs) - 1 }
 
+// Clone returns an independent copy of the table with identical IDs (see
+// Dict.Clone — live ingest clones before appending batch provenance).
+func (pt *ProvTable) Clone() *ProvTable {
+	return &ProvTable{recs: append([]Prov(nil), pt.recs...)}
+}
+
 // Triple is a dictionary-encoded SPO fact of the extended knowledge graph.
 type Triple struct {
 	S, P, O TermID

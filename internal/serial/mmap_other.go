@@ -1,0 +1,16 @@
+//go:build !unix
+
+package serial
+
+import (
+	"fmt"
+	"os"
+)
+
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, fmt.Errorf("serial: memory mapping is unsupported on this platform")
+}
+
+func munmapBytes(b []byte) error { return nil }

@@ -1,0 +1,20 @@
+//go:build unix
+
+package serial
+
+import (
+	"os"
+	"syscall"
+)
+
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared; the mapping outlives
+// the file descriptor, so callers may close f immediately after.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapBytes(b []byte) error {
+	return syscall.Munmap(b)
+}

@@ -94,10 +94,22 @@ type Snapshot struct {
 }
 
 // WriteSnapshot encodes a snapshot of the frozen store and rules at the
-// given epoch to w.
+// given epoch to w, in the current (v2, mmap-ready) segment format.
 func WriteSnapshot(w io.Writer, st *store.Store, rules []*relax.Rule, epoch uint64) error {
 	if !st.Frozen() {
 		return fmt.Errorf("serial: WriteSnapshot requires a frozen store")
+	}
+	return writeSnapshotV2(w, st, rules, epoch)
+}
+
+// WriteSnapshotV1 encodes a snapshot in the legacy v1 (varint-packed)
+// segment format. v1 files stay fully readable — DecodeSnapshot dispatches
+// on the header's version field — but cannot be memory-mapped; the
+// exported writer exists so back-compat tests and migration tooling can
+// still produce them.
+func WriteSnapshotV1(w io.Writer, st *store.Store, rules []*relax.Rule, epoch uint64) error {
+	if !st.Frozen() {
+		return fmt.Errorf("serial: WriteSnapshotV1 requires a frozen store")
 	}
 	var hdr [28]byte
 	copy(hdr[:8], snapMagic)
@@ -259,11 +271,23 @@ func decodeSnapshot(data []byte, forceRebuild bool) (*Snapshot, error) {
 	if string(data[:8]) != snapMagic {
 		return nil, corruptf("bad snapshot magic")
 	}
-	if crc := binary.LittleEndian.Uint32(data[24:]); crc != crc32.Checksum(data[:24], castagnoli) {
-		return nil, corruptf("snapshot header checksum mismatch")
-	}
+	// The version field sits at the same offset in every format; the
+	// header CRC's position depends on it, so dispatch before verifying.
 	version := binary.LittleEndian.Uint32(data[8:])
-	if version != snapFormatVersion {
+	switch version {
+	case snapFormatVersion:
+		if crc := binary.LittleEndian.Uint32(data[24:]); crc != crc32.Checksum(data[:24], castagnoli) {
+			return nil, corruptf("snapshot header checksum mismatch")
+		}
+	case snapFormatVersionV2:
+		if len(data) < v2HeaderSize {
+			return nil, corruptf("snapshot header truncated (%d bytes)", len(data))
+		}
+		if crc := binary.LittleEndian.Uint32(data[28:]); crc != crc32.Checksum(data[:28], castagnoli) {
+			return nil, corruptf("snapshot header checksum mismatch")
+		}
+		return decodeSnapshotV2(data, forceRebuild)
+	default:
 		return nil, corruptf("unsupported snapshot format version %d", version)
 	}
 	snap := &Snapshot{

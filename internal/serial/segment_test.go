@@ -150,7 +150,7 @@ func TestSnapshotOldIndexVersionRebuilds(t *testing.T) {
 	st, rules := segStore(t, 20)
 	data := encodeSeg(t, st, rules, 1)
 	binary.LittleEndian.PutUint32(data[12:], store.IndexFormatVersion-1)
-	binary.LittleEndian.PutUint32(data[24:], crc32.Checksum(data[:24], castagnoli))
+	binary.LittleEndian.PutUint32(data[28:], crc32.Checksum(data[:28], castagnoli))
 	snap, err := DecodeSnapshot(data)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,361 @@
+package serial
+
+// Segment format v2: the mmap-ready layout.
+//
+// v1 frames varint-packed payloads, which a decoder must materialise into
+// heap slices. v2 keeps the same file family (magic, canonical section
+// order, CRC-32C everywhere) but lays the hot columns out so a reader can
+// serve them in place from a memory-mapped file:
+//
+//	magic "TRNTSEG1"
+//	u32 format version (2) | u32 index version | u64 epoch
+//	u32 reserved (0) | u32 header CRC            → 32-byte header
+//	sections, each at an 8-byte-aligned offset:
+//	  u8 id | 3 zero bytes | u32 payload CRC | u64 payload length
+//	  payload, zero-padded to the next 8-byte boundary
+//	end marker: section id 0xFF with empty payload
+//
+// The section CRC covers the padded stored bytes, so verification is one
+// pass over exactly the bytes on disk. Fixed-width little-endian columns
+// replace varints in the sections a mapped reader serves zero-copy:
+//
+//	triples: u64 n | f64 conf[n] | u32 s[n] | u32 p[n] | u32 o[n]
+//	         | u32 prov[n] | u8 src[n]
+//	index:   u64 n | u32 ids[n] | u32 k1[n] | u32 k2[n]
+//
+// Every array starts at an offset aligned to its element size (the
+// payload itself starts 8-aligned: 32-byte header, 16-byte frames, padded
+// payloads). The dictionary, provenance and rule sections keep their v1
+// varint encodings — they are always decoded eagerly, because their
+// strings must survive an unmap.
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"math"
+	"sync"
+
+	"trinit/internal/rdf"
+	"trinit/internal/relax"
+	"trinit/internal/store"
+)
+
+const (
+	snapFormatVersionV2 = 2
+
+	v2HeaderSize = 32
+	v2FrameSize  = 16
+)
+
+// sectionBufPool recycles the writer's per-section encode buffer across
+// snapshot writes, so checkpoint loops do not regrow a multi-megabyte
+// scratch slice every epoch.
+var sectionBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 1<<16); return &b }}
+
+// v2Pad returns the stored (padded) length of a payload.
+func v2Pad(n int) int { return (n + 7) &^ 7 }
+
+// writeSnapshotV2 encodes the frozen store and rules at the given epoch in
+// segment format v2.
+func writeSnapshotV2(w io.Writer, st *store.Store, rules []*relax.Rule, epoch uint64) error {
+	var hdr [v2HeaderSize]byte
+	copy(hdr[:8], snapMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], snapFormatVersionV2)
+	binary.LittleEndian.PutUint32(hdr[12:], store.IndexFormatVersion)
+	binary.LittleEndian.PutUint64(hdr[16:], epoch)
+	binary.LittleEndian.PutUint32(hdr[28:], crc32.Checksum(hdr[:28], castagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+
+	idx := st.IndexSnapshot()
+	sections := []struct {
+		id     byte
+		encode func(buf []byte) []byte
+	}{
+		{secDict, func(buf []byte) []byte { return appendDict(buf, st.Dict()) }},
+		{secProv, func(buf []byte) []byte { return appendProv(buf, st.Prov()) }},
+		{secTriples, func(buf []byte) []byte { return appendTriplesV2(buf, st) }},
+		{secSPO, func(buf []byte) []byte { return appendIndexV2(buf, idx.SPO) }},
+		{secPOS, func(buf []byte) []byte { return appendIndexV2(buf, idx.POS) }},
+		{secOSP, func(buf []byte) []byte { return appendIndexV2(buf, idx.OSP) }},
+		{secRules, func(buf []byte) []byte { return appendRules(buf, rules) }},
+		{secEnd, func(buf []byte) []byte { return buf }},
+	}
+	bufp := sectionBufPool.Get().(*[]byte)
+	payload := *bufp
+	defer func() { *bufp = payload[:0]; sectionBufPool.Put(bufp) }()
+	for _, s := range sections {
+		payload = s.encode(payload[:0])
+		rawLen := len(payload)
+		for len(payload) < v2Pad(rawLen) {
+			payload = append(payload, 0)
+		}
+		// The length field records the unpadded payload; the stored
+		// length is derived by rounding up, and the CRC covers the
+		// padded bytes so verification reads exactly what is on disk.
+		var frame [v2FrameSize]byte
+		frame[0] = s.id
+		binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
+		binary.LittleEndian.PutUint64(frame[8:], uint64(rawLen))
+		if _, err := w.Write(frame[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendTriplesV2 encodes the triple set column-at-a-time in fixed-width
+// little-endian layout (see the package comment for offsets).
+func appendTriplesV2(buf []byte, st *store.Store) []byte {
+	n := st.Len()
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(n))
+	for i := 0; i < n; i++ {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(st.Triple(store.ID(i)).Conf))
+	}
+	for i := 0; i < n; i++ {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(st.Triple(store.ID(i)).S))
+	}
+	for i := 0; i < n; i++ {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(st.Triple(store.ID(i)).P))
+	}
+	for i := 0; i < n; i++ {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(st.Triple(store.ID(i)).O))
+	}
+	for i := 0; i < n; i++ {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(st.Triple(store.ID(i)).Prov))
+	}
+	for i := 0; i < n; i++ {
+		buf = append(buf, byte(st.Triple(store.ID(i)).Source))
+	}
+	return buf
+}
+
+// appendIndexV2 encodes one permutation index as three fixed-width columns.
+func appendIndexV2(buf []byte, c store.IndexColumns) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(c.IDs)))
+	for _, id := range c.IDs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
+	}
+	for _, k := range c.K1 {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(k))
+	}
+	for _, k := range c.K2 {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(k))
+	}
+	return buf
+}
+
+// v2TriplesLen and v2IndexLen are the exact payload sizes for n records;
+// the decoders reject any section whose length disagrees, so a count lie
+// can never cause over-allocation or an out-of-bounds column view.
+func v2TriplesLen(n uint64) uint64 { return 8 + 25*n }
+func v2IndexLen(n uint64) uint64   { return 8 + 12*n }
+
+// v2TriplesN validates a v2 triple-section payload and returns its record
+// count.
+func v2TriplesN(payload []byte) (int, error) {
+	if len(payload) < 8 {
+		return 0, corruptf("triple section truncated (%d bytes)", len(payload))
+	}
+	n := binary.LittleEndian.Uint64(payload)
+	if uint64(len(payload)) != v2TriplesLen(n) {
+		return 0, corruptf("triple section claims %d records in %d bytes (want %d)", n, len(payload), v2TriplesLen(n))
+	}
+	return int(n), nil
+}
+
+// v2IndexN validates a v2 index-section payload and returns its entry count.
+func v2IndexN(payload []byte) (int, error) {
+	if len(payload) < 8 {
+		return 0, corruptf("index section truncated (%d bytes)", len(payload))
+	}
+	n := binary.LittleEndian.Uint64(payload)
+	if uint64(len(payload)) != v2IndexLen(n) {
+		return 0, corruptf("index section claims %d entries in %d bytes (want %d)", n, len(payload), v2IndexLen(n))
+	}
+	return int(n), nil
+}
+
+// walkSectionsV2 verifies the framing and checksums of every v2 section in
+// data (which must start with a verified v2 header) and calls fn with each
+// unpadded payload in canonical order. The payloads alias data.
+func walkSectionsV2(data []byte, fn func(id byte, off int, payload []byte) error) error {
+	off := v2HeaderSize
+	for _, want := range sectionOrder {
+		if off+v2FrameSize > len(data) {
+			return corruptf("snapshot truncated at section header (offset %d)", off)
+		}
+		id := data[off]
+		if id != want {
+			return corruptf("snapshot section %#x out of order (want %#x)", id, want)
+		}
+		if data[off+1] != 0 || data[off+2] != 0 || data[off+3] != 0 {
+			return corruptf("section %#x frame padding is not zero", id)
+		}
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		n := binary.LittleEndian.Uint64(data[off+8:])
+		off += v2FrameSize
+		stored := (n + 7) &^ 7
+		if stored > uint64(len(data)-off) {
+			return corruptf("section %#x claims %d bytes, only %d remain", id, n, len(data)-off)
+		}
+		padded := data[off : off+int(stored)]
+		if crc32.Checksum(padded, castagnoli) != crc {
+			return corruptf("section %#x checksum mismatch", id)
+		}
+		if err := fn(id, off, padded[:n]); err != nil {
+			return err
+		}
+		off += int(stored)
+	}
+	if off != len(data) {
+		return corruptf("%d trailing bytes after end marker", len(data)-off)
+	}
+	return nil
+}
+
+// decodeSnapshotV2 eagerly decodes a v2 image into a heap store — the path
+// taken when mapping is unavailable (platform, alignment, forced decode)
+// or undesired. It mirrors decodeSnapshot's v1 semantics exactly,
+// including the index-version rebuild fallback.
+func decodeSnapshotV2(data []byte, forceRebuild bool) (*Snapshot, error) {
+	snap := &Snapshot{
+		Epoch:        binary.LittleEndian.Uint64(data[16:]),
+		IndexVersion: binary.LittleEndian.Uint32(data[12:]),
+	}
+	loadIndexes := !forceRebuild && snap.IndexVersion == store.IndexFormatVersion
+
+	dict := rdf.NewDict()
+	prov := rdf.NewProvTable()
+	st := store.New(dict, prov)
+	var idx store.IndexSnapshot
+
+	err := walkSectionsV2(data, func(id byte, _ int, payload []byte) error {
+		switch id {
+		case secDict:
+			return decodeDict(payload, dict)
+		case secProv:
+			return decodeProv(payload, prov)
+		case secTriples:
+			return decodeTriplesV2(payload, st)
+		case secSPO, secPOS, secOSP:
+			if !loadIndexes {
+				return nil
+			}
+			cols, err := decodeIndexV2(payload)
+			if err != nil {
+				return err
+			}
+			switch id {
+			case secSPO:
+				idx.SPO = cols
+			case secPOS:
+				idx.POS = cols
+			case secOSP:
+				idx.OSP = cols
+			}
+			return nil
+		case secRules:
+			rules, err := decodeRules(payload)
+			snap.Rules = rules
+			return err
+		case secEnd:
+			if len(payload) != 0 {
+				return corruptf("end marker carries %d payload bytes", len(payload))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	if loadIndexes {
+		if err := st.FreezeWithIndexes(idx); err != nil {
+			return nil, corruptf("%v", err)
+		}
+	} else {
+		st.Freeze()
+		snap.IndexesRebuilt = true
+	}
+	snap.Store = st
+	return snap, nil
+}
+
+// decodeTriplesV2 decodes the columnar triple section into the store,
+// applying the same per-record validation as the v1 decoder.
+func decodeTriplesV2(payload []byte, st *store.Store) error {
+	n, err := v2TriplesN(payload)
+	if err != nil {
+		return err
+	}
+	conf := payload[8:]
+	s := payload[8+8*n:]
+	p := payload[8+12*n:]
+	o := payload[8+16*n:]
+	pv := payload[8+20*n:]
+	src := payload[8+24*n:]
+	dict, prov := st.Dict(), st.Prov()
+	for i := 0; i < n; i++ {
+		t := rdf.Triple{
+			S:      rdf.TermID(binary.LittleEndian.Uint32(s[4*i:])),
+			P:      rdf.TermID(binary.LittleEndian.Uint32(p[4*i:])),
+			O:      rdf.TermID(binary.LittleEndian.Uint32(o[4*i:])),
+			Source: rdf.Source(src[i]),
+			Conf:   math.Float64frombits(binary.LittleEndian.Uint64(conf[8*i:])),
+			Prov:   rdf.ProvID(binary.LittleEndian.Uint32(pv[4*i:])),
+		}
+		if err := validateTriple(t, i, dict, prov); err != nil {
+			return err
+		}
+		if id := st.Add(t); int(id) != i {
+			return corruptf("triple %d duplicates triple %d", i, id)
+		}
+	}
+	return nil
+}
+
+// validateTriple applies the shared per-record checks of the v1, v2 and
+// mapped triple decoders.
+func validateTriple(t rdf.Triple, i int, dict *rdf.Dict, prov *rdf.ProvTable) error {
+	if !dict.Valid(t.S) || !dict.Valid(t.P) || !dict.Valid(t.O) {
+		return corruptf("triple %d references a term outside the dictionary", i)
+	}
+	if uint8(t.Source) > uint8(rdf.SourceXKG) {
+		return corruptf("triple %d has unknown source %d", i, t.Source)
+	}
+	if !(t.Conf > 0 && t.Conf <= 1) {
+		return corruptf("triple %d confidence %v outside (0, 1]", i, t.Conf)
+	}
+	if t.Prov != rdf.NoProv && int(t.Prov) > prov.Len() {
+		return corruptf("triple %d references provenance record %d of %d", i, t.Prov, prov.Len())
+	}
+	return nil
+}
+
+// decodeIndexV2 decodes one columnar index section into heap columns.
+func decodeIndexV2(payload []byte) (store.IndexColumns, error) {
+	n, err := v2IndexN(payload)
+	if err != nil {
+		return store.IndexColumns{}, err
+	}
+	c := store.IndexColumns{
+		IDs: make([]store.ID, n),
+		K1:  make([]rdf.TermID, n),
+		K2:  make([]rdf.TermID, n),
+	}
+	ids := payload[8:]
+	k1 := payload[8+4*n:]
+	k2 := payload[8+8*n:]
+	for i := 0; i < n; i++ {
+		c.IDs[i] = store.ID(binary.LittleEndian.Uint32(ids[4*i:]))
+		c.K1[i] = rdf.TermID(binary.LittleEndian.Uint32(k1[4*i:]))
+		c.K2[i] = rdf.TermID(binary.LittleEndian.Uint32(k2[4*i:]))
+	}
+	return c, nil
+}

@@ -126,6 +126,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	metric(&b, "trinit_rules", "gauge",
 		"Registered relaxation rules.", stats.Rules)
 
+	mem := e.MemoryStats()
+	mapped := 0
+	if mem.Mapped {
+		mapped = 1
+	}
+	metric(&b, "trinit_segment_epoch", "gauge",
+		"Snapshot epoch of the store version being served (0 = in-memory).", mem.Epoch)
+	metric(&b, "trinit_segment_mapped", "gauge",
+		"1 when the base segment serves zero-copy from a memory mapping.", mapped)
+	metric(&b, "trinit_segment_mapped_bytes", "gauge",
+		"Size of the memory-mapped base segment (0 = heap-resident).", mem.MappedBytes)
+	metric(&b, "trinit_delta_triples", "gauge",
+		"Live-ingest triples overlaid on the base segment.", mem.DeltaTriples)
+	metric(&b, "trinit_delta_overrides", "gauge",
+		"Higher-confidence live replacements of base facts in the overlay.", mem.DeltaOverrides)
+	metric(&b, "trinit_compactions_total", "counter",
+		"Delta-into-base folds since the engine started.", mem.Compactions)
+	metric(&b, "trinit_pinned_versions", "gauge",
+		"Retired store versions still pinned by in-flight queries or unreleased results.", mem.PinnedVersions)
+	metric(&b, "trinit_ingested_facts_total", "counter",
+		"Facts applied by live ingest since the engine started.", mem.IngestedFacts)
+
 	if ss := e.ShardingStats(); ss.Shards > 0 {
 		metric(&b, "trinit_shards", "gauge",
 			"Shard count of the sharded execution group.", ss.Shards)

@@ -1,0 +1,286 @@
+package store
+
+// Delta segments: immutable overlays that absorb post-freeze triple
+// ingest without touching the frozen (possibly memory-mapped) base.
+//
+// A Delta is built once per ingest batch by BuildDelta and never mutated
+// after publication, so the engine's MVCC layer can hand a (base, delta)
+// pair to any number of concurrent readers without locks. Ingest follows
+// Add's semantics exactly: a fact whose (S, P, O) key already exists —
+// in the base or in the delta — replaces the stored copy only at strictly
+// higher confidence. A replacement of a base fact becomes an override
+// (the base row's ID keeps addressing it, Triple returns the replacement)
+// rather than a new row, so base permutation order, predicate counts and
+// token-index membership are untouched: only new keys become delta rows.
+//
+// Delta rows get IDs following the base (baseLen+i in ingest order) —
+// precisely the IDs they would have in a store that had ingested the same
+// facts before Freeze. Together with the key-ordered two-source merge in
+// Match, that makes an overlay read byte-identical to a compacted store.
+
+import (
+	"fmt"
+	"sort"
+
+	"trinit/internal/rdf"
+)
+
+// Delta is an immutable overlay of post-freeze ingest over a frozen base.
+type Delta struct {
+	baseLen int
+
+	// rows are the facts whose keys are new; their IDs are baseLen+i.
+	rows  []rdf.Triple
+	byKey map[rdf.Key]ID
+
+	// override maps a base triple ID to its replacement (same key,
+	// higher confidence; possibly different source/provenance).
+	override map[ID]rdf.Triple
+
+	// Permutation orders over the delta rows only (global IDs), for the
+	// two-source merge in Match.
+	spo, pos, osp []ID
+
+	// addKG/addXKG adjust the base source counts (rows added plus
+	// override source flips; an override can make one negative).
+	addKG, addXKG int
+
+	// predCounts counts delta rows per predicate (overrides keep their
+	// predicate, so they do not appear).
+	predCounts map[rdf.TermID]int
+
+	// tokens is an auxiliary inverted index over every term the delta
+	// rows use, merged into MatchToken candidate resolution.
+	tokens *tokenIndex
+}
+
+// Rows returns the number of delta rows (new facts; overrides excluded).
+func (d *Delta) Rows() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.rows)
+}
+
+// Overrides returns the number of base facts the delta replaces.
+func (d *Delta) Overrides() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.override)
+}
+
+// triple resolves an ID the delta is responsible for: its own rows, and
+// overridden base rows.
+func (d *Delta) triple(id ID) (rdf.Triple, bool) {
+	if int(id) >= d.baseLen {
+		return d.rows[int(id)-d.baseLen], true
+	}
+	if t, ok := d.override[id]; ok {
+		return t, true
+	}
+	return rdf.Triple{}, false
+}
+
+// matchPat reports whether the triple matches the pattern (NoTerm is a
+// wildcard), mirroring the index semantics of Match.
+func matchPat(t rdf.Triple, s, p, o rdf.TermID) bool {
+	return (s == rdf.NoTerm || t.S == s) &&
+		(p == rdf.NoTerm || t.P == p) &&
+		(o == rdf.NoTerm || t.O == o)
+}
+
+func (d *Delta) perm(which permKind) []ID {
+	switch which {
+	case permSPO:
+		return d.spo
+	case permPOS:
+		return d.pos
+	default:
+		return d.osp
+	}
+}
+
+// matchPerm returns the delta rows matching the pattern, in the given
+// permutation's key order (a filtered subsequence of a sorted list stays
+// sorted). The delta is expected to be small relative to the base, so the
+// linear filter replaces index machinery.
+func (d *Delta) matchPerm(which permKind, s, p, o rdf.TermID) []ID {
+	var out []ID
+	for _, id := range d.perm(which) {
+		if matchPat(d.rows[int(id)-d.baseLen], s, p, o) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// countMatch counts delta rows matching the pattern.
+func (d *Delta) countMatch(s, p, o rdf.TermID) int {
+	n := 0
+	for i := range d.rows {
+		if matchPat(d.rows[i], s, p, o) {
+			n++
+		}
+	}
+	return n
+}
+
+// BuildDelta derives the next immutable delta from the previous one plus
+// a batch of new facts, against a frozen, overlay-free base. It returns
+// the delta and the subset of facts that actually changed state (new keys
+// and accepted higher-confidence replacements, in input order) — the rows
+// a write-ahead log must record to replay the same state. dict is the
+// dictionary the facts' terms were interned into (the ingest-side clone);
+// the delta's auxiliary token index resolves surface text through it.
+func BuildDelta(base *Store, dict *rdf.Dict, prev *Delta, facts []rdf.Triple) (*Delta, []rdf.Triple, error) {
+	if !base.frozen {
+		return nil, nil, fmt.Errorf("store: BuildDelta requires a frozen base")
+	}
+	if base.delta != nil {
+		return nil, nil, fmt.Errorf("store: BuildDelta base must not itself be an overlay")
+	}
+	d := &Delta{
+		baseLen:    base.baseLen(),
+		byKey:      make(map[rdf.Key]ID),
+		override:   make(map[ID]rdf.Triple),
+		predCounts: make(map[rdf.TermID]int),
+		tokens:     newTokenIndex(),
+	}
+	if prev != nil {
+		if prev.baseLen != d.baseLen {
+			return nil, nil, fmt.Errorf("store: delta base length %d does not match store %d", prev.baseLen, d.baseLen)
+		}
+		d.rows = append(d.rows, prev.rows...)
+		for k, id := range prev.byKey {
+			d.byKey[k] = id
+		}
+		for id, t := range prev.override {
+			d.override[id] = t
+		}
+	}
+
+	var applied []rdf.Triple
+	for i, t := range facts {
+		if !(t.Conf > 0 && t.Conf <= 1) {
+			return nil, nil, fmt.Errorf("store: ingested fact %d confidence %v outside (0, 1]", i, t.Conf)
+		}
+		if !dict.Valid(t.S) || !dict.Valid(t.P) || !dict.Valid(t.O) {
+			return nil, nil, fmt.Errorf("store: ingested fact %d references a term outside the dictionary", i)
+		}
+		k := t.Key()
+		if id, ok := d.byKey[k]; ok {
+			if t.Conf > d.rows[int(id)-d.baseLen].Conf {
+				d.rows[int(id)-d.baseLen] = t
+				applied = append(applied, t)
+			}
+			continue
+		}
+		if id, ok := base.baseLookup(k); ok {
+			cur, overridden := d.override[id]
+			if !overridden {
+				cur = base.baseTriple(id)
+			}
+			if t.Conf > cur.Conf {
+				d.override[id] = t
+				applied = append(applied, t)
+			}
+			continue
+		}
+		d.byKey[k] = ID(d.baseLen + len(d.rows))
+		d.rows = append(d.rows, t)
+		applied = append(applied, t)
+	}
+
+	// Derived state is rebuilt from scratch: deltas are batch-sized, and
+	// recomputing keeps Build idempotent over any prev/facts split.
+	for _, t := range d.rows {
+		if t.Source == rdf.SourceKG {
+			d.addKG++
+		} else {
+			d.addXKG++
+		}
+		d.predCounts[t.P]++
+	}
+	for id, t := range d.override {
+		b := base.baseTriple(id)
+		if b.Source != t.Source {
+			if t.Source == rdf.SourceKG {
+				d.addKG++
+				d.addXKG--
+			} else {
+				d.addXKG++
+				d.addKG--
+			}
+		}
+	}
+	d.spo = d.sortPerm(permSPO)
+	d.pos = d.sortPerm(permPOS)
+	d.osp = d.sortPerm(permOSP)
+
+	used := make(map[rdf.TermID]bool, 3*len(d.rows))
+	for _, t := range d.rows {
+		used[t.S] = true
+		used[t.P] = true
+		used[t.O] = true
+	}
+	ids := make([]rdf.TermID, 0, len(used))
+	for id := range used {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		d.tokens.add(id, dict.Term(id).Text)
+	}
+	return d, applied, nil
+}
+
+// sortPerm orders the delta rows' global IDs under the permutation's key
+// comparator.
+func (d *Delta) sortPerm(which permKind) []ID {
+	ids := make([]ID, len(d.rows))
+	for i := range ids {
+		ids[i] = ID(d.baseLen + i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		return permKeyLess(d.rows[int(ids[a])-d.baseLen], d.rows[int(ids[b])-d.baseLen], which)
+	})
+	return ids
+}
+
+// WithDelta returns a read view splicing the delta into every lookup over
+// this store. The receiver must be a frozen, overlay-free base. The view
+// is a shallow copy sharing the base's (immutable) indexes and columns;
+// dict and prov, when non-nil, replace the base's — ingest interns new
+// terms into clones so concurrent readers of the published store never
+// observe a mutation.
+func (st *Store) WithDelta(d *Delta, dict *rdf.Dict, prov *rdf.ProvTable) *Store {
+	if !st.frozen {
+		panic("store: WithDelta before Freeze")
+	}
+	if st.delta != nil {
+		panic("store: WithDelta on an overlay store")
+	}
+	cp := *st
+	cp.delta = d
+	if dict != nil {
+		cp.dict = dict
+	}
+	if prov != nil {
+		cp.prov = prov
+	}
+	cp.trackAdds = false
+	cp.addLog = nil
+	return &cp
+}
+
+// Base returns the overlay's underlying base store (or the store itself
+// when no delta is attached).
+func (st *Store) Base() *Store {
+	if st.delta == nil {
+		return st
+	}
+	cp := *st
+	cp.delta = nil
+	return &cp
+}

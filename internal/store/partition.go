@@ -41,8 +41,8 @@ func (st *Store) PartitionEach(part, of int, fn func(ID) bool) {
 	if of <= 0 {
 		panic("store: PartitionEach with non-positive shard count")
 	}
-	for id := range st.triples {
-		if st.SubjectOwner(st.triples[id].S, of) != part {
+	for id, n := 0, st.Len(); id < n; id++ {
+		if st.SubjectOwner(st.Triple(ID(id)).S, of) != part {
 			continue
 		}
 		if !fn(ID(id)) {
@@ -61,7 +61,7 @@ func (st *Store) MatchPartition(s, p, o rdf.TermID, part, of int, fn func(ID) bo
 		panic("store: MatchPartition with non-positive shard count")
 	}
 	st.MatchEach(s, p, o, func(id ID) bool {
-		if st.SubjectOwner(st.triples[id].S, of) != part {
+		if st.SubjectOwner(st.Triple(id).S, of) != part {
 			return true
 		}
 		return fn(id)

@@ -41,6 +41,12 @@ func (st *Store) IndexSnapshot() IndexSnapshot {
 	if !st.frozen {
 		panic("store: IndexSnapshot before Freeze")
 	}
+	if st.delta != nil && (len(st.delta.rows) > 0 || len(st.delta.override) > 0) {
+		// The permutation indexes cover only the base; exporting them as
+		// the image of an overlay would silently drop the delta. Callers
+		// compact (materialise a merged store) before snapshotting.
+		panic("store: IndexSnapshot on a store with a live delta overlay (compact first)")
+	}
 	return IndexSnapshot{
 		SPO: IndexColumns{IDs: st.spo.ids, K1: st.spo.k1, K2: st.spo.k2},
 		POS: IndexColumns{IDs: st.pos.ids, K1: st.pos.k1, K2: st.pos.k2},
@@ -81,7 +87,7 @@ func (st *Store) FreezeWithIndexes(snap IndexSnapshot) error {
 // key slots, and adjacent entries must be in strictly increasing order
 // under the permutation's comparator (the store holds no duplicate keys).
 func (st *Store) checkIndex(name string, c IndexColumns, less func(a, b ID) bool, keys func(t rdf.Triple) (rdf.TermID, rdf.TermID)) (permIndex, error) {
-	n := len(st.triples)
+	n := st.baseLen()
 	if len(c.IDs) != n || len(c.K1) != n || len(c.K2) != n {
 		return permIndex{}, fmt.Errorf("store: %s index columns have %d/%d/%d entries, want %d",
 			name, len(c.IDs), len(c.K1), len(c.K2), n)
@@ -92,7 +98,7 @@ func (st *Store) checkIndex(name string, c IndexColumns, less func(a, b ID) bool
 			return permIndex{}, fmt.Errorf("store: %s index is not a permutation at row %d", name, i)
 		}
 		seen[id] = true
-		k1, k2 := keys(st.triples[id])
+		k1, k2 := keys(st.baseTriple(id))
 		if c.K1[i] != k1 || c.K2[i] != k2 {
 			return permIndex{}, fmt.Errorf("store: %s index key columns diverge from triples at row %d", name, i)
 		}

@@ -20,12 +20,33 @@ import (
 )
 
 // Store is an immutable-after-Freeze triple store over the XKG.
+//
+// A store serves its base triples from one of two representations: heap
+// rows (triples, populated by Add) or zero-copy mapped columns (cols,
+// installed by NewMapped over a memory-mapped segment). On top of either
+// base, an optional immutable delta overlay (delta, installed by
+// WithDelta) splices post-freeze ingest into every read path.
 type Store struct {
 	dict *rdf.Dict
 	prov *rdf.ProvTable
 
 	triples []rdf.Triple
 	byKey   map[rdf.Key]ID
+
+	// cols, when non-nil, holds the base triple columns as views into a
+	// memory-mapped segment; triples and byKey are nil in that mode.
+	cols *MappedColumns
+
+	// delta, when non-nil, overlays post-freeze ingest on the frozen
+	// base (see Delta). The overlay store is a shallow copy of the base,
+	// so base reads stay zero-copy.
+	delta *Delta
+
+	// lazy, when non-nil, holds derived read structures (token index,
+	// term token sets, predicate stats) built on first use instead of at
+	// Freeze — mapped stores defer them so opening a segment stays O(1)
+	// in the triple count. Shared by pointer across shallow copies.
+	lazy *lazyDerived
 
 	// Permutation indexes, built by Freeze.
 	spo, pos, osp permIndex
@@ -153,20 +174,100 @@ func (st *Store) AddKG(s, p, o rdf.Term) ID {
 	return st.AddFact(s, p, o, rdf.SourceKG, 1, rdf.NoProv)
 }
 
-// Triple returns the triple with the given ID.
-func (st *Store) Triple(id ID) rdf.Triple { return st.triples[id] }
+// Triple returns the triple with the given ID. IDs at or past the base
+// length address delta rows; base IDs reflect any delta override (same
+// fact re-ingested at higher confidence).
+func (st *Store) Triple(id ID) rdf.Triple {
+	if st.delta != nil {
+		if t, ok := st.delta.triple(id); ok {
+			return t
+		}
+	}
+	return st.baseTriple(id)
+}
 
-// Len returns the number of distinct triples.
-func (st *Store) Len() int { return len(st.triples) }
+// baseTriple reads a base triple from whichever representation holds it.
+func (st *Store) baseTriple(id ID) rdf.Triple {
+	if c := st.cols; c != nil {
+		return rdf.Triple{
+			S:      c.S[id],
+			P:      c.P[id],
+			O:      c.O[id],
+			Source: rdf.Source(c.Src[id]),
+			Conf:   c.Conf[id],
+			Prov:   c.Prov[id],
+		}
+	}
+	return st.triples[id]
+}
+
+// baseLen returns the number of base (pre-delta) triples.
+func (st *Store) baseLen() int {
+	if st.cols != nil {
+		return len(st.cols.S)
+	}
+	return len(st.triples)
+}
+
+// Len returns the number of distinct triples, including delta rows.
+func (st *Store) Len() int {
+	n := st.baseLen()
+	if st.delta != nil {
+		n += len(st.delta.rows)
+	}
+	return n
+}
 
 // NumKG and NumXKG report the number of triples per source.
-func (st *Store) NumKG() int  { return st.numKG }
-func (st *Store) NumXKG() int { return st.numXKG }
+func (st *Store) NumKG() int {
+	if st.delta != nil {
+		return st.numKG + st.delta.addKG
+	}
+	return st.numKG
+}
+
+func (st *Store) NumXKG() int {
+	if st.delta != nil {
+		return st.numXKG + st.delta.addXKG
+	}
+	return st.numXKG
+}
 
 // Contains reports whether the exact fact is stored.
 func (st *Store) Contains(s, p, o rdf.TermID) bool {
-	_, ok := st.byKey[rdf.Key{S: s, P: p, O: o}]
+	_, ok := st.lookupKey(rdf.Key{S: s, P: p, O: o})
 	return ok
+}
+
+// lookupKey resolves an exact (S, P, O) key to its triple ID across the
+// delta overlay and the base.
+func (st *Store) lookupKey(k rdf.Key) (ID, bool) {
+	if st.delta != nil {
+		if id, ok := st.delta.byKey[k]; ok {
+			return id, true
+		}
+	}
+	return st.baseLookup(k)
+}
+
+// baseLookup resolves an exact key against the base representation: the
+// byKey hash for heap stores, a binary search of the SPO permutation for
+// mapped ones (whose strict sort order checkIndex verified at open).
+func (st *Store) baseLookup(k rdf.Key) (ID, bool) {
+	if st.byKey != nil {
+		id, ok := st.byKey[k]
+		return id, ok
+	}
+	lo, hi := st.spo.searchRange(k.S, k.P, true)
+	i := lo + sort.Search(hi-lo, func(i int) bool {
+		return st.baseTriple(st.spo.ids[lo+i]).O >= k.O
+	})
+	if i < hi {
+		if id := st.spo.ids[i]; st.baseTriple(id).O == k.O {
+			return id, true
+		}
+	}
+	return 0, false
 }
 
 // permIndex is one permutation index in columnar struct-of-arrays form:
@@ -253,12 +354,18 @@ func (st *Store) finishFreeze() {
 }
 
 // TermTokenSet returns the content-token set of the term's surface text.
-// For terms interned before Freeze it is the set precomputed there (shared,
-// read-only); terms interned afterwards — query-time components share the
+// For terms interned before Freeze it is the set precomputed there (or on
+// first use, for mapped stores; shared, read-only); terms interned
+// afterwards — query-time components and delta ingest share the
 // dictionary — are tokenized on the fly.
 func (st *Store) TermTokenSet(id rdf.TermID) text.TokenSet {
-	if int(id) < len(st.termSets) {
-		return st.termSets[id]
+	sets := st.termSets
+	if st.lazy != nil {
+		st.lazy.ensureTokens(st)
+		sets = st.lazy.termSets
+	}
+	if int(id) < len(sets) {
+		return sets[id]
 	}
 	return text.NewTokenSet(st.dict.Term(id).Text)
 }
@@ -266,37 +373,53 @@ func (st *Store) TermTokenSet(id rdf.TermID) text.TokenSet {
 // Frozen reports whether Freeze has been called.
 func (st *Store) Frozen() bool { return st.frozen }
 
+// permKind names one of the three permutation orders.
+type permKind uint8
+
+const (
+	permSPO permKind = iota
+	permPOS
+	permOSP
+)
+
+// permKeys returns the triple's full key in the permutation's column
+// order.
+func permKeys(t rdf.Triple, which permKind) (a, b, c rdf.TermID) {
+	switch which {
+	case permSPO:
+		return t.S, t.P, t.O
+	case permPOS:
+		return t.P, t.O, t.S
+	default:
+		return t.O, t.S, t.P
+	}
+}
+
+// permKeyLess compares two triples under the permutation's lexicographic
+// key order. Keys are unique within a store (Add deduplicates), so this
+// is a strict total order over distinct facts.
+func permKeyLess(ta, tb rdf.Triple, which permKind) bool {
+	a1, a2, a3 := permKeys(ta, which)
+	b1, b2, b3 := permKeys(tb, which)
+	if a1 != b1 {
+		return a1 < b1
+	}
+	if a2 != b2 {
+		return a2 < b2
+	}
+	return a3 < b3
+}
+
 func (st *Store) lessSPO(a, b ID) bool {
-	ta, tb := st.triples[a], st.triples[b]
-	if ta.S != tb.S {
-		return ta.S < tb.S
-	}
-	if ta.P != tb.P {
-		return ta.P < tb.P
-	}
-	return ta.O < tb.O
+	return permKeyLess(st.baseTriple(a), st.baseTriple(b), permSPO)
 }
 
 func (st *Store) lessPOS(a, b ID) bool {
-	ta, tb := st.triples[a], st.triples[b]
-	if ta.P != tb.P {
-		return ta.P < tb.P
-	}
-	if ta.O != tb.O {
-		return ta.O < tb.O
-	}
-	return ta.S < tb.S
+	return permKeyLess(st.baseTriple(a), st.baseTriple(b), permPOS)
 }
 
 func (st *Store) lessOSP(a, b ID) bool {
-	ta, tb := st.triples[a], st.triples[b]
-	if ta.O != tb.O {
-		return ta.O < tb.O
-	}
-	if ta.S != tb.S {
-		return ta.S < tb.S
-	}
-	return ta.P < tb.P
+	return permKeyLess(st.baseTriple(a), st.baseTriple(b), permOSP)
 }
 
 // Match returns the IDs of all triples matching the pattern, where NoTerm
@@ -311,20 +434,55 @@ func (st *Store) Match(s, p, o rdf.TermID) []ID {
 	if !st.frozen {
 		panic("store: Match before Freeze")
 	}
-	switch {
-	case s != rdf.NoTerm && p != rdf.NoTerm && o != rdf.NoTerm:
-		if id, ok := st.byKey[rdf.Key{S: s, P: p, O: o}]; ok {
+	if s != rdf.NoTerm && p != rdf.NoTerm && o != rdf.NoTerm {
+		if id, ok := st.lookupKey(rdf.Key{S: s, P: p, O: o}); ok {
 			return []ID{id}
 		}
 		return nil
-	case s == rdf.NoTerm && p == rdf.NoTerm && o == rdf.NoTerm:
-		return st.spo.ids
 	}
-	ix, lo, hi := st.rangeFor(s, p, o)
-	if lo >= hi {
-		return nil
+	// Base membership and order are unaffected by overrides (same key),
+	// so a delta with no new rows answers straight from the base.
+	merge := st.delta != nil && len(st.delta.rows) > 0
+	if s == rdf.NoTerm && p == rdf.NoTerm && o == rdf.NoTerm {
+		if !merge {
+			return st.spo.ids
+		}
+		return st.mergePerm(st.spo.ids, st.delta.spo, permSPO)
 	}
-	return ix.ids[lo:hi]
+	ix, which, lo, hi := st.rangeFor(s, p, o)
+	var base []ID
+	if lo < hi {
+		base = ix.ids[lo:hi]
+	}
+	if !merge {
+		return base
+	}
+	dl := st.delta.matchPerm(which, s, p, o)
+	if len(dl) == 0 {
+		return base
+	}
+	return st.mergePerm(base, dl, which)
+}
+
+// mergePerm merges a base permutation range with a (small) delta ID list
+// sorted under the same permutation. Keys are disjoint — a re-asserted
+// fact becomes an override, never a delta row — so the merge is the exact
+// order a compacted store's sorted index would produce.
+func (st *Store) mergePerm(base, dl []ID, which permKind) []ID {
+	out := make([]ID, 0, len(base)+len(dl))
+	i, j := 0, 0
+	for i < len(base) && j < len(dl) {
+		if permKeyLess(st.Triple(base[i]), st.Triple(dl[j]), which) {
+			out = append(out, base[i])
+			i++
+		} else {
+			out = append(out, dl[j])
+			j++
+		}
+	}
+	out = append(out, base[i:]...)
+	out = append(out, dl[j:]...)
+	return out
 }
 
 // MatchEach calls fn for every matching triple ID, in the same
@@ -336,7 +494,7 @@ func (st *Store) MatchEach(s, p, o rdf.TermID, fn func(ID) bool) {
 		panic("store: MatchEach before Freeze")
 	}
 	if s != rdf.NoTerm && p != rdf.NoTerm && o != rdf.NoTerm {
-		if id, ok := st.byKey[rdf.Key{S: s, P: p, O: o}]; ok {
+		if id, ok := st.lookupKey(rdf.Key{S: s, P: p, O: o}); ok {
 			fn(id)
 		}
 		return
@@ -350,68 +508,105 @@ func (st *Store) MatchEach(s, p, o rdf.TermID, fn func(ID) bool) {
 
 // rangeFor picks the permutation index and the key range for a partially
 // bound pattern (at least one bound and one wildcard slot). Match, Count
-// and MatchEach share it, so their index choice cannot diverge.
-func (st *Store) rangeFor(s, p, o rdf.TermID) (ix *permIndex, lo, hi int) {
+// and MatchEach share it, so their index choice cannot diverge; the
+// returned permKind lets the delta overlay filter under the same order.
+func (st *Store) rangeFor(s, p, o rdf.TermID) (ix *permIndex, which permKind, lo, hi int) {
 	switch {
 	case s != rdf.NoTerm && p != rdf.NoTerm:
-		ix = &st.spo
+		ix, which = &st.spo, permSPO
 		lo, hi = ix.searchRange(s, p, true)
 	case s != rdf.NoTerm && o != rdf.NoTerm:
-		ix = &st.osp
+		ix, which = &st.osp, permOSP
 		lo, hi = ix.searchRange(o, s, true)
 	case p != rdf.NoTerm && o != rdf.NoTerm:
-		ix = &st.pos
+		ix, which = &st.pos, permPOS
 		lo, hi = ix.searchRange(p, o, true)
 	case s != rdf.NoTerm:
-		ix = &st.spo
+		ix, which = &st.spo, permSPO
 		lo, hi = ix.searchRange(s, rdf.NoTerm, false)
 	case p != rdf.NoTerm:
-		ix = &st.pos
+		ix, which = &st.pos, permPOS
 		lo, hi = ix.searchRange(p, rdf.NoTerm, false)
 	default:
-		ix = &st.osp
+		ix, which = &st.osp, permOSP
 		lo, hi = ix.searchRange(o, rdf.NoTerm, false)
 	}
-	return ix, lo, hi
+	return ix, which, lo, hi
 }
 
 // Count returns the number of triples matching the pattern without
 // materialising them: it binary-searches the same permutation index Match
-// would use and returns the range length. It is the selectivity source of
-// the query planner. Count requires a frozen store except in the fully
-// bound and fully unbound cases, which need no index.
+// would use and returns the range length (plus the delta's matching rows).
+// It is the selectivity source of the query planner. Count requires a
+// frozen store except in the fully bound and fully unbound cases, which
+// need no index.
 func (st *Store) Count(s, p, o rdf.TermID) int {
 	switch {
 	case s != rdf.NoTerm && p != rdf.NoTerm && o != rdf.NoTerm:
-		if _, ok := st.byKey[rdf.Key{S: s, P: p, O: o}]; ok {
+		if _, ok := st.lookupKey(rdf.Key{S: s, P: p, O: o}); ok {
 			return 1
 		}
 		return 0
 	case s == rdf.NoTerm && p == rdf.NoTerm && o == rdf.NoTerm:
-		return len(st.triples)
+		return st.Len()
 	}
 	if !st.frozen {
 		panic("store: Count before Freeze")
 	}
-	_, lo, hi := st.rangeFor(s, p, o)
-	return hi - lo
+	_, _, lo, hi := st.rangeFor(s, p, o)
+	n := hi - lo
+	if st.delta != nil {
+		n += st.delta.countMatch(s, p, o)
+	}
+	return n
 }
 
 // Predicates returns the distinct predicate terms in ascending TermID
-// order, with their triple counts. After Freeze the statistics are served
-// from the snapshot precomputed there instead of rescanning all triples.
+// order, with their triple counts. After Freeze the base statistics are
+// served from a precomputed (or lazily built, for mapped stores) snapshot
+// instead of rescanning all triples; delta rows are merged in.
 func (st *Store) Predicates() []PredicateStat {
-	if st.frozen {
-		return append([]PredicateStat(nil), st.predStats...)
+	base := st.basePredStats()
+	if st.delta == nil || len(st.delta.predCounts) == 0 {
+		return append([]PredicateStat(nil), base...)
 	}
-	return st.computePredicates()
+	counts := make(map[rdf.TermID]int, len(base)+len(st.delta.predCounts))
+	for _, ps := range base {
+		counts[ps.Pred] = ps.Count
+	}
+	for p, c := range st.delta.predCounts {
+		counts[p] += c
+	}
+	ids := make([]rdf.TermID, 0, len(counts))
+	for p := range counts {
+		ids = append(ids, p)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]PredicateStat, len(ids))
+	for i, p := range ids {
+		out[i] = PredicateStat{Pred: p, Count: counts[p]}
+	}
+	return out
 }
 
-// computePredicates scans the triples for per-predicate counts.
+// basePredStats returns the per-predicate statistics of the base triples
+// (not a defensive copy — callers must not modify it).
+func (st *Store) basePredStats() []PredicateStat {
+	if !st.frozen {
+		return st.computePredicates()
+	}
+	if st.lazy != nil {
+		st.lazy.ensurePreds(st)
+		return st.lazy.predStats
+	}
+	return st.predStats
+}
+
+// computePredicates scans the base triples for per-predicate counts.
 func (st *Store) computePredicates() []PredicateStat {
 	counts := make(map[rdf.TermID]int)
-	for _, t := range st.triples {
-		counts[t.P]++
+	for i, n := 0, st.baseLen(); i < n; i++ {
+		counts[st.baseTriple(ID(i)).P]++
 	}
 	ids := make([]rdf.TermID, 0, len(counts))
 	for p := range counts {
@@ -437,7 +632,7 @@ type PredicateStat struct {
 func (st *Store) Args(p rdf.TermID) map[[2]rdf.TermID]bool {
 	out := make(map[[2]rdf.TermID]bool, st.Count(rdf.NoTerm, p, rdf.NoTerm))
 	st.MatchEach(rdf.NoTerm, p, rdf.NoTerm, func(id ID) bool {
-		t := st.triples[id]
+		t := st.Triple(id)
 		out[[2]rdf.TermID{t.S, t.O}] = true
 		return true
 	})
@@ -459,27 +654,35 @@ type Stats struct {
 	ProvenanceRecs int
 }
 
-// Stats computes summary statistics. After Freeze it is O(1): predicate
-// statistics come from the snapshot Freeze precomputed, and per-kind term
-// counts are maintained incrementally by the dictionary (so terms interned
-// after Freeze — e.g. by query-time components sharing the dictionary —
-// are still counted).
+// Stats computes summary statistics. After Freeze the delta-free case is
+// O(1) in the triple count: predicate statistics come from the snapshot
+// precomputed at Freeze (or built once on demand for mapped stores), and
+// per-kind term counts are maintained incrementally by the dictionary (so
+// terms interned after Freeze — e.g. by query-time components sharing the
+// dictionary — are still counted).
 func (st *Store) Stats() Stats {
 	s := Stats{
-		Triples:        len(st.triples),
-		KGTriples:      st.numKG,
-		XKGTriples:     st.numXKG,
+		Triples:        st.Len(),
+		KGTriples:      st.NumKG(),
+		XKGTriples:     st.NumXKG(),
 		Terms:          st.dict.Len(),
 		ProvenanceRecs: st.prov.Len(),
 	}
 	s.Resources, s.Literals, s.Tokens = st.dict.KindCounts()
-	if st.frozen {
+	if st.frozen && st.delta == nil {
+		if st.lazy != nil {
+			st.lazy.ensurePreds(st)
+			s.Predicates = len(st.lazy.predStats)
+			s.TokenPreds = st.lazy.tokenPreds
+			s.ResourcePreds = st.lazy.resourcePreds
+			return s
+		}
 		s.Predicates = len(st.predStats)
 		s.TokenPreds = st.tokenPreds
 		s.ResourcePreds = st.resourcePreds
 		return s
 	}
-	for _, ps := range st.computePredicates() {
+	for _, ps := range st.Predicates() {
 		s.Predicates++
 		if st.dict.Term(ps.Pred).Kind == rdf.KindToken {
 			s.TokenPreds++

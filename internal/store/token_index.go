@@ -33,8 +33,16 @@ func (ix *tokenIndex) add(id rdf.TermID, surface string) {
 
 // buildTokenIndex indexes every term that occurs in at least one triple.
 func (st *Store) buildTokenIndex() {
-	used := make(map[rdf.TermID]bool, 3*len(st.triples))
-	for _, t := range st.triples {
+	st.buildTokenIndexInto(st.tokens)
+}
+
+// buildTokenIndexInto populates ix from the base triples. Shared by the
+// eager Freeze path and the lazy build of mapped stores.
+func (st *Store) buildTokenIndexInto(ix *tokenIndex) {
+	n := st.baseLen()
+	used := make(map[rdf.TermID]bool, 3*n)
+	for i := 0; i < n; i++ {
+		t := st.baseTriple(ID(i))
 		used[t.S] = true
 		used[t.P] = true
 		used[t.O] = true
@@ -45,7 +53,7 @@ func (st *Store) buildTokenIndex() {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		st.tokens.add(id, st.dict.Term(id).Text)
+		ix.add(id, st.dict.Term(id).Text)
 	}
 }
 
@@ -84,10 +92,24 @@ func (st *Store) MatchToken(tok string, mask KindMask, minSim float64, limit int
 	if !st.frozen {
 		panic("store: MatchToken before Freeze")
 	}
+	tokens := st.tokens
+	if st.lazy != nil {
+		st.lazy.ensureTokens(st)
+		tokens = st.lazy.tokens
+	}
 	cands := make(map[rdf.TermID]bool)
 	for _, w := range text.ContentTokens(tok) {
-		for _, id := range st.tokens.byWord[w] {
+		for _, id := range tokens.byWord[w] {
 			cands[id] = true
+		}
+		if st.delta != nil {
+			// Delta rows index their terms in an auxiliary inverted
+			// index; the candidate map deduplicates terms present in
+			// both. Scoring and ordering below are shared, so the
+			// overlay's result is byte-identical to a compacted store's.
+			for _, id := range st.delta.tokens.byWord[w] {
+				cands[id] = true
+			}
 		}
 	}
 	qset := text.NewTokenSet(tok)

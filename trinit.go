@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"runtime/debug"
 	"sort"
 	"sync"
@@ -37,7 +38,6 @@ import (
 	"trinit/internal/dataset"
 	"trinit/internal/explain"
 	"trinit/internal/ned"
-	"trinit/internal/qa"
 	"trinit/internal/query"
 	"trinit/internal/rdf"
 	"trinit/internal/relax"
@@ -172,6 +172,15 @@ type Options struct {
 	// shard.PartitionOptions.ReplicateFactor): 0 uses the default,
 	// negative disables replication. Ignored without Shards > 1.
 	ShardReplicateFactor int
+	// CompactAfter triggers a background compaction (fold of the
+	// live-ingest delta into the base store, see Compact) once the delta
+	// holds at least that many triples. 0 disables auto-compaction:
+	// deltas grow until an explicit Compact or Checkpoint.
+	CompactAfter int
+	// NoMapSegments forces Open and LoadSnapshot to decode snapshot
+	// segments eagerly onto the heap instead of memory-mapping them.
+	// Answers are identical; open time and resident memory are not.
+	NoMapSegments bool
 }
 
 // WithShards returns Options running the engine's queries over n
@@ -305,30 +314,44 @@ type OperatorFunc func(e *Engine) []RuleSpec
 // so in-flight queries keep the snapshot they started with.
 type Engine struct {
 	// mu guards the mutable engine state: rules (replaced wholesale,
-	// never appended in place), operators, suggester, translate and
-	// frozen. Read paths hold it only long enough to snapshot.
+	// never appended in place), operators, frozen, and the published
+	// store version. Read paths hold it only long enough to snapshot.
 	mu        sync.RWMutex
 	opts      Options
 	st        *store.Store
 	rules     []*relax.Rule
 	operators []OperatorFunc
-	suggester *suggest.Suggester
-	translate *qa.Translator
 	frozen    bool
 
-	// cache is the shared, concurrency-safe match-list cache; execs
-	// pools the per-query executors that run against it. Both are set
-	// when the engine freezes.
-	cache *topk.Cache
-	execs sync.Pool
+	// ver is the published store version: the store plus everything
+	// derived from it (match-list cache, executor pool, suggester,
+	// question translator). Queries pin it at admission and read it
+	// lock-free; IngestFacts and Compact publish successors. e.st always
+	// mirrors ver.st. See version.go.
+	ver *storeVersion
 
 	// group is the sharded-execution coordinator (nil when Options.Shards
 	// <= 1): per-shard stores, caches and executor pools behind one
 	// scatter-gather merge. Built when the engine freezes, guarded by mu
-	// like cache. The full store e.st is retained either way — it serves
+	// like ver. The full store e.st is retained either way — it serves
 	// as the corpus-wide normalisation-mass oracle, the WithoutSharding
-	// path, and the durability image.
-	group *shard.Group
+	// path, and the durability image. groupVer holds the store version
+	// the group partitioned, pinned for the group's lifetime so a
+	// compaction can never unmap columns the shards still reference.
+	group    *shard.Group
+	groupVer *storeVersion
+
+	// ingestMu serialises live ingest and compaction against each other
+	// (never against queries). Lock order: durability.mu, then ingestMu,
+	// then e.mu.
+	ingestMu sync.Mutex
+
+	// Live-ingest counters and state, exposed through MemoryStats and
+	// /metrics.
+	compacting    atomic.Bool
+	compactions   atomic.Uint64
+	retiredLive   atomic.Int64
+	ingestedFacts atomic.Uint64
 
 	// Sharding counters, exposed through ShardingStats and /metrics.
 	shardedQueries   atomic.Uint64
@@ -512,43 +535,28 @@ func (e *Engine) ExtendFromDocumentsWith(docs []Document, cfg ExtendConfig) (Ext
 	}, nil
 }
 
-// initQueryPipeline wires the shared match-list cache and the executor
-// pool — and, with Options.Shards > 1, partitions the frozen store and
-// builds the shard coordinator. Called once, when the engine freezes.
-func (e *Engine) initQueryPipeline() {
-	e.cache = topk.NewCache(e.opts.MatchCacheSize)
-	opts := e.topkOptions()
-	st, cache := e.st, e.cache
-	e.execs.New = func() any { return topk.NewExecutor(st, cache, opts) }
+// initQueryPipeline publishes the first store version over e.st —
+// wrapping the mapped segment backing it, if any — and, with
+// Options.Shards > 1, partitions the frozen store and builds the shard
+// coordinator. Called once, under e.mu, when the engine freezes or a
+// snapshot engine is assembled.
+func (e *Engine) initQueryPipeline(mapped *mappedRef, epoch uint64) {
+	e.publishLocked(newStoreVersion(e, e.st, e.st, nil, mapped, epoch))
 	if e.opts.Shards > 1 && e.st.Frozen() {
 		g, err := shard.NewGroup(e.st, e.opts.Shards,
-			opts, shard.PartitionOptions{ReplicateFactor: e.opts.ShardReplicateFactor})
+			e.topkOptions(), shard.PartitionOptions{ReplicateFactor: e.opts.ShardReplicateFactor})
 		if err == nil {
 			e.group = g
+			// The shard stores reference the partitioned version's columns
+			// (and, for replicated predicates, its dictionary); pin it for
+			// the group's lifetime so retirement can never unmap them.
+			e.groupVer = e.ver
+			e.groupVer.pin()
 		}
 		// Partition can only fail on an unfrozen store or n < 1, both
 		// excluded here; if it ever does, the engine degrades to the
 		// (identical-answer) unsharded pipeline rather than failing.
 	}
-}
-
-// executor borrows a pooled executor, initialising the query pipeline
-// lazily for engines assembled without Freeze (package-internal tests).
-// The initialised check must happen under e.mu before touching the pool:
-// sync.Pool.New is written by initQueryPipeline, and an unsynchronised
-// Get would race with that write.
-func (e *Engine) executor() *topk.Executor {
-	e.mu.RLock()
-	initialised := e.cache != nil
-	e.mu.RUnlock()
-	if !initialised {
-		e.mu.Lock()
-		if e.cache == nil {
-			e.initQueryPipeline()
-		}
-		e.mu.Unlock()
-	}
-	return e.execs.Get().(*topk.Executor)
 }
 
 // Freeze finalises the graph: indexes are built and the engine becomes
@@ -560,8 +568,7 @@ func (e *Engine) Freeze() {
 		return
 	}
 	e.st.Freeze()
-	e.suggester = suggest.New(e.st)
-	e.initQueryPipeline()
+	e.initQueryPipeline(nil, 0)
 	e.frozen = true
 }
 
@@ -950,15 +957,19 @@ type Result struct {
 }
 
 // resultSource is the explanation raw material a Result keeps so that
-// Explain can render lazily: the frozen store is immutable and the raw
-// topk answers are private to this result, so reading them later is safe.
+// Explain can render lazily: the store version the query ran against is
+// immutable and pinned (a runtime cleanup on this struct releases the pin
+// once the Result is unreachable), and the raw topk answers are private
+// to this result, so reading them later is safe — even after the version
+// has been superseded by ingest or compaction.
 type resultSource struct {
-	engine *Engine
-	query  *query.Query
-	raw    []topk.Answer
+	ver   *storeVersion
+	st    *store.Store
+	query *query.Query
+	raw   []topk.Answer
 	// stores[i] is the store raw[i]'s derivation must be resolved
 	// against — the winning shard's store on a sharded run, whose triple
-	// IDs are shard-local. nil means every answer reads engine.st.
+	// IDs are shard-local. nil means every answer reads st.
 	stores []*store.Store
 }
 
@@ -967,7 +978,7 @@ func (s *resultSource) store(i int) *store.Store {
 	if s.stores != nil && i < len(s.stores) && s.stores[i] != nil {
 		return s.stores[i]
 	}
-	return s.engine.st
+	return s.st
 }
 
 // Explain renders the explanation of Answers[i] (0-based), computing it
@@ -1207,7 +1218,7 @@ func (e *Engine) queryContext(ctx context.Context, text string, fn func(AnswerEv
 		return nil, fmt.Errorf("%w: %w", ErrParse, err)
 	}
 	e.mu.RLock()
-	frozen, rules, suggester := e.frozen, e.rules, e.suggester
+	frozen, rules := e.frozen, e.rules
 	admit, defBudget, group := e.admit, e.defBudget, e.group
 	e.mu.RUnlock()
 	if !frozen {
@@ -1216,6 +1227,14 @@ func (e *Engine) queryContext(ctx context.Context, text string, fn func(AnswerEv
 	if cfg.noShard {
 		group = nil
 	}
+	// Pin the published store version: the query reads this one store
+	// state — and the cache, executor pool and suggester derived from it —
+	// for its whole lifetime, no matter how many ingest batches or
+	// compactions publish successors meanwhile.
+	ver := e.currentVersion()
+	defer ver.unpin()
+	st := ver.st
+	dict := st.Dict()
 	q.Projection = q.ProjectedVars()
 
 	// Admission: a query weighs as many units as evaluation goroutines
@@ -1273,7 +1292,7 @@ func (e *Engine) queryContext(ctx context.Context, text string, fn func(AnswerEv
 			if fnErr != nil {
 				return
 			}
-			pub := e.publicAnswer(a)
+			pub := publicAnswer(dict, a)
 			if err := fn(AnswerEvent{Type: EventProvisional, Answer: &pub}); err != nil {
 				fnErr = err
 				cancelRun()
@@ -1326,13 +1345,14 @@ func (e *Engine) queryContext(ctx context.Context, text string, fn func(AnswerEv
 		// returned to the pool only on a clean exit: a panic may leave its
 		// scratch state mid-join.
 		func() {
-			ev := e.executor()
+			pool := ver.execs
+			ev := pool.Get().(*topk.Executor)
 			defer func() {
 				if rec := recover(); rec != nil {
 					runErr = &topk.PanicError{Value: rec, Stack: debug.Stack()}
 					return
 				}
-				e.execs.Put(ev)
+				pool.Put(ev)
 			}()
 			answers, metrics, runErr = ev.Run(runCtx, q, rewrites, rcfg)
 			// TraceLen sizes the conversion up front and skips the
@@ -1407,20 +1427,25 @@ func (e *Engine) queryContext(ctx context.Context, text string, fn func(AnswerEv
 		res.Shards = group.Shards()
 	}
 	if cfg.noExplain {
-		// Keep the raw answers only when Explain may still need them:
-		// on the eager path every explanation is already rendered, and
-		// retaining the derivations would just pin the rewrite data
-		// (and the engine) for the result's lifetime.
-		res.src = &resultSource{engine: e, query: q, raw: answers, stores: shardStores}
+		// Keep the raw answers only when Explain may still need them: on
+		// the eager path every explanation is already rendered, and
+		// retaining the derivations would just pin the rewrite data for
+		// the result's lifetime. The source holds its own version pin —
+		// explanations dereference the pinned store, possibly long after
+		// this version is retired — released by a runtime cleanup when the
+		// source becomes unreachable.
+		res.src = &resultSource{ver: ver, st: st, query: q, raw: answers, stores: shardStores}
+		ver.pin()
+		runtime.AddCleanup(res.src, releaseVersionPin, ver)
 	}
 	for i, a := range answers {
-		pub := e.publicAnswer(a)
+		pub := publicAnswer(dict, a)
 		if !cfg.noExplain {
-			st := e.st
+			est := st
 			if shardStores != nil {
-				st = shardStores[i]
+				est = shardStores[i]
 			}
-			pub.Explanation = publicExplanation(explain.Explain(st, q, a))
+			pub.Explanation = publicExplanation(explain.Explain(est, q, a))
 		}
 		res.Answers = append(res.Answers, pub)
 	}
@@ -1433,7 +1458,7 @@ func (e *Engine) queryContext(ctx context.Context, text string, fn func(AnswerEv
 			Answers: n.Answers,
 		})
 	}
-	for _, s := range suggester.Suggest(q) {
+	for _, s := range ver.suggester().Suggest(q) {
 		res.Suggestions = append(res.Suggestions, Suggestion{
 			Token:    s.Token,
 			Resource: s.Resource,
@@ -1491,14 +1516,15 @@ func publicTraceEntry(t topk.RewriteTrace, shard int) TraceEntry {
 }
 
 // publicAnswer converts a processor answer to its public form, without
-// an explanation.
-func (e *Engine) publicAnswer(a topk.Answer) Answer {
+// an explanation. dict must be the dictionary of the store version the
+// answer was computed against.
+func publicAnswer(dict *rdf.Dict, a topk.Answer) Answer {
 	pub := Answer{
 		Bindings: make(map[string]string, len(a.Bindings)),
 		Score:    a.Score,
 	}
 	for v, id := range a.Bindings {
-		pub.Bindings[v] = e.st.Dict().Term(id).Text
+		pub.Bindings[v] = dict.Term(id).Text
 	}
 	return pub
 }
@@ -1534,17 +1560,19 @@ func publicExplanation(ex explain.Explanation) Explanation {
 }
 
 // Complete returns auto-completions for a prefix typed into an S, P or O
-// field (§5). The engine must be frozen. Safe for concurrent use: the
-// suggester's trie is immutable once built.
+// field (§5). The engine must be frozen. Safe for concurrent use: each
+// store version's suggester trie is immutable once built.
 func (e *Engine) Complete(prefix string, limit int) []Completion {
 	e.mu.RLock()
-	frozen, suggester := e.frozen, e.suggester
+	frozen := e.frozen
 	e.mu.RUnlock()
 	if !frozen {
 		return nil
 	}
+	ver := e.currentVersion()
+	defer ver.unpin()
 	var out []Completion
-	for _, c := range suggester.Complete(prefix, limit) {
+	for _, c := range ver.suggester().Complete(prefix, limit) {
 		out = append(out, Completion{Text: c.Text, Weight: c.Weight})
 	}
 	return out
@@ -1592,16 +1620,13 @@ func (e *Engine) Stats() Stats {
 // See topk.CacheStats for the field documentation.
 type CacheStats = topk.CacheStats
 
-// CacheStats returns a snapshot of match-list cache and planner activity.
-// It is zero before Freeze.
+// CacheStats returns a snapshot of match-list cache and planner activity
+// for the current store version (each published version starts a fresh
+// cache — match lists are relative to one store state).
 func (e *Engine) CacheStats() CacheStats {
-	e.mu.RLock()
-	cache := e.cache
-	e.mu.RUnlock()
-	if cache == nil {
-		return CacheStats{}
-	}
-	return cache.Stats()
+	v := e.currentVersion()
+	defer v.unpin()
+	return v.cache.Stats()
 }
 
 // AdmissionStats snapshots the admission controller's counters. See
@@ -1658,8 +1683,15 @@ func (e *Engine) Reshard(n int) error {
 	if !e.frozen {
 		return fmt.Errorf("%w: Reshard requires a frozen engine", ErrNotFrozen)
 	}
+	dropGroupVer := func() {
+		if e.groupVer != nil {
+			e.groupVer.unpin()
+			e.groupVer = nil
+		}
+	}
 	if n <= 1 {
 		e.group = nil
+		dropGroupVer()
 		return nil
 	}
 	g, err := shard.NewGroup(e.st, n, e.topkOptions(),
@@ -1668,6 +1700,13 @@ func (e *Engine) Reshard(n int) error {
 		return err
 	}
 	e.group = g
+	// Pin the partitioned version for the new group's lifetime (the shard
+	// stores reference its columns), releasing the previous group's pin.
+	dropGroupVer()
+	if e.ver != nil {
+		e.groupVer = e.ver
+		e.groupVer.pin()
+	}
 	return nil
 }
 
@@ -1815,8 +1854,7 @@ func NewDemoEngine() *Engine {
 		st:    d.Store,
 		rules: d.Rules,
 	}
-	e.suggester = suggest.New(e.st)
-	e.initQueryPipeline()
+	e.initQueryPipeline(nil, 0)
 	e.frozen = true
 	return e
 }
@@ -1954,21 +1992,14 @@ func (e *Engine) Ask(question string) (*Result, string, error) {
 // cancellation and option semantics as QueryContext.
 func (e *Engine) AskContext(ctx context.Context, question string, opts ...QueryOption) (*Result, string, error) {
 	e.mu.RLock()
-	frozen, tr := e.frozen, e.translate
+	frozen := e.frozen
 	e.mu.RUnlock()
 	if !frozen {
 		return nil, "", fmt.Errorf("%w (call Freeze before asking)", ErrNotFrozen)
 	}
-	if tr == nil {
-		e.mu.Lock()
-		if e.translate == nil {
-			e.translate = qa.NewTranslator(e.st)
-		}
-		tr = e.translate
-		e.mu.Unlock()
-	}
-
-	tl, err := tr.Translate(question)
+	ver := e.currentVersion()
+	tl, err := ver.translator().Translate(question)
+	ver.unpin()
 	if err != nil {
 		return nil, "", fmt.Errorf("%w: %w", ErrParse, err)
 	}

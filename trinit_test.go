@@ -303,7 +303,7 @@ func TestExhaustiveOptionMatchesIncremental(t *testing.T) {
 	inc := NewDemoEngine()
 	exhOpts := (*Options)(nil).withDefaults()
 	exhOpts.Exhaustive = true
-	exh := &Engine{opts: exhOpts, st: inc.st, rules: inc.rules, suggester: inc.suggester, frozen: true}
+	exh := &Engine{opts: exhOpts, st: inc.st, rules: inc.rules, frozen: true}
 
 	for _, dq := range DemoQueries() {
 		a, err := inc.Query(dq.Query)
